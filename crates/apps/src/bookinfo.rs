@@ -1,0 +1,87 @@
+//! Istio's Bookinfo, paper Figure 5 (right).
+//!
+//! Bookinfo illustrates the second §2.2 observation: Product Page calls
+//! Details and Reviews *in parallel*, and Reviews calls Ratings, so the
+//! end-to-end latency is `productpage + max(details, reviews + ratings)`.
+//! Reducing Details' CPU is free until its latency exceeds the
+//! Reviews+Ratings branch — exactly the slack GRAF's optimizer exploits.
+
+use graf_sim::topology::{ApiSpec, AppTopology, CallNode, ServiceSpec};
+
+/// Product Page front end.
+pub const PRODUCT_PAGE: u16 = 0;
+/// Details service (off the critical path at equal provisioning).
+pub const DETAILS: u16 = 1;
+/// Reviews service.
+pub const REVIEWS: u16 = 2;
+/// Ratings service (called by Reviews).
+pub const RATINGS: u16 = 3;
+
+/// The product-page API index.
+pub const API_PRODUCT_PAGE: u16 = 0;
+
+/// Builds the Bookinfo topology.
+pub fn bookinfo() -> AppTopology {
+    let services = vec![
+        ServiceSpec::new("productpage", 0.40, 400).cv(0.40),
+        ServiceSpec::new("details", 0.40, 250).cv(0.40),
+        ServiceSpec::new("reviews", 0.96, 300).cv(0.50),
+        ServiceSpec::new("ratings", 0.56, 250).cv(0.45),
+    ];
+
+    let page = CallNode::new(PRODUCT_PAGE).then(vec![
+        CallNode::new(DETAILS),
+        CallNode::new(REVIEWS).call(CallNode::new(RATINGS)),
+    ]);
+
+    AppTopology::new("bookinfo", services, vec![ApiSpec::new("product-page", page)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graf_sim::time::SimTime;
+    use graf_sim::topology::{ApiId, ServiceId};
+    use graf_sim::world::{SimConfig, World};
+
+    #[test]
+    fn structure_matches_figure5() {
+        let t = bookinfo();
+        let edges = t.edges();
+        assert_eq!(
+            edges,
+            vec![
+                (ServiceId(PRODUCT_PAGE), ServiceId(DETAILS)),
+                (ServiceId(PRODUCT_PAGE), ServiceId(REVIEWS)),
+                (ServiceId(REVIEWS), ServiceId(RATINGS)),
+            ]
+        );
+    }
+
+    /// §2.2's claim: shrinking Details' CPU does not change end-to-end
+    /// latency while the Reviews branch dominates.
+    #[test]
+    fn details_is_off_the_critical_path() {
+        fn p50_with_details_quota(quota: f64) -> u64 {
+            let mut w = World::new(bookinfo(), SimConfig::default(), 17);
+            for s in 0..4u16 {
+                let q = if s == DETAILS { quota } else { 1000.0 };
+                w.add_instances(ServiceId(s), 1, q, SimTime::ZERO);
+            }
+            for i in 0..500u64 {
+                w.inject(ApiId(API_PRODUCT_PAGE), SimTime(i * 20_000)); // 50 qps
+            }
+            w.run_until(SimTime::from_secs(20.0));
+            let mut lats: Vec<u64> = w.drain_completions().iter().map(|c| c.latency_us()).collect();
+            lats.sort_unstable();
+            lats[lats.len() / 2]
+        }
+        let full = p50_with_details_quota(1000.0);
+        let halved = p50_with_details_quota(400.0);
+        let rel = (halved as f64 - full as f64).abs() / full as f64;
+        assert!(rel < 0.08, "halving details barely moves p50: {full} vs {halved}");
+        // But starving it below the branch latency does hurt.
+        let starved = p50_with_details_quota(60.0);
+        assert!(starved as f64 > full as f64 * 1.15, "starved details hurts: {starved}");
+    }
+}

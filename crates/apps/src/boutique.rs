@@ -1,0 +1,137 @@
+//! Online Boutique (Google microservices-demo), paper Figure 4.
+//!
+//! The paper controls six microservices (Figures 13/15 label them MS1–MS6).
+//! We model those six; the demo's remaining services (ads, checkout, email,
+//! payment) are not on the three evaluated request paths.
+//!
+//! Service indices (= the paper's MS numbering):
+//!
+//! | id | service            | role in the cart-page chain (Fig 4)      |
+//! |----|--------------------|-------------------------------------------|
+//! | 0  | frontend (MS1)     | entry point, fans out sequentially         |
+//! | 1  | currency (MS2)     | called on every page                       |
+//! | 2  | cart (MS3)         | cart reads/writes                          |
+//! | 3  | product (MS4)      | catalog lookups (several per page)         |
+//! | 4  | recommendation (MS5)| heavy ML-ish service, calls product        |
+//! | 5  | shipping (MS6)     | quote computation                          |
+//!
+//! Recommendation and shipping get the steepest latency curves: GRAF's
+//! optimizer shifts CPU toward them (Fig 15: "GRAF allocates more CPU
+//! resources to MS5 … and MS6 … and saves from others").
+
+use graf_sim::topology::{ApiSpec, AppTopology, CallNode, ServiceSpec};
+
+/// Frontend service index (MS1).
+pub const FRONTEND: u16 = 0;
+/// Currency service index (MS2).
+pub const CURRENCY: u16 = 1;
+/// Cart service index (MS3).
+pub const CART: u16 = 2;
+/// Product-catalog service index (MS4).
+pub const PRODUCT: u16 = 3;
+/// Recommendation service index (MS5).
+pub const RECOMMENDATION: u16 = 4;
+/// Shipping service index (MS6).
+pub const SHIPPING: u16 = 5;
+
+/// The "home page" API index.
+pub const API_HOME: u16 = 0;
+/// The "browse product" API index.
+pub const API_BROWSE: u16 = 1;
+/// The "cart page" API index (the chain of Figure 4 and the surge workload).
+pub const API_CART: u16 = 2;
+
+/// Builds the Online Boutique topology.
+pub fn online_boutique() -> AppTopology {
+    let services = vec![
+        ServiceSpec::new("frontend", 0.50, 700).cv(0.45),
+        ServiceSpec::new("currency", 0.16, 250).cv(0.25),
+        ServiceSpec::new("cart", 0.38, 350).cv(0.50),
+        ServiceSpec::new("product", 0.25, 250).cv(0.35),
+        ServiceSpec::new("recommendation", 1.00, 500).cv(0.90),
+        ServiceSpec::new("shipping", 0.75, 400).cv(0.75),
+    ];
+
+    // Home: frontend → currency, then a batch of product lookups, then cart
+    // badge. Sequential fan-out, as the paper describes the frontend.
+    let home = CallNode::new(FRONTEND)
+        .call(CallNode::new(CURRENCY))
+        .then(vec![CallNode::new(PRODUCT).repeat(3).work_scale(0.7)])
+        .call(CallNode::new(CART).work_scale(0.5));
+
+    // Browse: frontend → currency → product detail → recommendation (which
+    // itself consults the catalog) → cart badge.
+    let browse = CallNode::new(FRONTEND)
+        .call(CallNode::new(CURRENCY))
+        .call(CallNode::new(PRODUCT))
+        .call(CallNode::new(RECOMMENDATION).call(CallNode::new(PRODUCT).work_scale(0.6)))
+        .call(CallNode::new(CART).work_scale(0.5));
+
+    // Cart page (Figure 4's chain, the workload of the surge experiments):
+    // frontend → currency → cart → recommendation(→product) → product →
+    // shipping quote.
+    let cart_page = CallNode::new(FRONTEND)
+        .call(CallNode::new(CURRENCY))
+        .call(CallNode::new(CART))
+        .call(CallNode::new(RECOMMENDATION).call(CallNode::new(PRODUCT).work_scale(0.6)))
+        .call(CallNode::new(PRODUCT).work_scale(0.8))
+        .call(CallNode::new(SHIPPING));
+
+    AppTopology::new(
+        "online-boutique",
+        services,
+        vec![
+            ApiSpec::new("home", home),
+            ApiSpec::new("browse", browse),
+            ApiSpec::new("cart-page", cart_page),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graf_sim::topology::{ApiId, ServiceId};
+
+    #[test]
+    fn has_six_controlled_services_and_three_apis() {
+        let t = online_boutique();
+        assert_eq!(t.num_services(), 6);
+        assert_eq!(t.num_apis(), 3);
+    }
+
+    #[test]
+    fn cart_page_chain_matches_figure4() {
+        let t = online_boutique();
+        let services = t.services_in_api(ApiId(API_CART));
+        assert_eq!(
+            services,
+            (0..6).map(ServiceId).collect::<Vec<_>>(),
+            "cart page touches all six controlled services"
+        );
+    }
+
+    #[test]
+    fn home_page_skips_recommendation_and_shipping() {
+        let t = online_boutique();
+        let services = t.services_in_api(ApiId(API_HOME));
+        assert!(!services.contains(&ServiceId(RECOMMENDATION)));
+        assert!(!services.contains(&ServiceId(SHIPPING)));
+    }
+
+    #[test]
+    fn product_multiplicity_reflects_batching() {
+        let t = online_boutique();
+        assert_eq!(t.multiplicity(ApiId(API_HOME), ServiceId(PRODUCT)), 3.0);
+        assert_eq!(t.multiplicity(ApiId(API_BROWSE), ServiceId(PRODUCT)), 2.0);
+        assert_eq!(t.multiplicity(ApiId(API_CART), ServiceId(FRONTEND)), 1.0);
+    }
+
+    #[test]
+    fn recommendation_calls_product() {
+        let t = online_boutique();
+        let edges = t.edges();
+        assert!(edges.contains(&(ServiceId(RECOMMENDATION), ServiceId(PRODUCT))));
+        assert!(edges.contains(&(ServiceId(FRONTEND), ServiceId(SHIPPING))));
+    }
+}

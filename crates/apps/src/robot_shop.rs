@@ -1,0 +1,92 @@
+//! Stan's Robot Shop, paper Figure 5 (left).
+//!
+//! The paper uses Robot Shop to illustrate §2.2: the Catalogue service has a
+//! much sharper latency-vs-CPU curve than Web, so shifting CPU toward
+//! Catalogue buys latency cheaply. We model the browse path (web →
+//! catalogue, with ratings fetched in parallel) plus user and cart APIs.
+
+use graf_sim::topology::{ApiSpec, AppTopology, CallNode, ServiceSpec};
+
+/// Web front end.
+pub const WEB: u16 = 0;
+/// Catalogue service (the sharp-curve service of Figure 6).
+pub const CATALOGUE: u16 = 1;
+/// Ratings service.
+pub const RATINGS: u16 = 2;
+/// User service.
+pub const USER: u16 = 3;
+/// Cart service.
+pub const CART: u16 = 4;
+
+/// Browse-catalogue API index.
+pub const API_BROWSE: u16 = 0;
+/// User-login API index.
+pub const API_USER: u16 = 1;
+/// Cart API index.
+pub const API_CART: u16 = 2;
+
+/// Builds the Robot Shop topology.
+///
+/// Catalogue's per-request CPU demand is ~4× Web's, giving it the visibly
+/// sharper latency curve of Figure 6.
+pub fn robot_shop() -> AppTopology {
+    let services = vec![
+        ServiceSpec::new("web", 0.36, 500).cv(0.40),
+        ServiceSpec::new("catalogue", 1.44, 300).cv(0.55),
+        ServiceSpec::new("ratings", 0.40, 250).cv(0.45),
+        ServiceSpec::new("user", 0.32, 250).cv(0.40),
+        ServiceSpec::new("cart", 0.44, 300).cv(0.45),
+    ];
+
+    let browse = CallNode::new(WEB)
+        .then(vec![CallNode::new(CATALOGUE), CallNode::new(RATINGS)]);
+    let user = CallNode::new(WEB).call(CallNode::new(USER));
+    let cart = CallNode::new(WEB)
+        .call(CallNode::new(CART))
+        .call(CallNode::new(CATALOGUE).work_scale(0.5));
+
+    AppTopology::new(
+        "robot-shop",
+        services,
+        vec![
+            ApiSpec::new("browse", browse),
+            ApiSpec::new("user", user),
+            ApiSpec::new("cart", cart),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graf_sim::topology::{ApiId, ServiceId};
+
+    #[test]
+    fn catalogue_demand_dominates_web() {
+        let t = robot_shop();
+        assert!(t.services[CATALOGUE as usize].work_ms > 3.0 * t.services[WEB as usize].work_ms);
+    }
+
+    #[test]
+    fn browse_hits_catalogue_and_ratings_in_parallel() {
+        let t = robot_shop();
+        let services = t.services_in_api(ApiId(API_BROWSE));
+        assert_eq!(services, vec![ServiceId(WEB), ServiceId(CATALOGUE), ServiceId(RATINGS)]);
+        // Parallel: both children live in one stage of the web root.
+        let root = &t.apis[API_BROWSE as usize].tree;
+        assert_eq!(root.stages.len(), 1);
+        assert_eq!(root.stages[0].len(), 2);
+    }
+
+    #[test]
+    fn three_apis_cover_all_services() {
+        let t = robot_shop();
+        let mut seen: Vec<ServiceId> = Vec::new();
+        for api in 0..t.num_apis() {
+            seen.extend(t.services_in_api(ApiId(api as u16)));
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), t.num_services());
+    }
+}

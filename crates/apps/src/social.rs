@@ -1,0 +1,123 @@
+//! Social Network (DeathStarBench), paper Figure 10.
+//!
+//! The paper controls ten microservices on the post-compose path (Figure 16
+//! labels them MS1–MS10) and drives them with Vegeta post-compose requests.
+//!
+//! The modeled flow follows Figure 10: NGINX receives the request and hands
+//! it to compose-post, which fans out in parallel to unique-id, media, user
+//! and text (text in turn resolves user-mentions and URLs in parallel), then
+//! writes the post to post-storage, which updates the user-timeline.
+
+use graf_sim::topology::{ApiSpec, AppTopology, CallNode, ServiceSpec};
+
+/// NGINX front end (MS1).
+pub const NGINX: u16 = 0;
+/// compose-post orchestration service (MS2).
+pub const COMPOSE_POST: u16 = 1;
+/// unique-id generator (MS3).
+pub const UNIQUE_ID: u16 = 2;
+/// media service (MS4).
+pub const MEDIA: u16 = 3;
+/// user service (MS5).
+pub const USER: u16 = 4;
+/// text service (MS6).
+pub const TEXT: u16 = 5;
+/// user-mention resolver (MS7).
+pub const USER_MENTION: u16 = 6;
+/// url-shorten service (MS8).
+pub const URL_SHORTEN: u16 = 7;
+/// post-storage (MS9).
+pub const POST_STORAGE: u16 = 8;
+/// user-timeline (MS10).
+pub const USER_TIMELINE: u16 = 9;
+
+/// The post-compose API index (the only API the paper drives, via Vegeta).
+pub const API_COMPOSE: u16 = 0;
+
+/// Builds the Social Network topology.
+pub fn social_network() -> AppTopology {
+    let services = vec![
+        ServiceSpec::new("nginx", 0.23, 300).cv(0.35),
+        ServiceSpec::new("compose-post", 0.60, 400).cv(0.50),
+        ServiceSpec::new("unique-id", 0.10, 150).cv(0.20),
+        ServiceSpec::new("media", 0.73, 350).cv(0.85),
+        ServiceSpec::new("user", 0.30, 250).cv(0.45),
+        ServiceSpec::new("text", 0.50, 300).cv(0.50),
+        ServiceSpec::new("user-mention", 0.27, 250).cv(0.45),
+        ServiceSpec::new("url-shorten", 0.20, 250).cv(0.30),
+        ServiceSpec::new("post-storage", 0.63, 400).cv(0.70),
+        ServiceSpec::new("user-timeline", 0.37, 300).cv(0.45),
+    ];
+
+    // compose-post: parallel fan-out, then storage, which updates the timeline.
+    let compose = CallNode::new(NGINX).call(
+        CallNode::new(COMPOSE_POST)
+            .then(vec![
+                CallNode::new(UNIQUE_ID),
+                CallNode::new(MEDIA),
+                CallNode::new(USER),
+                CallNode::new(TEXT).then(vec![
+                    CallNode::new(USER_MENTION),
+                    CallNode::new(URL_SHORTEN),
+                ]),
+            ])
+            .call(CallNode::new(POST_STORAGE).call(CallNode::new(USER_TIMELINE))),
+    );
+
+    AppTopology::new(
+        "social-network",
+        services,
+        vec![ApiSpec::new("post-compose", compose)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graf_sim::topology::{ApiId, ServiceId};
+
+    #[test]
+    fn has_ten_controlled_services() {
+        let t = social_network();
+        assert_eq!(t.num_services(), 10);
+        assert_eq!(t.num_apis(), 1);
+    }
+
+    #[test]
+    fn compose_touches_every_service() {
+        let t = social_network();
+        let services = t.services_in_api(ApiId(API_COMPOSE));
+        assert_eq!(services.len(), 10, "all ten services on the compose path");
+    }
+
+    #[test]
+    fn figure10_edges_present() {
+        let t = social_network();
+        let edges = t.edges();
+        for (p, c) in [
+            (NGINX, COMPOSE_POST),
+            (COMPOSE_POST, UNIQUE_ID),
+            (COMPOSE_POST, MEDIA),
+            (COMPOSE_POST, USER),
+            (COMPOSE_POST, TEXT),
+            (TEXT, USER_MENTION),
+            (TEXT, URL_SHORTEN),
+            (COMPOSE_POST, POST_STORAGE),
+            (POST_STORAGE, USER_TIMELINE),
+        ] {
+            assert!(
+                edges.contains(&(ServiceId(p), ServiceId(c))),
+                "missing edge {p}->{c}"
+            );
+        }
+        assert_eq!(edges.len(), 9);
+    }
+
+    #[test]
+    fn every_service_called_once_per_post() {
+        let t = social_network();
+        for s in 0..10 {
+            assert_eq!(t.multiplicity(ApiId(API_COMPOSE), ServiceId(s)), 1.0);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion bench: discrete-event simulator throughput — how much simulated
+//! traffic the substrate pushes per wall-second. This bounds how fast the
+//! sample collector (§3.7) can gather training data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graf_apps::online_boutique;
+use graf_sim::time::SimTime;
+use graf_sim::topology::{ApiId, ServiceId};
+use graf_sim::world::{SimConfig, World};
+
+/// Simulates 10 s of Online Boutique at the standard mix.
+fn simulate_10s(seed: u64, trace: bool) -> u64 {
+    let topo = online_boutique();
+    let cfg = SimConfig {
+        trace_sample: if trace { 1.0 } else { 0.0 },
+        ..SimConfig::default()
+    };
+    let mut w = World::new(topo, cfg, seed);
+    for s in 0..6u16 {
+        w.add_instances(ServiceId(s), 4, 250.0, SimTime::ZERO);
+    }
+    let mut rng = graf_sim::rng::DetRng::new(seed ^ 0x51);
+    for (api, rate) in [(0u16, 180.0f64), (1, 180.0), (2, 240.0)] {
+        let mut t = 0.0;
+        loop {
+            t += rng.exp(1e6 / rate);
+            if t >= 10e6 {
+                break;
+            }
+            w.inject(ApiId(api), SimTime(t as u64));
+        }
+    }
+    w.run_until(SimTime::from_secs(10.0));
+    w.stats().completed
+}
+
+fn bench_sim(c: &mut Criterion) {
+    c.bench_function("boutique_10s_600qps_no_tracing", |b| {
+        b.iter(|| simulate_10s(9, false))
+    });
+    c.bench_function("boutique_10s_600qps_full_tracing", |b| {
+        b.iter(|| simulate_10s(9, true))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion bench: configuration-solver latency (§3.8 claims 3.4–6.8 s on
+//! the paper's Python/GPU stack; this measures our per-solve cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graf_core::features::FeatureScaler;
+use graf_core::latency_model::{LatencyModel, NetKind, TrainConfig};
+use graf_core::sample_collector::{Bounds, Sample};
+use graf_core::solver::{solve, SolverConfig};
+use graf_sim::rng::DetRng;
+
+/// Trains a 6-service chain model on a synthetic convex surface (no
+/// simulation in the hot loop — this isolates the solver).
+fn trained_model() -> (LatencyModel, Bounds, Vec<f64>) {
+    let works = [0.5, 0.2, 0.4, 0.3, 1.0, 0.8];
+    let n = works.len();
+    let mut rng = DetRng::new(42);
+    let mut samples = Vec::new();
+    for _ in 0..800 {
+        let w = rng.uniform(50.0, 250.0);
+        let quotas: Vec<f64> =
+            works.iter().map(|wk| rng.uniform(100.0 + wk * 260.0, 2000.0)).collect();
+        let mut p99 = 4.0;
+        for i in 0..n {
+            let head = (quotas[i] - w * works[i]).max(10.0);
+            p99 += 600.0 * works[i] / head + works[i];
+        }
+        samples.push(Sample {
+            api_rates: vec![w],
+            workloads: vec![w; n],
+            quotas_mc: quotas,
+            p99_ms: p99,
+        });
+    }
+    let scaler = FeatureScaler::fit(
+        samples.iter().map(|s| (s.workloads.as_slice(), s.quotas_mc.as_slice())),
+    );
+    let ds = LatencyModel::dataset_from_samples(&scaler, &samples);
+    let split = ds.split(0.8, 0.1, 1);
+    let edges: Vec<(u16, u16)> = (0..n as u16 - 1).map(|i| (i, i + 1)).collect();
+    let mut model =
+        LatencyModel::new(NetKind::Gnn, &edges, n, scaler, split.train.label_mean(), 3);
+    model.train(&split, &TrainConfig { epochs: 30, evals: 5, ..Default::default() });
+    let bounds = Bounds {
+        lower: works.iter().map(|w| 100.0 + w * 260.0).collect(),
+        upper: vec![2000.0; n],
+    };
+    (model, bounds, vec![150.0; n])
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let (mut model, bounds, workloads) = trained_model();
+    let cfg = SolverConfig::default();
+    c.bench_function("solve_6_services", |b| {
+        b.iter(|| solve(&mut model, &workloads, 40.0, &bounds, &cfg))
+    });
+    c.bench_function("predict_6_services", |b| {
+        b.iter(|| model.predict_ms(&workloads, &bounds.upper))
+    });
+    c.bench_function("grad_quota_6_services", |b| {
+        b.iter(|| model.grad_quota(&workloads, &bounds.upper))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_solver
+}
+criterion_main!(benches);

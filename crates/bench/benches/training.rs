@@ -1,0 +1,54 @@
+//! Criterion bench: latency-prediction-model training throughput — one
+//! Adam step on a 256-sample batch (Table 1's batch size), GNN vs the
+//! no-MPNN ablation, at Online Boutique (6 nodes) and Social Network
+//! (10 nodes) sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graf_gnn::{FlatMlp, GnnConfig, GraphSpec, LatencyNet, MicroserviceGnn};
+use graf_nn::{Adam, AsymmetricHuber, Matrix};
+use graf_sim::rng::DetRng;
+
+fn batch(n_nodes: usize, batch: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = DetRng::new(seed);
+    let x = Matrix::from_fn(batch, n_nodes * 2, |_, _| rng.unit());
+    let y = (0..batch).map(|_| rng.uniform(0.2, 3.0)).collect();
+    (x, y)
+}
+
+fn chain_edges(n: usize) -> Vec<(u16, u16)> {
+    (0..n as u16 - 1).map(|i| (i, i + 1)).collect()
+}
+
+fn bench_training(c: &mut Criterion) {
+    let loss = AsymmetricHuber::default();
+    for &n in &[6usize, 10] {
+        let (x, y) = batch(n, 256, 7);
+        let mut rng = DetRng::new(1);
+        let mut gnn = MicroserviceGnn::new(
+            GraphSpec::from_edges(n, &chain_edges(n)),
+            GnnConfig::default(),
+            &mut rng,
+        );
+        let mut opt = Adam::new(1e-3);
+        let mut drop_rng = DetRng::new(2);
+        c.bench_function(&format!("gnn_train_step_{n}_nodes_b256"), |b| {
+            b.iter(|| gnn.train_step(&x, &y, &loss, &mut opt, &mut drop_rng))
+        });
+        c.bench_function(&format!("gnn_predict_{n}_nodes_b256"), |b| {
+            b.iter(|| gnn.predict(&x))
+        });
+
+        let mut flat = FlatMlp::new(n, 2, 120, 0.25, &mut rng);
+        let mut opt2 = Adam::new(1e-3);
+        c.bench_function(&format!("flat_train_step_{n}_nodes_b256"), |b| {
+            b.iter(|| flat.train_step(&x, &y, &loss, &mut opt2, &mut drop_rng))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_training
+}
+criterion_main!(benches);

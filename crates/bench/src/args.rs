@@ -1,0 +1,109 @@
+//! Minimal shared CLI parsing for the experiment binaries.
+
+/// Common experiment flags.
+///
+/// * `--seed <u64>` — base RNG seed (default 7).
+/// * `--paper-scale` — raise sample counts/epochs toward the published
+///   configuration (slower, closer to the paper's statistical power).
+/// * `--samples <n>` — override the training-sample count.
+/// * `--quick` — shrink everything for a fast smoke run.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Use paper-scale sample counts and epochs.
+    pub paper_scale: bool,
+    /// Optional explicit sample-count override.
+    pub samples: Option<usize>,
+    /// Fast smoke-run mode.
+    pub quick: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self { seed: 7, paper_scale: false, samples: None, quick: false }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses the given argument strings.
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--seed" => {
+                    out.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs a u64 value");
+                }
+                "--paper-scale" => out.paper_scale = true,
+                "--quick" => out.quick = true,
+                "--samples" => {
+                    out.samples = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--samples needs a usize value"),
+                    );
+                }
+                other => panic!("unknown flag {other}; see crate docs"),
+            }
+        }
+        out
+    }
+
+    /// Picks a value by scale: `quick` < default < `paper`.
+    pub fn scaled(&self, quick: usize, normal: usize, paper: usize) -> usize {
+        if self.quick {
+            quick
+        } else if self.paper_scale {
+            paper
+        } else {
+            normal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::from_args(s.iter().map(|v| v.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.seed, 7);
+        assert!(!a.paper_scale && !a.quick);
+        assert_eq!(a.samples, None);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse(&["--seed", "99", "--paper-scale", "--samples", "1234"]);
+        assert_eq!(a.seed, 99);
+        assert!(a.paper_scale);
+        assert_eq!(a.samples, Some(1234));
+    }
+
+    #[test]
+    fn scaled_picks_by_mode() {
+        assert_eq!(parse(&["--quick"]).scaled(1, 2, 3), 1);
+        assert_eq!(parse(&[]).scaled(1, 2, 3), 2);
+        assert_eq!(parse(&["--paper-scale"]).scaled(1, 2, 3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse(&["--frobnicate"]);
+    }
+}

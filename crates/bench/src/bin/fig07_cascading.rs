@@ -1,0 +1,135 @@
+//! Figure 7: the workload each microservice perceives over time during a
+//! traffic surge — the cascading effect (§2.1).
+//!
+//! Under the HPA, the front end saturates first; deeper services only see
+//! the increased workload after earlier services scale out, so their
+//! perceived-peak times are staggered down the chain ("While 'Frontend'
+//! perceives its peak traffic at 31 s, 'Cart' starts handling its peak
+//! workload at 118 s... subsequent microservices see the peak even further
+//! later at 155 s"). With proactive creation, every service reaches its peak
+//! at about the same time.
+//!
+//! ```sh
+//! cargo run --release -p graf-bench --bin fig07_cascading
+//! ```
+
+use graf_apps::{boutique, online_boutique};
+use graf_bench::timeline::{run_with_timeline, TimelinePoint};
+use graf_bench::Args;
+use graf_loadgen::OpenLoop;
+use graf_orchestrator::{
+    Autoscaler, Cluster, CreationModel, Deployment, HpaConfig, KubernetesHpa, ProactiveOnce,
+};
+use graf_sim::time::{SimDuration, SimTime};
+use graf_sim::topology::{ApiId, ServiceId};
+use graf_sim::world::{SimConfig, World};
+
+const BASE_QPS: f64 = 60.0;
+const SURGE_QPS: f64 = 300.0;
+const WARMUP_S: f64 = 360.0;
+const END_S: f64 = WARMUP_S + 300.0;
+const CPU_UNIT: f64 = 100.0;
+
+fn targets_for(rate_qps: f64) -> Vec<(ServiceId, usize)> {
+    let topo = online_boutique();
+    let api = ApiId(boutique::API_CART);
+    (0..topo.num_services() as u16)
+        .map(|s| {
+            let mult = topo.multiplicity(api, ServiceId(s));
+            let offered = rate_qps * mult * topo.services[s as usize].work_ms;
+            (ServiceId(s), ((offered * 1.8 + 60.0) / CPU_UNIT).ceil().max(1.0) as usize)
+        })
+        .collect()
+}
+
+fn run(scaler: &mut dyn Autoscaler, seed: u64) -> Vec<TimelinePoint> {
+    let topo = online_boutique();
+    let world = World::new(topo, SimConfig::default(), seed);
+    let deployments = targets_for(BASE_QPS)
+        .into_iter()
+        .map(|(s, n)| Deployment::new(s, CPU_UNIT, n))
+        .collect();
+    let mut cluster = Cluster::new(world, deployments, CreationModel::default());
+    let mut load = OpenLoop::new(seed ^ 0x7).poisson().schedule(
+        ApiId(boutique::API_CART),
+        vec![(SimTime::ZERO, BASE_QPS), (SimTime::from_secs(WARMUP_S), SURGE_QPS)],
+    );
+    let (tl, _) = run_with_timeline(
+        &mut cluster,
+        &mut load,
+        scaler,
+        SimTime::from_secs(END_S),
+        SimDuration::from_secs(5.0),
+    );
+    tl
+}
+
+/// First time (relative to the surge) a service's perceived rate reaches 90 %
+/// of its final plateau.
+fn peak_times(tl: &[TimelinePoint], n: usize) -> Vec<f64> {
+    let last = tl.last().expect("non-empty timeline");
+    (0..n)
+        .map(|s| {
+            let plateau = last.per_service_rate[s];
+            tl.iter()
+                .find(|p| p.t_s >= WARMUP_S && p.per_service_rate[s] >= 0.9 * plateau)
+                .map_or(f64::NAN, |p| p.t_s - WARMUP_S)
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let topo = online_boutique();
+    let names: Vec<&str> = topo.services.iter().map(|s| s.name.as_str()).collect();
+    println!("# Figure 7 — perceived workload per microservice through a {BASE_QPS}→{SURGE_QPS} qps surge");
+
+    let mut hpa = KubernetesHpa::new(HpaConfig::with_threshold(0.5), 6);
+    let hpa_tl = run(&mut hpa, args.seed);
+    let mut pro = ProactiveOnce::new(SimTime::from_secs(WARMUP_S), targets_for(SURGE_QPS));
+    let pro_tl = run(&mut pro, args.seed);
+
+    println!("\n## Time (s after surge) for each service to perceive 90% of its peak workload");
+    println!("{:<16} {:>14} {:>14}", "service", "k8s-autoscaler", "proactive");
+    let hpa_peaks = peak_times(&hpa_tl, 6);
+    let pro_peaks = peak_times(&pro_tl, 6);
+    for (i, name) in names.iter().enumerate() {
+        println!("{:<16} {:>14.0} {:>14.0}", name, hpa_peaks[i], pro_peaks[i]);
+    }
+    let spread = |v: &[f64]| {
+        v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
+    };
+    println!(
+        "\npeak-time spread — HPA: {:.0} s (staggered down the chain), proactive: {:.0} s",
+        spread(&hpa_peaks),
+        spread(&pro_peaks)
+    );
+
+    println!("\n## Per-service perceived workload (req/s), HPA run");
+    print!("t_s");
+    for n in &names {
+        print!(",{n}");
+    }
+    println!();
+    for p in hpa_tl.iter().filter(|p| p.t_s >= WARMUP_S - 30.0) {
+        print!("{:.0}", p.t_s - WARMUP_S);
+        for s in 0..6 {
+            print!(",{:.0}", p.per_service_rate[s]);
+        }
+        println!();
+    }
+
+    println!("\n## Per-service perceived workload (req/s), proactive run");
+    print!("t_s");
+    for n in &names {
+        print!(",{n}");
+    }
+    println!();
+    for p in pro_tl.iter().filter(|p| p.t_s >= WARMUP_S - 30.0) {
+        print!("{:.0}", p.t_s - WARMUP_S);
+        for s in 0..6 {
+            print!(",{:.0}", p.per_service_rate[s]);
+        }
+        println!();
+    }
+}

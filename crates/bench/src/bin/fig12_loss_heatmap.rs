@@ -1,0 +1,62 @@
+//! Figure 12: heat-map of the configuration solver's loss over two services'
+//! quotas (§5.2, *Configuration solver*).
+//!
+//! The loss surface `Σr + ρ·max(0, L̂ − SLO)` restricted to two quota axes is
+//! empirically convex-ish: a violation wall at low quotas (the penalty) and a
+//! gentle resource slope at high quotas, so gradient descent finds the global
+//! optimum along the wall. Rows/columns sweep the two heaviest Online
+//! Boutique services; other services stay at GRAF's solved configuration.
+//!
+//! ```sh
+//! cargo run --release -p graf-bench --bin fig12_loss_heatmap
+//! ```
+
+use graf_apps::boutique;
+use graf_bench::standard::{boutique_setup, build_graf};
+use graf_bench::Args;
+use graf_core::solver::loss_at;
+
+fn main() {
+    let args = Args::parse();
+    let setup = boutique_setup();
+    println!("# Figure 12 — solver loss over (recommendation, shipping) quotas");
+    println!("training GRAF...");
+    let graf = build_graf(&setup, &args);
+    let mut ctrl = graf.controller(setup.slo_ms);
+    let (solved, res) = ctrl.plan(&setup.probe_qps);
+    println!(
+        "solved configuration: {:?} (predicted {:.1} ms)",
+        solved.iter().map(|v| v.round()).collect::<Vec<_>>(),
+        res.predicted_ms
+    );
+
+    let workloads = graf.analyzer.service_workloads(&setup.probe_qps);
+    let (a, b) = (boutique::RECOMMENDATION as usize, boutique::SHIPPING as usize);
+    let steps = 12;
+    let range = |i: usize, lo: f64, hi: f64| lo + (hi - lo) * i as f64 / (steps - 1) as f64;
+    let (alo, ahi) = (graf.bounds.lower[a], graf.bounds.upper[a]);
+    let (blo, bhi) = (graf.bounds.lower[b], graf.bounds.upper[b]);
+
+    // Header: shipping quota columns.
+    print!("rec\\ship");
+    for j in 0..steps {
+        print!(",{:.0}", range(j, blo, bhi));
+    }
+    println!();
+    let mut model = graf.model.clone();
+    let _ = &mut model;
+    for i in 0..steps {
+        let qa = range(i, alo, ahi);
+        print!("{qa:.0}");
+        for j in 0..steps {
+            let qb = range(j, blo, bhi);
+            let mut quotas = solved.clone();
+            quotas[a] = qa;
+            quotas[b] = qb;
+            let loss = loss_at(&graf.model, &workloads, &quotas, setup.slo_ms, 40.0);
+            print!(",{loss:.2}");
+        }
+        println!();
+    }
+    println!("\n(low-quota corner: SLO-violation penalty wall; high-quota corner: resource cost)");
+}

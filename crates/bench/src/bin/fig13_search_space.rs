@@ -1,0 +1,43 @@
+//! Figure 13 and the §5.1 search-space statistic: Algorithm 1's reduced
+//! per-microservice quota ranges versus the original search space.
+//!
+//! The paper reports the Online Boutique exploration shrinking to 0.00027×
+//! the original volume.
+//!
+//! ```sh
+//! cargo run --release -p graf-bench --bin fig13_search_space
+//! ```
+
+use graf_bench::standard::{boutique_setup, sampling_config, social_setup, AppSetup};
+use graf_bench::Args;
+use graf_core::sample_collector::SampleCollector;
+
+fn evaluate(setup: &AppSetup, args: &Args) {
+    println!("\n## {}", setup.topo.name);
+    let cfg = sampling_config(setup, args);
+    let (min_q, max_q) = (cfg.min_quota_mc, cfg.abundant_quota_mc);
+    let collector = SampleCollector::new(setup.topo.clone(), cfg);
+    let bounds = collector.reduce_search_space();
+    println!("{:<20} {:>10} {:>10} {:>22}", "service", "lower_mc", "upper_mc", "original range (mc)");
+    for (i, svc) in setup.topo.services.iter().enumerate() {
+        println!(
+            "{:<20} {:>10.0} {:>10.0} {:>14.0}..{:.0}",
+            format!("MS{} {}", i + 1, svc.name),
+            bounds.lower[i],
+            bounds.upper[i],
+            min_q,
+            max_q
+        );
+    }
+    println!(
+        "search-space volume: {:.2e}× the original (paper, Online Boutique: 2.7e-4×)",
+        bounds.volume_reduction(min_q, max_q)
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    println!("# Figure 13 — Algorithm-1 reduced search space");
+    evaluate(&boutique_setup(), &args);
+    evaluate(&social_setup(), &args);
+}

@@ -1,0 +1,60 @@
+//! §3.8 / §5.2 timing claims: the configuration solver's wall-clock latency
+//! and iteration counts.
+//!
+//! The paper measures 3.4–6.8 s per solve (p90 ≈ 6.7 s to tolerance) on its
+//! testbed — fast enough for synchronous control at a 15 s interval. This
+//! reproduction's model is the same size but runs without Python overhead,
+//! so solves complete in microseconds–milliseconds; the claim under test is
+//! that the solve fits comfortably inside the control interval.
+//!
+//! ```sh
+//! cargo run --release -p graf-bench --bin solver_latency
+//! ```
+
+use std::time::Instant;
+
+use graf_bench::standard::{boutique_setup, build_graf};
+use graf_bench::Args;
+use graf_metrics::Summary;
+use graf_sim::rng::DetRng;
+
+fn main() {
+    let args = Args::parse();
+    let setup = boutique_setup();
+    println!("# Solver latency (§3.8: 3.4–6.8 s on the paper's testbed)");
+    println!("training GRAF...");
+    let graf = build_graf(&setup, &args);
+    let mut ctrl = graf.controller(setup.slo_ms);
+
+    let mut wall = Summary::new();
+    let mut iters = Summary::new();
+    let mut rng = DetRng::new(args.seed ^ 0x50);
+    let solves = 200;
+    for _ in 0..solves {
+        let mult = rng.uniform(0.3, 1.5);
+        let rates: Vec<f64> = setup.probe_qps.iter().map(|q| q * mult).collect();
+        let t0 = Instant::now();
+        let (_, res) = ctrl.plan(&rates);
+        wall.record(t0.elapsed().as_secs_f64() * 1000.0);
+        iters.record(res.iterations as f64);
+    }
+    println!("\n{solves} solves across workloads 0.3–1.5× the operating point:");
+    println!(
+        "wall time  — p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+        wall.percentile(0.50).unwrap(),
+        wall.percentile(0.90).unwrap(),
+        wall.percentile(0.99).unwrap(),
+        wall.max().unwrap()
+    );
+    println!(
+        "iterations — p50 {:.0}, p90 {:.0}, max {:.0}",
+        iters.percentile(0.50).unwrap(),
+        iters.percentile(0.90).unwrap(),
+        iters.max().unwrap()
+    );
+    let interval_ms = 15_000.0;
+    println!(
+        "\nworst solve uses {:.4}% of the 15 s control interval (paper: ~45%)",
+        100.0 * wall.max().unwrap() / interval_ms
+    );
+}

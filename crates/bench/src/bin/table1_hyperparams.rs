@@ -1,0 +1,34 @@
+//! Table 1: latency-prediction-model training hyper-parameters.
+//!
+//! Prints both the paper's published values and this reproduction's
+//! CPU-scale defaults (`--paper-scale` restores the published iteration
+//! budget in the other binaries).
+//!
+//! ```sh
+//! cargo run --release -p graf-bench --bin table1_hyperparams
+//! ```
+
+use graf_core::TrainConfig;
+use graf_gnn::GnnConfig;
+
+fn main() {
+    let paper = TrainConfig::paper();
+    let ours = TrainConfig::default();
+    let arch = GnnConfig::default();
+
+    println!("# Table 1 — Latency Prediction Model training parameters");
+    println!("{:<28} {:>14} {:>18}", "parameter", "paper", "repro default");
+    println!("{:<28} {:>14} {:>18}", "optimizer iterations", "7e4", "epochs-based");
+    println!("{:<28} {:>14} {:>18}", "epochs", paper.epochs, ours.epochs);
+    println!("{:<28} {:>14} {:>18}", "batch size", 256, ours.batch_size);
+    println!("{:<28} {:>14} {:>18}", "learning rate", "2e-4", format!("{:.0e}", ours.lr));
+    println!("{:<28} {:>14} {:>18}", "dropout", 0.25, arch.dropout);
+    println!("{:<28} {:>14} {:>18}", "asym. hüber θ_L", 0.1, ours.theta_l);
+    println!("{:<28} {:>14} {:>18}", "asym. hüber θ_R", 0.3, ours.theta_r);
+    println!();
+    println!("# Architecture (§4)");
+    println!("MPNN φ/γ: 2 hidden layers × {} units, ReLU", arch.hidden);
+    println!("message dim {}, embedding dim {}", arch.msg_dim, arch.embed_dim);
+    println!("readout: 2 hidden layers × {} units, ReLU, dropout on all but last", arch.readout_hidden);
+    println!("node features: (workload, CPU quota) = {} per node", arch.feature_dim);
+}

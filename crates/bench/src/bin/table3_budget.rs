@@ -1,0 +1,22 @@
+//! Table 3: expected AWS budget for sample collection and model training.
+//!
+//! ```sh
+//! cargo run --release -p graf-bench --bin table3_budget
+//! ```
+
+use graf_bench::pricing::{budget_table, budget_total};
+
+fn main() {
+    println!("# Table 3 — Expected budget for 50k samples + training (Online Boutique)");
+    println!("{:<16} {:<18} {:>9} {:>10}", "Module", "AWS EC2 Instance", "Time (h)", "Budget ($)");
+    let rows = budget_table(50_000, 15.0, 16.0);
+    for r in &rows {
+        println!("{:<16} {:<18} {:>9.1} {:>10.2}", r.module, r.instance, r.hours, r.dollars);
+    }
+    println!("{:<16} {:<18} {:>9} {:>10.2}", "Total", "", "", budget_total(&rows));
+    println!();
+    println!(
+        "(paper: 208.3 h / $20.83, 208.3 h / $82.92, 16 h / $8.42 — total $112.17; \
+         sample collection parallelizes at constant cost)"
+    );
+}

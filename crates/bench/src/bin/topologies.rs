@@ -1,0 +1,26 @@
+//! Figures 4, 5 and 10: the benchmark application topologies, as Graphviz
+//! DOT (pipe into `dot -Tpng` to render the paper's diagrams).
+//!
+//! ```sh
+//! cargo run --release -p graf-bench --bin topologies
+//! ```
+
+use graf_apps::all_apps;
+use graf_sim::topology::ApiId;
+
+fn main() {
+    for topo in all_apps() {
+        println!("// ===== {} =====", topo.name);
+        print!("{}", topo.to_dot());
+        for api in 0..topo.num_apis() {
+            let spec = &topo.apis[api];
+            let services: Vec<String> = topo
+                .services_in_api(ApiId(api as u16))
+                .iter()
+                .map(|s| topo.services[s.0 as usize].name.clone())
+                .collect();
+            println!("// API {:>12}: {}", spec.name, services.join(" → "));
+        }
+        println!();
+    }
+}

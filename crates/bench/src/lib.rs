@@ -1,0 +1,25 @@
+//! # graf-bench
+//!
+//! The evaluation harness: one binary per table/figure of the paper (see
+//! DESIGN.md's experiment index) plus Criterion benches for the timing
+//! claims. This library holds the shared pieces:
+//!
+//! * [`args`] — a tiny flag parser (`--seed`, `--paper-scale`, …) shared by
+//!   every experiment binary,
+//! * [`pricing`] — the AWS EC2 on-demand prices of Table 3 and the
+//!   cost-benefit arithmetic of Figure 19,
+//! * [`standard`] — the standard experiment configurations: per-application
+//!   probe workloads, SLOs, CPU units and pre-built GRAF pipelines, so every
+//!   figure binary trains against the same artifacts the way the paper
+//!   trains one model per application and reuses it for every result
+//!   ("the model is trained once... used to reproduce every result").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod pricing;
+pub mod standard;
+pub mod timeline;
+
+pub use args::Args;

@@ -1,0 +1,135 @@
+//! AWS EC2 pricing (Table 3) and the Figure-19 cost-benefit arithmetic.
+//!
+//! The paper budgets GRAF's one-time cost — collecting 50 k samples at 15 s
+//! each on a c4.2xlarge cluster with a c4.large load generator, plus 16 GPU
+//! hours on g4dn.xlarge — against the ongoing savings of running fewer
+//! instances, priced at EC2 on-demand rates.
+
+/// On-demand $/hour prices used in Table 3 (us-east-1, 2021).
+pub mod rates {
+    /// c4.large (load generator).
+    pub const C4_LARGE: f64 = 0.10;
+    /// c4.2xlarge (worker node).
+    pub const C4_2XLARGE: f64 = 0.398;
+    /// g4dn.xlarge (GPU training).
+    pub const G4DN_XLARGE: f64 = 0.526;
+}
+
+/// One row of Table 3.
+#[derive(Clone, Debug)]
+pub struct BudgetRow {
+    /// Module name.
+    pub module: &'static str,
+    /// Instance type.
+    pub instance: &'static str,
+    /// Hours used.
+    pub hours: f64,
+    /// Cost in dollars.
+    pub dollars: f64,
+}
+
+/// Table 3: expected budget for collecting `samples` samples at
+/// `secs_per_sample` plus `gpu_hours` of training.
+pub fn budget_table(samples: usize, secs_per_sample: f64, gpu_hours: f64) -> Vec<BudgetRow> {
+    let collect_hours = samples as f64 * secs_per_sample / 3600.0;
+    vec![
+        BudgetRow {
+            module: "Load Generator",
+            instance: "CPU (c4.large)",
+            hours: collect_hours,
+            dollars: collect_hours * rates::C4_LARGE,
+        },
+        BudgetRow {
+            module: "Worker Node",
+            instance: "CPU (c4.2xlarge)",
+            hours: collect_hours,
+            dollars: collect_hours * rates::C4_2XLARGE,
+        },
+        BudgetRow {
+            module: "Model Training",
+            instance: "GPU (g4dn.xlarge)",
+            hours: gpu_hours,
+            dollars: gpu_hours * rates::G4DN_XLARGE,
+        },
+    ]
+}
+
+/// Total of a budget table, dollars.
+pub fn budget_total(rows: &[BudgetRow]) -> f64 {
+    rows.iter().map(|r| r.dollars).sum()
+}
+
+/// Dollar value per instance-hour saved: the paper converts saved instances
+/// to saved dollars at the worker-node rate, scaled by the fraction of a node
+/// one instance occupies (a c4.2xlarge has 8 vCPUs; instances here are
+/// sub-core containers, so we price per-vCPU).
+pub fn instance_hour_value(cpu_unit_mc: f64) -> f64 {
+    let vcpu_price = rates::C4_2XLARGE / 8.0;
+    vcpu_price * (cpu_unit_mc / 1000.0)
+}
+
+/// Figure 19: days until GRAF's one-time cost is repaid, given the mean
+/// number of instances saved at a workload level.
+///
+/// Returns `None` when nothing is saved.
+pub fn breakeven_days(one_time_cost: f64, instances_saved: f64, cpu_unit_mc: f64) -> Option<f64> {
+    if instances_saved <= 0.0 {
+        return None;
+    }
+    let per_day = instances_saved * instance_hour_value(cpu_unit_mc) * 24.0;
+    Some(one_time_cost / per_day)
+}
+
+/// Figure 19 classification: a `(update_period_days, workload)` point is
+/// profitable when the break-even happens before the next model-invalidating
+/// application update.
+pub fn is_profitable(
+    update_period_days: f64,
+    instances_saved: f64,
+    one_time_cost: f64,
+    cpu_unit_mc: f64,
+) -> bool {
+    match breakeven_days(one_time_cost, instances_saved, cpu_unit_mc) {
+        Some(days) => days <= update_period_days,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_reproduces_paper_budget() {
+        // 50 k samples × 15 s = 208.3 h; 16 GPU hours; total ≈ $112.17.
+        let rows = budget_table(50_000, 15.0, 16.0);
+        assert!((rows[0].hours - 208.33).abs() < 0.01, "{:?}", rows[0]);
+        assert!((rows[0].dollars - 20.83).abs() < 0.05);
+        assert!((rows[1].dollars - 82.92).abs() < 0.05);
+        assert!((rows[2].dollars - 8.42).abs() < 0.05);
+        let total = budget_total(&rows);
+        assert!((total - 112.17).abs() < 0.2, "total {total}");
+    }
+
+    #[test]
+    fn breakeven_scales_inversely_with_savings() {
+        let few = breakeven_days(112.0, 2.0, 500.0).unwrap();
+        let many = breakeven_days(112.0, 20.0, 500.0).unwrap();
+        assert!((few / many - 10.0).abs() < 1e-9);
+        assert_eq!(breakeven_days(112.0, 0.0, 500.0), None);
+    }
+
+    #[test]
+    fn profitability_boundary() {
+        // High workload (many saved instances) is profitable even for short
+        // update periods; low workload needs long periods — the Figure-19
+        // frontier shape.
+        assert!(is_profitable(10.0, 20.0, 112.0, 500.0));
+        assert!(!is_profitable(1.0, 0.5, 112.0, 500.0));
+        // 3 saved 500 mc instances repay $112 in ≈ 63 days at these rates.
+        let short = is_profitable(5.0, 3.0, 112.0, 500.0);
+        let long = is_profitable(90.0, 3.0, 112.0, 500.0);
+        assert!(!short || long, "longer periods cannot be less profitable");
+        assert!(long);
+    }
+}

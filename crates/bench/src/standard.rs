@@ -1,0 +1,117 @@
+//! Standard experiment setups shared by the figure binaries.
+//!
+//! The paper trains one latency prediction model per application and reuses
+//! it for every result (§5, *Sample Collection and Training*). These helpers
+//! pin the per-application probe workloads, SLOs and CPU units so all
+//! binaries evaluate against the same artifacts.
+
+use graf_apps::{online_boutique, social_network};
+use graf_core::{Graf, GrafBuildConfig, SamplingConfig, TrainConfig};
+use graf_sim::topology::AppTopology;
+
+use crate::args::Args;
+
+/// A standard per-application evaluation setup.
+#[derive(Clone, Debug)]
+pub struct AppSetup {
+    /// Application.
+    pub topo: AppTopology,
+    /// Probe workload per API, req/s (total ≈ the paper's operating point).
+    pub probe_qps: Vec<f64>,
+    /// End-to-end p99 SLO, ms.
+    pub slo_ms: f64,
+    /// Instance CPU unit, millicores.
+    pub cpu_unit_mc: f64,
+}
+
+/// Online Boutique under the three-API Locust-style mix.
+pub fn boutique_setup() -> AppSetup {
+    AppSetup {
+        topo: online_boutique(),
+        probe_qps: vec![180.0, 180.0, 240.0],
+        slo_ms: 80.0,
+        cpu_unit_mc: 100.0,
+    }
+}
+
+/// Social Network under Vegeta post-compose load.
+pub fn social_setup() -> AppSetup {
+    AppSetup {
+        topo: social_network(),
+        probe_qps: vec![600.0],
+        slo_ms: 80.0,
+        cpu_unit_mc: 100.0,
+    }
+}
+
+/// The standard sampling configuration for a setup, scaled by `args`.
+pub fn sampling_config(setup: &AppSetup, args: &Args) -> SamplingConfig {
+    SamplingConfig {
+        slo_ms: setup.slo_ms,
+        probe_qps: setup.probe_qps.clone(),
+        workload_range: (0.25, 1.6),
+        cpu_unit_mc: setup.cpu_unit_mc,
+        measure_secs: if args.quick { 4.0 } else { 10.0 },
+        warmup_secs: if args.quick { 2.0 } else { 5.0 },
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        seed: args.seed,
+        ..SamplingConfig::default()
+    }
+}
+
+/// The standard build configuration (samples + training scale) for a setup.
+pub fn build_config(setup: &AppSetup, args: &Args) -> GrafBuildConfig {
+    let num_samples = args
+        .samples
+        .unwrap_or_else(|| args.scaled(150, 1200, 8000));
+    let train = if args.paper_scale {
+        TrainConfig { seed: args.seed, ..TrainConfig::paper() }
+    } else {
+        TrainConfig {
+            epochs: args.scaled(15, 60, 450),
+            seed: args.seed,
+            ..TrainConfig::default()
+        }
+    };
+    GrafBuildConfig {
+        sampling: sampling_config(setup, args),
+        train,
+        num_samples,
+        split_seed: args.seed ^ 0x5EED,
+        ..Default::default()
+    }
+}
+
+/// Builds the standard GRAF pipeline for a setup.
+pub fn build_graf(setup: &AppSetup, args: &Args) -> Graf {
+    Graf::build(setup.topo.clone(), build_config(setup, args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setups_are_consistent() {
+        let b = boutique_setup();
+        assert_eq!(b.probe_qps.len(), b.topo.num_apis());
+        let s = social_setup();
+        assert_eq!(s.probe_qps.len(), s.topo.num_apis());
+    }
+
+    #[test]
+    fn build_config_scales_with_args() {
+        let setup = boutique_setup();
+        let quick = build_config(&setup, &Args { quick: true, ..Default::default() });
+        let normal = build_config(&setup, &Args::default());
+        let paper = build_config(&setup, &Args { paper_scale: true, ..Default::default() });
+        assert!(quick.num_samples < normal.num_samples);
+        assert!(normal.num_samples < paper.num_samples);
+        assert!(quick.train.epochs < paper.train.epochs);
+        let explicit = build_config(
+            &setup,
+            &Args { samples: Some(42), ..Default::default() },
+        );
+        assert_eq!(explicit.num_samples, 42);
+    }
+}

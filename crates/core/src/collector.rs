@@ -1,0 +1,115 @@
+//! The state and trace collector (§3.2).
+//!
+//! Thin observation layer over the simulated cluster: it snapshots exactly
+//! the signals the paper's collectors export — front-end workload per API
+//! (Prometheus/Linkerd), per-service CPU usage and utilization (cAdvisor),
+//! per-service and end-to-end latency percentiles, and assembles finished
+//! Jaeger traces into a [`WorkloadAnalyzer`].
+
+use graf_sim::time::SimDuration;
+use graf_sim::topology::{ApiId, ServiceId};
+use graf_sim::world::World;
+
+use crate::analyzer::WorkloadAnalyzer;
+
+/// One observation of the cluster at a control instant.
+#[derive(Clone, Debug)]
+pub struct StateSnapshot {
+    /// Front-end request rate per API (req/s) over the observation window.
+    pub api_rates: Vec<f64>,
+    /// CPU utilization per service (None before any capacity existed).
+    pub utilization: Vec<Option<f64>>,
+    /// Mean used millicores per service.
+    pub used_mc: Vec<f64>,
+    /// Ready quota per service, millicores.
+    pub ready_quota_mc: Vec<f64>,
+    /// p99 latency per service over the window, milliseconds.
+    pub service_p99_ms: Vec<Option<f64>>,
+    /// End-to-end p99 over the window, milliseconds.
+    pub e2e_p99_ms: Option<f64>,
+}
+
+/// Takes a snapshot over the trailing `window`.
+pub fn snapshot(world: &World, window: SimDuration) -> StateSnapshot {
+    let k = (window.as_micros() / world.config().window_us).max(1) as usize;
+    let n = world.topology().num_services();
+    let napis = world.topology().num_apis();
+    StateSnapshot {
+        api_rates: (0..napis)
+            .map(|a| world.api_arrival_rate(ApiId(a as u16), k))
+            .collect(),
+        utilization: (0..n)
+            .map(|s| world.service_utilization(ServiceId(s as u16), window))
+            .collect(),
+        used_mc: (0..n)
+            .map(|s| world.service_used_mc(ServiceId(s as u16), window))
+            .collect(),
+        ready_quota_mc: (0..n).map(|s| world.ready_quota_mc(ServiceId(s as u16))).collect(),
+        service_p99_ms: (0..n)
+            .map(|s| {
+                world
+                    .service_percentile(ServiceId(s as u16), k, 0.99)
+                    .map(|d| d.as_millis_f64())
+            })
+            .collect(),
+        e2e_p99_ms: world.e2e_percentile(k, 0.99).map(|d| d.as_millis_f64()),
+    }
+}
+
+/// Drains finished traces from the world and fits a [`WorkloadAnalyzer`] on
+/// them at the given multiplicity percentile (the paper uses 0.9).
+pub fn drain_analyzer(world: &mut World, percentile: f64) -> WorkloadAnalyzer {
+    let traces = world.traces_mut().drain_finished();
+    let num_apis = world.topology().num_apis();
+    let num_services = world.topology().num_services();
+    WorkloadAnalyzer::from_traces(&traces, num_apis, num_services, percentile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graf_sim::time::SimTime;
+    use graf_sim::topology::{ApiSpec, AppTopology, CallNode, ServiceSpec};
+    use graf_sim::world::SimConfig;
+
+    fn world_with_load() -> World {
+        let topo = AppTopology::new(
+            "t",
+            vec![ServiceSpec::new("a", 1.0, 100).cv(0.0), ServiceSpec::new("b", 2.0, 100).cv(0.0)],
+            vec![ApiSpec::new("get", CallNode::new(0).call(CallNode::new(1)))],
+        );
+        let mut w = World::new(topo, SimConfig::default(), 42);
+        w.add_instances(ServiceId(0), 1, 1000.0, SimTime::ZERO);
+        w.add_instances(ServiceId(1), 1, 1000.0, SimTime::ZERO);
+        for i in 0..500u64 {
+            w.inject(ApiId(0), SimTime(i * 20_000)); // 50 qps for 10 s
+        }
+        w.run_until(SimTime::from_secs(10.0));
+        w
+    }
+
+    #[test]
+    fn snapshot_reports_all_signals() {
+        let w = world_with_load();
+        let s = snapshot(&w, SimDuration::from_secs(5.0));
+        assert!((s.api_rates[0] - 50.0).abs() < 5.0, "api rate {:?}", s.api_rates);
+        assert_eq!(s.ready_quota_mc, vec![1000.0, 1000.0]);
+        assert!(s.utilization[0].unwrap() > 0.0);
+        assert!(s.used_mc[1] > s.used_mc[0], "b does more work than a");
+        assert!(s.e2e_p99_ms.unwrap() > 3.0, "two hops ≥ 3 ms");
+        assert!(s.service_p99_ms[1].unwrap() > 2.0);
+    }
+
+    #[test]
+    fn analyzer_fits_from_world_traces() {
+        let mut w = world_with_load();
+        let a = drain_analyzer(&mut w, 0.9);
+        assert!(a.traces_seen() >= 490);
+        assert_eq!(a.edges(), &[(0, 1)]);
+        let l = a.service_workloads(&[100.0]);
+        assert_eq!(l, vec![100.0, 100.0]);
+        // Traces were drained: a second analyzer sees nothing.
+        let b = drain_analyzer(&mut w, 0.9);
+        assert_eq!(b.traces_seen(), 0);
+    }
+}

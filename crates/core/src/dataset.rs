@@ -1,0 +1,212 @@
+//! Training data handling: deterministic splits and mini-batching.
+//!
+//! "Our collected samples are separated into the training, validation, and
+//! test sets" (§5.1); the validation set selects the best checkpoint (§3.4).
+
+use graf_nn::Matrix;
+use graf_sim::rng::DetRng;
+
+/// A supervised dataset: feature rows and scalar labels.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+}
+
+/// Train/validation/test split of a [`Dataset`].
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// Training partition.
+    pub train: Dataset,
+    /// Validation partition (checkpoint selection).
+    pub val: Dataset,
+    /// Held-out test partition (Table 2's accuracy numbers).
+    pub test: Dataset,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one `(features, label)` sample.
+    ///
+    /// # Panics
+    /// Panics if the feature width differs from previous samples.
+    pub fn push(&mut self, x: Vec<f64>, y: f64) {
+        if let Some(first) = self.xs.first() {
+            assert_eq!(first.len(), x.len(), "inconsistent feature width");
+        }
+        assert!(y.is_finite(), "labels must be finite");
+        self.xs.push(x);
+        self.ys.push(y);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ys.is_empty()
+    }
+
+    /// Feature width (0 when empty).
+    pub fn width(&self) -> usize {
+        self.xs.first().map_or(0, Vec::len)
+    }
+
+    /// Labels.
+    pub fn labels(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Feature rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.xs
+    }
+
+    /// The whole dataset as one matrix + label vector.
+    pub fn as_matrix(&self) -> (Matrix, Vec<f64>) {
+        let w = self.width();
+        let m = Matrix::from_fn(self.len(), w, |r, c| self.xs[r][c]);
+        (m, self.ys.clone())
+    }
+
+    /// Mean label.
+    pub fn label_mean(&self) -> f64 {
+        if self.ys.is_empty() {
+            0.0
+        } else {
+            self.ys.iter().sum::<f64>() / self.ys.len() as f64
+        }
+    }
+
+    /// Splits deterministically (seeded shuffle) into train/val/test with the
+    /// given fractions (test gets the remainder).
+    ///
+    /// # Panics
+    /// Panics unless `0 < train_frac`, `0 <= val_frac` and
+    /// `train_frac + val_frac < 1`.
+    pub fn split(&self, train_frac: f64, val_frac: f64, seed: u64) -> Split {
+        assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0);
+        let n = self.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = DetRng::new(seed);
+        // Fisher–Yates.
+        for i in (1..n).rev() {
+            let j = rng.uniform_u64(0, i as u64) as usize;
+            idx.swap(i, j);
+        }
+        let n_train = ((n as f64) * train_frac).round() as usize;
+        let n_val = ((n as f64) * val_frac).round() as usize;
+        let take = |range: &[usize]| {
+            let mut d = Dataset::new();
+            for &i in range {
+                d.push(self.xs[i].clone(), self.ys[i]);
+            }
+            d
+        };
+        Split {
+            train: take(&idx[..n_train.min(n)]),
+            val: take(&idx[n_train.min(n)..(n_train + n_val).min(n)]),
+            test: take(&idx[(n_train + n_val).min(n)..]),
+        }
+    }
+
+    /// Yields shuffled mini-batches of up to `batch` rows as matrices.
+    pub fn batches(&self, batch: usize, rng: &mut DetRng) -> Vec<(Matrix, Vec<f64>)> {
+        assert!(batch > 0);
+        let n = self.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.uniform_u64(0, i as u64) as usize;
+            idx.swap(i, j);
+        }
+        let w = self.width();
+        idx.chunks(batch)
+            .map(|chunk| {
+                let m = Matrix::from_fn(chunk.len(), w, |r, c| self.xs[chunk[r]][c]);
+                let y = chunk.iter().map(|&i| self.ys[i]).collect();
+                (m, y)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize) -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..n {
+            d.push(vec![i as f64, 2.0 * i as f64], i as f64);
+        }
+        d
+    }
+
+    #[test]
+    fn split_fractions_and_disjointness() {
+        let d = dataset(100);
+        let s = d.split(0.7, 0.15, 1);
+        assert_eq!(s.train.len(), 70);
+        assert_eq!(s.val.len(), 15);
+        assert_eq!(s.test.len(), 15);
+        // Labels are unique here, so disjointness = label sets disjoint.
+        let mut all: Vec<i64> = s
+            .train
+            .labels()
+            .iter()
+            .chain(s.val.labels())
+            .chain(s.test.labels())
+            .map(|&y| y as i64)
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100, "partitions cover all samples exactly once");
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = dataset(50);
+        let a = d.split(0.6, 0.2, 7);
+        let b = d.split(0.6, 0.2, 7);
+        assert_eq!(a.train.labels(), b.train.labels());
+        let c = d.split(0.6, 0.2, 8);
+        assert_ne!(a.train.labels(), c.train.labels(), "seed changes the shuffle");
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let d = dataset(23);
+        let mut rng = DetRng::new(3);
+        let batches = d.batches(8, &mut rng);
+        assert_eq!(batches.len(), 3);
+        let total: usize = batches.iter().map(|(_, y)| y.len()).sum();
+        assert_eq!(total, 23);
+        let mut seen: Vec<i64> =
+            batches.iter().flat_map(|(_, y)| y.iter().map(|&v| v as i64)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn as_matrix_matches_rows() {
+        let d = dataset(3);
+        let (m, y) = d.as_matrix();
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        assert_eq!(m.get(2, 1), 4.0);
+        assert_eq!(y, vec![0.0, 1.0, 2.0]);
+        assert_eq!(d.label_mean(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature width")]
+    fn width_is_enforced() {
+        let mut d = dataset(2);
+        d.push(vec![1.0], 0.0);
+    }
+}

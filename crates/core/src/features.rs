@@ -1,0 +1,94 @@
+//! Feature scaling for the latency prediction model.
+//!
+//! Node features are `(workload l_i, quota r_i)` (§3.3). Raw units (qps,
+//! millicores) differ by orders of magnitude, so both are divided by
+//! dataset-derived constants before entering the network. The same scaler is
+//! used at training and control time; the resource controller additionally
+//! scales whole workloads into the trained region (§3.6), which composes with
+//! this per-feature normalization.
+
+/// Divides workloads and quotas by fixed constants fitted on training data.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FeatureScaler {
+    /// Workload divisor (≈ max per-service workload seen in training).
+    pub workload_div: f64,
+    /// Quota divisor (≈ max per-service quota seen in training).
+    pub quota_div: f64,
+}
+
+impl FeatureScaler {
+    /// Fits divisors from per-sample `(workloads, quotas)` rows.
+    pub fn fit<'a>(rows: impl IntoIterator<Item = (&'a [f64], &'a [f64])>) -> Self {
+        let mut wmax = 0.0f64;
+        let mut qmax = 0.0f64;
+        for (w, q) in rows {
+            for &v in w {
+                wmax = wmax.max(v);
+            }
+            for &v in q {
+                qmax = qmax.max(v);
+            }
+        }
+        Self { workload_div: wmax.max(1e-9), quota_div: qmax.max(1e-9) }
+    }
+
+    /// Builds the network input row `[l₀', r₀', l₁', r₁', …]`.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn features(&self, workloads: &[f64], quotas: &[f64]) -> Vec<f64> {
+        assert_eq!(workloads.len(), quotas.len(), "one workload and quota per service");
+        let mut out = Vec::with_capacity(workloads.len() * 2);
+        for (&l, &r) in workloads.iter().zip(quotas) {
+            out.push(l / self.workload_div);
+            out.push(r / self.quota_div);
+        }
+        out
+    }
+
+    /// Scaled value of a single quota.
+    pub fn scale_quota(&self, r_mc: f64) -> f64 {
+        r_mc / self.quota_div
+    }
+
+    /// Millicores for a scaled quota value.
+    pub fn unscale_quota(&self, r_scaled: f64) -> f64 {
+        r_scaled * self.quota_div
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_takes_maxima() {
+        let w1 = [10.0, 40.0];
+        let q1 = [500.0, 200.0];
+        let w2 = [100.0, 5.0];
+        let q2 = [100.0, 900.0];
+        let s = FeatureScaler::fit([(&w1[..], &q1[..]), (&w2[..], &q2[..])]);
+        assert_eq!(s.workload_div, 100.0);
+        assert_eq!(s.quota_div, 900.0);
+    }
+
+    #[test]
+    fn features_interleave_and_scale() {
+        let s = FeatureScaler { workload_div: 100.0, quota_div: 1000.0 };
+        let f = s.features(&[50.0, 100.0], &[500.0, 250.0]);
+        assert_eq!(f, vec![0.5, 0.5, 1.0, 0.25]);
+    }
+
+    #[test]
+    fn quota_scaling_round_trips() {
+        let s = FeatureScaler { workload_div: 1.0, quota_div: 800.0 };
+        let r = 640.0;
+        assert!((s.unscale_quota(s.scale_quota(r)) - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fit_is_safe() {
+        let s = FeatureScaler::fit(std::iter::empty::<(&[f64], &[f64])>());
+        assert!(s.workload_div > 0.0 && s.quota_div > 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! End-to-end GRAF assembly: profile → bound → sample → train → control.
+//!
+//! [`Graf::build`] performs the full §3 pipeline against a simulated
+//! application, producing the trained artifacts; [`Graf::controller`] then
+//! yields an [`crate::GrafController`] ready to drive a live cluster.
+
+use graf_sim::topology::AppTopology;
+
+use crate::analyzer::WorkloadAnalyzer;
+use crate::controller::{GrafController, GrafControllerConfig};
+use crate::dataset::Dataset;
+use crate::features::FeatureScaler;
+use crate::latency_model::{LatencyModel, NetKind, TrainConfig, TrainReport};
+use crate::sample_collector::{Bounds, Sample, SampleCollector, SamplingConfig};
+
+/// Configuration for [`Graf::build`].
+#[derive(Clone, Debug)]
+pub struct GrafBuildConfig {
+    /// Sampling and Algorithm-1 settings.
+    pub sampling: SamplingConfig,
+    /// Training settings.
+    pub train: TrainConfig,
+    /// Network architecture.
+    pub net: NetKind,
+    /// Number of training samples to collect (paper: 42 k–50 k; CPU-scale
+    /// default much smaller).
+    pub num_samples: usize,
+    /// Train/val split seed.
+    pub split_seed: u64,
+}
+
+impl Default for GrafBuildConfig {
+    fn default() -> Self {
+        Self {
+            sampling: SamplingConfig::default(),
+            train: TrainConfig::default(),
+            net: NetKind::Gnn,
+            num_samples: 1500,
+            split_seed: 42,
+        }
+    }
+}
+
+/// The trained GRAF artifacts for one application.
+pub struct Graf {
+    /// The application this instance was trained for.
+    pub topo: AppTopology,
+    /// Workload analyzer fitted on profiling traces.
+    pub analyzer: WorkloadAnalyzer,
+    /// Algorithm-1 quota bounds.
+    pub bounds: Bounds,
+    /// The trained latency prediction model.
+    pub model: LatencyModel,
+    /// Learning curves of the training run.
+    pub report: TrainReport,
+    /// Held-out test set (for Table-2 style analysis).
+    pub test_set: Dataset,
+    /// The raw collected samples.
+    pub samples: Vec<Sample>,
+    /// Build configuration used.
+    pub build_cfg: GrafBuildConfig,
+}
+
+impl Graf {
+    /// Runs the full offline pipeline: profile the app, reduce the search
+    /// space (Algorithm 1), collect samples in parallel, and train the
+    /// latency prediction model with best-checkpoint selection.
+    pub fn build(topo: AppTopology, cfg: GrafBuildConfig) -> Self {
+        let collector = SampleCollector::new(topo.clone(), cfg.sampling.clone());
+        let analyzer = collector.profile();
+        let bounds = collector.reduce_search_space();
+        let samples = collector.collect(&bounds, &analyzer, cfg.num_samples);
+        assert!(!samples.is_empty(), "sample collection produced nothing");
+
+        let scaler = FeatureScaler::fit(
+            samples.iter().map(|s| (s.workloads.as_slice(), s.quotas_mc.as_slice())),
+        );
+        let dataset = LatencyModel::dataset_from_samples(&scaler, &samples);
+        let split = dataset.split(0.7, 0.15, cfg.split_seed);
+        let label_scale = split.train.label_mean().max(1e-9);
+
+        // The GNN's graph comes from traces (§3.4); fall back to the static
+        // topology if profiling somehow saw no edges.
+        let mut edges: Vec<(u16, u16)> = analyzer.edges().to_vec();
+        if edges.is_empty() {
+            edges = topo.edges().iter().map(|&(p, c)| (p.0, c.0)).collect();
+        }
+        let mut model = LatencyModel::new(
+            cfg.net,
+            &edges,
+            topo.num_services(),
+            scaler,
+            label_scale,
+            cfg.split_seed ^ 0x6E7,
+        );
+        let report = model.train(&split, &cfg.train);
+
+        Self {
+            topo,
+            analyzer,
+            bounds,
+            model,
+            report,
+            test_set: split.test,
+            samples,
+            build_cfg: cfg,
+        }
+    }
+
+    /// Retrains a model of the given kind on this build's samples with the
+    /// same split — the §5.1 "GRAF vs GRAF without MPNN" ablation (Fig 11).
+    pub fn train_ablation(&self, kind: NetKind) -> (LatencyModel, TrainReport) {
+        let scaler = self.model.scaler;
+        let dataset = LatencyModel::dataset_from_samples(&scaler, &self.samples);
+        let split = dataset.split(0.7, 0.15, self.build_cfg.split_seed);
+        let label_scale = split.train.label_mean().max(1e-9);
+        let mut edges: Vec<(u16, u16)> = self.analyzer.edges().to_vec();
+        if edges.is_empty() {
+            edges = self.topo.edges().iter().map(|&(p, c)| (p.0, c.0)).collect();
+        }
+        let mut model = LatencyModel::new(
+            kind,
+            &edges,
+            self.topo.num_services(),
+            scaler,
+            label_scale,
+            self.build_cfg.split_seed ^ 0x6E7,
+        );
+        let report = model.train(&split, &self.build_cfg.train);
+        (model, report)
+    }
+
+    /// Reference total front-end qps for §3.6 workload scaling: the probe
+    /// operating point, i.e. the *center* of the sampled workload range.
+    /// Observed totals beyond it are scaled down to this well-modeled region
+    /// and the solved quotas scaled back up, rather than solving at the edge
+    /// of the training box where the quota bounds bind.
+    pub fn train_total_qps(&self) -> f64 {
+        self.build_cfg.sampling.probe_qps.iter().sum()
+    }
+
+    /// Creates a controller targeting `slo_ms` with the trained artifacts.
+    pub fn controller(&self, slo_ms: f64) -> GrafController {
+        let cfg = GrafControllerConfig {
+            slo_ms,
+            train_total_qps: self.train_total_qps(),
+            ..Default::default()
+        };
+        self.controller_with(cfg)
+    }
+
+    /// Creates a controller with a custom configuration.
+    pub fn controller_with(&self, cfg: GrafControllerConfig) -> GrafController {
+        GrafController::new(
+            self.model.clone(),
+            self.analyzer.clone(),
+            self.bounds.clone(),
+            cfg,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample_collector::SamplingConfig;
+    use graf_sim::topology::{ApiSpec, CallNode, ServiceSpec};
+
+    fn tiny_build() -> Graf {
+        let topo = AppTopology::new(
+            "tiny",
+            vec![ServiceSpec::new("a", 1.0, 300), ServiceSpec::new("b", 2.5, 300)],
+            vec![ApiSpec::new("get", CallNode::new(0).call(CallNode::new(1)))],
+        );
+        let cfg = GrafBuildConfig {
+            sampling: SamplingConfig {
+                probe_qps: vec![40.0],
+                measure_secs: 3.0,
+                warmup_secs: 1.5,
+                abundant_quota_mc: 2500.0,
+                threads: 8,
+                ..SamplingConfig::default()
+            },
+            train: TrainConfig { epochs: 20, evals: 5, ..Default::default() },
+            num_samples: 120,
+            ..Default::default()
+        };
+        Graf::build(topo, cfg)
+    }
+
+    #[test]
+    fn build_produces_consistent_artifacts() {
+        let graf = tiny_build();
+        assert_eq!(graf.analyzer.edges(), &[(0, 1)]);
+        assert_eq!(graf.samples.len(), 120);
+        assert!(graf.bounds.lower[1] > graf.bounds.lower[0], "heavy service floors higher");
+        assert!(!graf.test_set.is_empty());
+        assert!(graf.report.best_val.is_finite());
+        // Model responds to quota in a sane direction at a loaded point.
+        let l = graf.analyzer.service_workloads(&[45.0]);
+        let p_small = graf.model.predict_ms(&l, &graf.bounds.lower);
+        let p_big = graf.model.predict_ms(&l, &graf.bounds.upper);
+        assert!(
+            p_small > p_big,
+            "starved config predicts higher latency: {p_small} vs {p_big}"
+        );
+    }
+
+    #[test]
+    fn controller_from_build_plans_quotas() {
+        let graf = tiny_build();
+        let mut ctrl = graf.controller(80.0);
+        let (quotas, res) = ctrl.plan(&[40.0]);
+        assert_eq!(quotas.len(), 2);
+        assert!(quotas.iter().all(|&q| q > 0.0));
+        assert!(res.iterations > 0);
+    }
+}

@@ -1,0 +1,369 @@
+//! The configuration solver (§3.5).
+//!
+//! Minimizes eq. (5): `Loss(r) = Σᵢ rᵢ + ρ · max(0, L̂(w, r) − SLO)` by Adam
+//! gradient descent over the per-service CPU quotas `r`, differentiating the
+//! *trained latency prediction model* `L̂` with respect to its quota inputs.
+//! Quotas are projected into Algorithm-1 bounds after every step, and the
+//! loop stops once the loss delta falls below a tolerance — the paper's
+//! synchronous, lightweight solve (3.4–6.8 s on their testbed; microseconds
+//! here since the model is small).
+//!
+//! The optimization runs in scaled space (quotas divided by the feature
+//! scaler's divisor, latency normalized by the SLO), which keeps ρ meaningful
+//! across applications.
+
+use graf_nn::{Adam, Matrix, Param};
+
+use crate::latency_model::LatencyModel;
+use crate::sample_collector::Bounds;
+
+/// Solver hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Penalty coefficient ρ of eq. (5), applied to the normalized violation.
+    pub rho: f64,
+    /// Adam learning rate in scaled-quota space.
+    pub lr: f64,
+    /// Stop when `|Loss_t − Loss_{t−1}|` falls below this.
+    pub tol: f64,
+    /// Hard iteration cap.
+    pub max_iters: usize,
+    /// Minimum iterations before the tolerance check applies.
+    pub min_iters: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self { rho: 40.0, lr: 0.02, tol: 1e-6, max_iters: 1500, min_iters: 25 }
+    }
+}
+
+/// A solved resource configuration.
+#[derive(Clone, Debug)]
+pub struct SolveResult {
+    /// Optimal per-service quotas, millicores.
+    pub quotas_mc: Vec<f64>,
+    /// Predicted p99 at the solution, ms.
+    pub predicted_ms: f64,
+    /// Gradient-descent iterations used.
+    pub iterations: usize,
+    /// Final loss value (scaled space).
+    pub loss: f64,
+}
+
+/// Finds the minimal-total-CPU configuration satisfying the latency SLO.
+///
+/// `workloads` are the per-service workloads from the workload analyzer;
+/// `slo_ms` the target; `bounds` the Algorithm-1 box. The solve starts from
+/// the upper bounds (a known-feasible point) and walks downhill.
+pub fn solve(
+    model: &mut LatencyModel,
+    workloads: &[f64],
+    slo_ms: f64,
+    bounds: &Bounds,
+    cfg: &SolverConfig,
+) -> SolveResult {
+    let n = workloads.len();
+    assert_eq!(n, model.num_services(), "one workload per service");
+    assert_eq!(n, bounds.lower.len());
+    assert!(slo_ms > 0.0);
+
+    let lo: Vec<f64> = bounds.lower.iter().map(|&v| model.scaler.scale_quota(v)).collect();
+    let hi: Vec<f64> = bounds.upper.iter().map(|&v| model.scaler.scale_quota(v)).collect();
+
+    // Variables: scaled quotas, starting from the feasible top of the box.
+    let mut r = Param::new(Matrix::row_vector(hi.clone()));
+    let mut opt = Adam::new(cfg.lr);
+
+    let mut prev_loss = f64::INFINITY;
+    let mut iterations = 0;
+    let mut last_loss = 0.0;
+    for it in 0..cfg.max_iters {
+        iterations = it + 1;
+        let quotas_mc: Vec<f64> =
+            r.value.data().iter().map(|&v| model.scaler.unscale_quota(v)).collect();
+        let pred = model.predict_ms(workloads, &quotas_mc);
+        let violation = (pred - slo_ms).max(0.0) / slo_ms;
+        let total: f64 = r.value.data().iter().sum();
+        last_loss = total + cfg.rho * violation;
+
+        // Gradient: d/dr_scaled [Σ r_scaled] = 1; the penalty term chains
+        // through the network when active.
+        let mut grad = vec![1.0; n];
+        if pred > slo_ms {
+            let g_ms = model.grad_quota(workloads, &quotas_mc); // d pred_ms / d r_mc
+            for i in 0..n {
+                // d r_mc / d r_scaled = quota_div.
+                grad[i] += cfg.rho / slo_ms * g_ms[i] * model.scaler.quota_div;
+            }
+        }
+        for (i, g) in grad.iter().enumerate() {
+            r.grad.set(0, i, *g);
+        }
+        opt.step(&mut [&mut r]);
+        // Project into the Algorithm-1 box.
+        for i in 0..n {
+            let v = r.value.get(0, i).clamp(lo[i], hi[i]);
+            r.value.set(0, i, v);
+        }
+
+        if it + 1 >= cfg.min_iters && (prev_loss - last_loss).abs() < cfg.tol {
+            break;
+        }
+        prev_loss = last_loss;
+    }
+
+    let quotas_mc: Vec<f64> =
+        r.value.data().iter().map(|&v| model.scaler.unscale_quota(v)).collect();
+    let predicted_ms = model.predict_ms(workloads, &quotas_mc);
+    SolveResult { quotas_mc, predicted_ms, iterations, loss: last_loss }
+}
+
+/// §6's "Integer Optimization for instances scaling" extension: refine a
+/// continuous solution into instance counts better than plain `ceil`.
+///
+/// The paper rounds every quota up to a whole number of instances (eq. 7),
+/// over-provisioning by up to one CPU unit per microservice, and notes that
+/// integer optimization could reclaim that slack. Full integer programming is
+/// NP-hard; this refinement runs a greedy descent over instance counts:
+/// starting from the `ceil` solution, repeatedly remove the single instance
+/// whose removal keeps the model's predicted latency within the SLO, until no
+/// removal survives. Each step queries the trained model once, so the
+/// refinement costs `O(total instances × services)` predictions.
+///
+/// Returns per-service instance counts and the predicted latency at the
+/// refined configuration.
+///
+/// `bounds` are the Algorithm-1 quota bounds: refinement never drops a
+/// service below `ceil(lower/unit)` instances — below the box the model has
+/// never seen data and extrapolates blindly into the starvation region.
+pub fn integer_refine(
+    model: &LatencyModel,
+    workloads: &[f64],
+    continuous_mc: &[f64],
+    bounds: &Bounds,
+    cpu_unit_mc: f64,
+    slo_ms: f64,
+) -> (Vec<usize>, f64) {
+    assert!(cpu_unit_mc > 0.0);
+    let n = continuous_mc.len();
+    let floor: Vec<usize> = bounds
+        .lower
+        .iter()
+        .map(|&l| (l / cpu_unit_mc).ceil().max(1.0) as usize)
+        .collect();
+    let mut counts: Vec<usize> = continuous_mc
+        .iter()
+        .zip(&floor)
+        .map(|(&q, &f)| ((q / cpu_unit_mc).ceil() as usize).max(f))
+        .collect();
+    let quotas =
+        |c: &[usize]| c.iter().map(|&k| k as f64 * cpu_unit_mc).collect::<Vec<f64>>();
+    let mut pred = model.predict_ms(workloads, &quotas(&counts));
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..n {
+            if counts[i] <= floor[i] {
+                continue;
+            }
+            counts[i] -= 1;
+            let p = model.predict_ms(workloads, &quotas(&counts));
+            counts[i] += 1;
+            if p <= slo_ms && best.is_none_or(|(_, bp)| p < bp) {
+                best = Some((i, p));
+            }
+        }
+        match best {
+            Some((i, p)) => {
+                counts[i] -= 1;
+                pred = p;
+            }
+            None => break,
+        }
+    }
+    (counts, pred)
+}
+
+/// Evaluates the solver loss surface at a given configuration — used by the
+/// Figure-12 heat-map bench.
+pub fn loss_at(
+    model: &LatencyModel,
+    workloads: &[f64],
+    quotas_mc: &[f64],
+    slo_ms: f64,
+    rho: f64,
+) -> f64 {
+    let pred = model.predict_ms(workloads, quotas_mc);
+    let total: f64 =
+        quotas_mc.iter().map(|&q| model.scaler.scale_quota(q)).sum();
+    total + rho * (pred - slo_ms).max(0.0) / slo_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureScaler;
+    use crate::latency_model::{NetKind, TrainConfig};
+    use crate::sample_collector::Sample;
+    use graf_sim::rng::DetRng;
+
+    /// Trains a small model on a synthetic convex latency surface and returns
+    /// it with its bounds.
+    fn trained_model(seed: u64) -> (LatencyModel, Bounds, Vec<f64>) {
+        let mut rng = DetRng::new(seed);
+        let works = [1.0, 3.0];
+        // Per-service quota ranges as Algorithm 1 would produce them: the
+        // lower bound keeps the single service's own latency under the SLO,
+        // excluding the hyperbolic starvation corner the model never trains
+        // on (§3.7).
+        let ranges = [(150.0, 1500.0), (400.0, 2800.0)];
+        let mut samples = Vec::new();
+        for _ in 0..700 {
+            let w = rng.uniform(20.0, 100.0);
+            let quotas: Vec<f64> =
+                ranges.iter().map(|&(lo, hi)| rng.uniform(lo, hi)).collect();
+            let mut p99 = 2.0;
+            for i in 0..2 {
+                let offered = w * works[i];
+                let head = (quotas[i] - offered).max(15.0);
+                p99 += 1200.0 * works[i] / head + works[i];
+            }
+            samples.push(Sample {
+                api_rates: vec![w],
+                workloads: vec![w, w],
+                quotas_mc: quotas,
+                p99_ms: p99 * rng.lognormal_mean_cv(1.0, 0.05),
+            });
+        }
+        let scaler = FeatureScaler::fit(
+            samples.iter().map(|s| (s.workloads.as_slice(), s.quotas_mc.as_slice())),
+        );
+        let ds = LatencyModel::dataset_from_samples(&scaler, &samples);
+        let split = ds.split(0.8, 0.1, 2);
+        let mut model = LatencyModel::new(
+            NetKind::Gnn,
+            &[(0, 1)],
+            2,
+            scaler,
+            split.train.label_mean(),
+            seed,
+        );
+        let cfg = TrainConfig { epochs: 80, evals: 10, ..Default::default() };
+        model.train(&split, &cfg);
+        let bounds = Bounds { lower: vec![150.0, 400.0], upper: vec![1500.0, 2800.0] };
+        (model, bounds, vec![60.0, 60.0])
+    }
+
+    #[test]
+    fn solver_stays_in_bounds_and_meets_predicted_slo() {
+        let (mut model, bounds, w) = trained_model(3);
+        let res = solve(&mut model, &w, 120.0, &bounds, &SolverConfig::default());
+        for i in 0..2 {
+            assert!(
+                res.quotas_mc[i] >= bounds.lower[i] - 1e-6
+                    && res.quotas_mc[i] <= bounds.upper[i] + 1e-6,
+                "quota {i} within bounds: {:?}",
+                res.quotas_mc
+            );
+        }
+        assert!(
+            res.predicted_ms <= 120.0 * 1.15,
+            "solution approximately satisfies the SLO: {res:?}"
+        );
+        assert!(res.iterations >= 25);
+    }
+
+    #[test]
+    fn tighter_slo_costs_more_cpu() {
+        let (mut model, bounds, w) = trained_model(4);
+        // The box's lower corner sits near ~28 ms predicted at this load, so
+        // both SLOs below are binding and discriminate.
+        let loose = solve(&mut model, &w, 25.0, &bounds, &SolverConfig::default());
+        let tight = solve(&mut model, &w, 12.0, &bounds, &SolverConfig::default());
+        let sum = |r: &SolveResult| r.quotas_mc.iter().sum::<f64>();
+        assert!(
+            sum(&tight) > sum(&loose),
+            "tight SLO {:?} must use more CPU than loose {:?}",
+            tight.quotas_mc,
+            loose.quotas_mc
+        );
+    }
+
+    #[test]
+    fn higher_workload_costs_more_cpu() {
+        let (mut model, bounds, _) = trained_model(5);
+        let low = solve(&mut model, &[30.0, 30.0], 18.0, &bounds, &SolverConfig::default());
+        let high = solve(&mut model, &[90.0, 90.0], 18.0, &bounds, &SolverConfig::default());
+        let sum = |r: &SolveResult| r.quotas_mc.iter().sum::<f64>();
+        assert!(sum(&high) > sum(&low), "{:?} vs {:?}", high.quotas_mc, low.quotas_mc);
+    }
+
+    #[test]
+    fn heavier_service_gets_more_cpu() {
+        // Service 1 does 3× the work of service 0 in the synthetic surface.
+        let (mut model, bounds, w) = trained_model(6);
+        let res = solve(&mut model, &w, 15.0, &bounds, &SolverConfig::default());
+        assert!(
+            res.quotas_mc[1] > res.quotas_mc[0],
+            "solver shifts CPU to the bottleneck: {:?}",
+            res.quotas_mc
+        );
+    }
+
+    #[test]
+    fn unreachable_slo_saturates_at_upper_bounds() {
+        let (mut model, bounds, w) = trained_model(7);
+        let res = solve(&mut model, &w, 0.5, &bounds, &SolverConfig::default());
+        // With an impossible 0.5 ms SLO the penalty dominates: quotas stay
+        // pinned high in the box instead of descending to the floor.
+        for i in 0..2 {
+            let mid = 0.5 * (bounds.lower[i] + bounds.upper[i]);
+            assert!(
+                res.quotas_mc[i] > mid,
+                "quota {i} stays in the upper half of the box: {:?}",
+                res.quotas_mc
+            );
+        }
+    }
+
+    #[test]
+    fn integer_refine_never_exceeds_ceil_and_meets_predicted_slo() {
+        let (mut model, bounds, w) = trained_model(9);
+        let res = solve(&mut model, &w, 16.0, &bounds, &SolverConfig::default());
+        let unit = 100.0;
+        let ceil_counts: Vec<usize> =
+            res.quotas_mc.iter().map(|q| (q / unit).ceil() as usize).collect();
+        let (counts, pred) = integer_refine(&model, &w, &res.quotas_mc, &bounds, unit, 16.0);
+        for i in 0..counts.len() {
+            let floor = (bounds.lower[i] / unit).ceil() as usize;
+            assert!(
+                counts[i] <= ceil_counts[i].max(floor),
+                "refine only removes: {counts:?} vs {ceil_counts:?}"
+            );
+            assert!(counts[i] >= floor, "never below the Algorithm-1 floor");
+        }
+        assert!(pred <= 16.0 * 1.0001 || counts == ceil_counts, "refined config predicted in SLO: {pred}");
+    }
+
+    #[test]
+    fn integer_refine_reclaims_slack_when_slo_is_loose() {
+        let (model, bounds, w) = trained_model(10);
+        // A deliberately over-provisioned continuous solution with a loose
+        // SLO: the greedy pass must strip whole instances.
+        let continuous = vec![900.0, 1900.0];
+        let (counts, pred) = integer_refine(&model, &w, &continuous, &bounds, 100.0, 60.0);
+        let total: usize = counts.iter().sum();
+        assert!(total < 9 + 19, "instances removed: {counts:?}");
+        assert!(pred <= 60.0);
+    }
+
+    #[test]
+    fn loss_surface_matches_solve_objective() {
+        let (model, _, w) = trained_model(8);
+        let l1 = loss_at(&model, &w, &[500.0, 1500.0], 100.0, 40.0);
+        let l2 = loss_at(&model, &w, &[2500.0, 2500.0], 100.0, 40.0);
+        assert!(l1.is_finite() && l2.is_finite());
+        // Overprovisioning beyond need raises the resource term.
+        assert!(l2 > l1 || l1 > 0.0);
+    }
+}

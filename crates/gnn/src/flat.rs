@@ -1,0 +1,126 @@
+//! The "GRAF without MPNN" ablation model (§5.1, Figure 11).
+//!
+//! Identical readout capacity, but applied directly to the concatenated raw
+//! node features — no message passing, no graph structure. The paper shows it
+//! trains faster but generalizes worse; [`crate::MicroserviceGnn`] should
+//! beat it on held-out data.
+
+use graf_nn::{Adam, AsymmetricHuber, Matrix, Mlp, Mode};
+use graf_sim::rng::DetRng;
+
+use crate::net::LatencyNet;
+
+/// A plain MLP over concatenated node features.
+#[derive(Clone)]
+pub struct FlatMlp {
+    num_nodes: usize,
+    feature_dim: usize,
+    mlp: Mlp,
+}
+
+impl FlatMlp {
+    /// Creates the ablation model with the same readout shape as the GNN
+    /// (two hidden layers of `hidden` units, dropout `dropout`).
+    pub fn new(
+        num_nodes: usize,
+        feature_dim: usize,
+        hidden: usize,
+        dropout: f64,
+        rng: &mut DetRng,
+    ) -> Self {
+        let mlp = Mlp::new(&[num_nodes * feature_dim, hidden, hidden, 1], dropout, rng);
+        Self { num_nodes, feature_dim, mlp }
+    }
+}
+
+impl LatencyNet for FlatMlp {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let (y, _) = self.mlp.forward(x, &mut Mode::Eval);
+        y.data().to_vec()
+    }
+
+    fn train_step(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        loss: &AsymmetricHuber,
+        opt: &mut Adam,
+        rng: &mut DetRng,
+    ) -> f64 {
+        assert_eq!(x.rows(), y.len(), "batch size mismatch");
+        let (pred, trace) = self.mlp.forward(x, &mut Mode::Train(rng));
+        let (l, grad) = loss.batch(pred.data(), y);
+        let dy = Matrix::from_vec(x.rows(), 1, grad);
+        self.mlp.backward(&trace, &dy);
+        opt.step(&mut self.mlp.params_mut());
+        l
+    }
+
+    fn grad_input(&mut self, x: &Matrix) -> Matrix {
+        let (y, trace) = self.mlp.forward(x, &mut Mode::Eval);
+        let ones = Matrix::from_fn(y.rows(), 1, |_, _| 1.0);
+        let dx = self.mlp.backward(&trace, &ones);
+        for p in self.mlp.params_mut() {
+            p.zero_grad();
+        }
+        dx
+    }
+
+    fn num_params(&self) -> usize {
+        self.mlp.num_params()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn LatencyNet + Send> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_prediction() {
+        let mut rng = DetRng::new(1);
+        let m = FlatMlp::new(3, 2, 16, 0.0, &mut rng);
+        assert_eq!(m.num_nodes(), 3);
+        assert_eq!(m.feature_dim(), 2);
+        let x = Matrix::from_fn(4, 6, |r, c| (r + c) as f64 * 0.1);
+        assert_eq!(m.predict(&x).len(), 4);
+    }
+
+    #[test]
+    fn trains_on_simple_target() {
+        let mut rng = DetRng::new(2);
+        let mut m = FlatMlp::new(2, 2, 24, 0.0, &mut rng);
+        let x = Matrix::from_fn(128, 4, |r, c| ((r * 7 + c * 3) % 13) as f64 / 13.0);
+        let y: Vec<f64> =
+            (0..128).map(|r| 1.0 + x.get(r, 0) * 2.0 + x.get(r, 3)).collect();
+        let loss = AsymmetricHuber::default();
+        let mut opt = Adam::new(3e-3);
+        let mut train_rng = DetRng::new(3);
+        let first = m.eval_loss(&x, &y, &loss);
+        for _ in 0..400 {
+            m.train_step(&x, &y, &loss, &mut opt, &mut train_rng);
+        }
+        let last = m.eval_loss(&x, &y, &loss);
+        assert!(last < first * 0.3, "{first} → {last}");
+    }
+
+    #[test]
+    fn grad_input_has_input_shape() {
+        let mut rng = DetRng::new(4);
+        let mut m = FlatMlp::new(2, 2, 8, 0.0, &mut rng);
+        let x = Matrix::from_fn(3, 4, |_, c| c as f64);
+        let g = m.grad_input(&x);
+        assert_eq!((g.rows(), g.cols()), (3, 4));
+    }
+}

@@ -1,0 +1,437 @@
+//! The MPNN + readout latency prediction model (§3.4, Figure 9).
+
+use graf_nn::{Adam, AsymmetricHuber, Matrix, Mlp, MlpTrace, Mode};
+use graf_sim::rng::DetRng;
+
+use crate::graph::GraphSpec;
+use crate::net::LatencyNet;
+
+/// Architecture hyper-parameters (§4 defaults).
+#[derive(Clone, Debug)]
+pub struct GnnConfig {
+    /// Features per node (workload, quota → 2).
+    pub feature_dim: usize,
+    /// Message vector width.
+    pub msg_dim: usize,
+    /// Node-embedding width.
+    pub embed_dim: usize,
+    /// Hidden width of the φ/γ MLPs ("two hidden layers with 20 hidden
+    /// units", §4).
+    pub hidden: usize,
+    /// Hidden width of the readout FC ("two hidden layers with 120 hidden
+    /// units", §4).
+    pub readout_hidden: usize,
+    /// Dropout probability (Table 1: 0.25).
+    pub dropout: f64,
+}
+
+impl Default for GnnConfig {
+    fn default() -> Self {
+        Self {
+            feature_dim: 2,
+            msg_dim: 20,
+            embed_dim: 20,
+            hidden: 20,
+            readout_hidden: 120,
+            dropout: 0.25,
+        }
+    }
+}
+
+/// Captured forward state of one GNN application.
+pub struct GnnTrace {
+    phi1: Vec<MlpTrace>,
+    gamma1: Vec<MlpTrace>,
+    phi2: Vec<MlpTrace>,
+    gamma2: Vec<MlpTrace>,
+    readout: MlpTrace,
+}
+
+/// The paper's latency prediction model: two message-passing steps over the
+/// microservice graph, then a fully connected readout over the flattened node
+/// embeddings.
+#[derive(Clone)]
+pub struct MicroserviceGnn {
+    graph: GraphSpec,
+    cfg: GnnConfig,
+    phi1: Mlp,
+    gamma1: Mlp,
+    phi2: Mlp,
+    gamma2: Mlp,
+    readout: Mlp,
+}
+
+impl MicroserviceGnn {
+    /// Creates a model for `graph` with He-initialized weights from `rng`.
+    pub fn new(graph: GraphSpec, cfg: GnnConfig, rng: &mut DetRng) -> Self {
+        let n = graph.num_nodes();
+        assert!(n > 0, "graph must have nodes");
+        let f = cfg.feature_dim;
+        let phi1 = Mlp::new(&[f, cfg.hidden, cfg.hidden, cfg.msg_dim], 0.0, rng);
+        let gamma1 =
+            Mlp::new(&[f + cfg.msg_dim, cfg.hidden, cfg.hidden, cfg.embed_dim], 0.0, rng);
+        let phi2 = Mlp::new(&[cfg.embed_dim, cfg.hidden, cfg.hidden, cfg.msg_dim], 0.0, rng);
+        let gamma2 =
+            Mlp::new(&[f + cfg.msg_dim, cfg.hidden, cfg.hidden, cfg.embed_dim], 0.0, rng);
+        let readout = Mlp::new(
+            &[n * cfg.embed_dim, cfg.readout_hidden, cfg.readout_hidden, 1],
+            cfg.dropout,
+            rng,
+        );
+        Self { graph, cfg, phi1, gamma1, phi2, gamma2, readout }
+    }
+
+    /// The message-passing graph.
+    pub fn graph(&self) -> &GraphSpec {
+        &self.graph
+    }
+
+    /// Splits a `B × (n·F)` batch into per-node `B × F` matrices.
+    fn split_nodes(&self, x: &Matrix) -> Vec<Matrix> {
+        let n = self.graph.num_nodes();
+        let f = self.cfg.feature_dim;
+        assert_eq!(x.cols(), n * f, "input width must be num_nodes × feature_dim");
+        (0..n).map(|i| x.slice_cols(i * f, (i + 1) * f)).collect()
+    }
+
+    /// One message-passing step: for every node, sum φ(state of parents) and
+    /// run γ on `[x_i ‖ message_i]`.
+    #[allow(clippy::type_complexity)]
+    fn mp_step(
+        &self,
+        phi: &Mlp,
+        gamma: &Mlp,
+        x: &[Matrix],
+        state: &[Matrix],
+        mode: &mut Mode<'_>,
+    ) -> (Vec<Matrix>, Vec<MlpTrace>, Vec<MlpTrace>) {
+        let n = self.graph.num_nodes();
+        let batch = x[0].rows();
+        // φ applied to every node's state once (shared weights).
+        let mut phi_out = Vec::with_capacity(n);
+        let mut phi_traces = Vec::with_capacity(n);
+        for s in state {
+            let (o, t) = phi.forward(s, mode);
+            phi_out.push(o);
+            phi_traces.push(t);
+        }
+        let mut embeds = Vec::with_capacity(n);
+        let mut gamma_traces = Vec::with_capacity(n);
+        for (i, xi) in x.iter().enumerate() {
+            let mut msg = Matrix::zeros(batch, self.cfg.msg_dim);
+            for &p in self.graph.parents(i) {
+                msg.add_assign(&phi_out[p as usize]);
+            }
+            let gin = Matrix::hcat(&[xi, &msg]);
+            let (e, t) = gamma.forward(&gin, mode);
+            embeds.push(e);
+            gamma_traces.push(t);
+        }
+        (embeds, phi_traces, gamma_traces)
+    }
+
+    /// Full forward pass. Returns predictions (`B × 1`) and the trace.
+    pub fn forward(&self, x: &Matrix, mode: &mut Mode<'_>) -> (Matrix, GnnTrace) {
+        let xs = self.split_nodes(x);
+        let (e1, phi1_t, gamma1_t) = self.mp_step(&self.phi1, &self.gamma1, &xs, &xs, mode);
+        let (e2, phi2_t, gamma2_t) = self.mp_step(&self.phi2, &self.gamma2, &xs, &e1, mode);
+        let flat: Vec<&Matrix> = e2.iter().collect();
+        let read_in = Matrix::hcat(&flat);
+        let (y, read_t) = self.readout.forward(&read_in, mode);
+        (
+            y,
+            GnnTrace {
+                phi1: phi1_t,
+                gamma1: gamma1_t,
+                phi2: phi2_t,
+                gamma2: gamma2_t,
+                readout: read_t,
+            },
+        )
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient with respect to the input batch (`B × (n·F)`).
+    pub fn backward(&mut self, trace: &GnnTrace, dy: &Matrix) -> Matrix {
+        let n = self.graph.num_nodes();
+        let f = self.cfg.feature_dim;
+        let e = self.cfg.embed_dim;
+        let batch = dy.rows();
+
+        // Readout.
+        let d_read_in = self.readout.backward(&trace.readout, dy);
+        let mut d_e2: Vec<Matrix> =
+            (0..n).map(|i| d_read_in.slice_cols(i * e, (i + 1) * e)).collect();
+
+        let mut dx: Vec<Matrix> = (0..n).map(|_| Matrix::zeros(batch, f)).collect();
+
+        // Step 2 backward.
+        let mut d_phi2_out: Vec<Matrix> =
+            (0..n).map(|_| Matrix::zeros(batch, self.cfg.msg_dim)).collect();
+        for i in 0..n {
+            let d_gin = self.gamma2.backward(&trace.gamma2[i], &d_e2[i]);
+            dx[i].add_assign(&d_gin.slice_cols(0, f));
+            let d_msg = d_gin.slice_cols(f, f + self.cfg.msg_dim);
+            for &p in self.graph.parents(i) {
+                d_phi2_out[p as usize].add_assign(&d_msg);
+            }
+        }
+        let mut d_e1: Vec<Matrix> = (0..n).map(|_| Matrix::zeros(batch, e)).collect();
+        for j in 0..n {
+            let g = self.phi2.backward(&trace.phi2[j], &d_phi2_out[j]);
+            d_e1[j].add_assign(&g);
+        }
+        // e2 gradients fully consumed.
+        d_e2.clear();
+
+        // Step 1 backward.
+        let mut d_phi1_out: Vec<Matrix> =
+            (0..n).map(|_| Matrix::zeros(batch, self.cfg.msg_dim)).collect();
+        for i in 0..n {
+            let d_gin = self.gamma1.backward(&trace.gamma1[i], &d_e1[i]);
+            dx[i].add_assign(&d_gin.slice_cols(0, f));
+            let d_msg = d_gin.slice_cols(f, f + self.cfg.msg_dim);
+            for &p in self.graph.parents(i) {
+                d_phi1_out[p as usize].add_assign(&d_msg);
+            }
+        }
+        for j in 0..n {
+            // φ1 was applied to the raw features.
+            let g = self.phi1.backward(&trace.phi1[j], &d_phi1_out[j]);
+            dx[j].add_assign(&g);
+        }
+
+        let refs: Vec<&Matrix> = dx.iter().collect();
+        Matrix::hcat(&refs)
+    }
+
+    fn all_params(&mut self) -> Vec<&mut graf_nn::Param> {
+        let mut v = Vec::new();
+        v.extend(self.phi1.params_mut());
+        v.extend(self.gamma1.params_mut());
+        v.extend(self.phi2.params_mut());
+        v.extend(self.gamma2.params_mut());
+        v.extend(self.readout.params_mut());
+        v
+    }
+
+    fn zero_grads(&mut self) {
+        for p in self.all_params() {
+            p.zero_grad();
+        }
+    }
+}
+
+impl LatencyNet for MicroserviceGnn {
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.cfg.feature_dim
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let (y, _) = self.forward(x, &mut Mode::Eval);
+        y.data().to_vec()
+    }
+
+    fn train_step(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        loss: &AsymmetricHuber,
+        opt: &mut Adam,
+        rng: &mut DetRng,
+    ) -> f64 {
+        assert_eq!(x.rows(), y.len(), "batch size mismatch");
+        let (pred, trace) = self.forward(x, &mut Mode::Train(rng));
+        let (l, grad) = loss.batch(pred.data(), y);
+        let dy = Matrix::from_vec(x.rows(), 1, grad);
+        self.backward(&trace, &dy);
+        opt.step(&mut self.all_params());
+        l
+    }
+
+    fn grad_input(&mut self, x: &Matrix) -> Matrix {
+        let (y, trace) = self.forward(x, &mut Mode::Eval);
+        let ones = Matrix::from_fn(y.rows(), 1, |_, _| 1.0);
+        let dx = self.backward(&trace, &ones);
+        // grad_input must not perturb training state.
+        self.zero_grads();
+        dx
+    }
+
+    fn num_params(&self) -> usize {
+        self.phi1.num_params()
+            + self.gamma1.num_params()
+            + self.phi2.num_params()
+            + self.gamma2.num_params()
+            + self.readout.num_params()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn LatencyNet + Send> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graf_nn::{Adam, AsymmetricHuber};
+
+    fn chain_graph(n: usize) -> GraphSpec {
+        let edges: Vec<(u16, u16)> = (0..n as u16 - 1).map(|i| (i, i + 1)).collect();
+        GraphSpec::from_edges(n, &edges)
+    }
+
+    fn small_cfg() -> GnnConfig {
+        GnnConfig { msg_dim: 6, embed_dim: 6, hidden: 8, readout_hidden: 16, ..Default::default() }
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = DetRng::new(1);
+        let gnn = MicroserviceGnn::new(chain_graph(4), small_cfg(), &mut rng);
+        let x = Matrix::from_fn(5, 8, |r, c| (r + c) as f64 * 0.1);
+        let (y, _) = gnn.forward(&x, &mut Mode::Eval);
+        assert_eq!((y.rows(), y.cols()), (5, 1));
+        assert_eq!(gnn.num_nodes(), 4);
+        assert!(gnn.num_params() > 0);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = DetRng::new(2);
+        let mut gnn = MicroserviceGnn::new(
+            GraphSpec::from_edges(3, &[(0, 1), (0, 2), (1, 2)]),
+            small_cfg(),
+            &mut rng,
+        );
+        let x = Matrix::from_fn(2, 6, |r, c| 0.2 * (r as f64) + 0.1 * (c as f64) - 0.15);
+        let ana = gnn.grad_input(&x);
+        let eps = 1e-6;
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                let yp: f64 = gnn.predict(&xp).iter().sum();
+                let ym: f64 = gnn.predict(&xm).iter().sum();
+                let num = (yp - ym) / (2.0 * eps);
+                let a = ana.get(r, c);
+                assert!(
+                    (num - a).abs() < 1e-4 * (1.0 + num.abs()),
+                    "grad mismatch at ({r},{c}): num {num} vs ana {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn message_passing_propagates_parent_information() {
+        // In a 0→1 chain, node 0's features must influence the prediction
+        // through messages even if readout weights for node 0's own embedding
+        // were zero; weaker but sufficient check: perturbing the *parent*
+        // feature changes the output.
+        let mut rng = DetRng::new(3);
+        let gnn = MicroserviceGnn::new(chain_graph(2), small_cfg(), &mut rng);
+        let x0 = Matrix::from_vec(1, 4, vec![0.5, 0.5, 0.5, 0.5]);
+        let mut x1 = x0.clone();
+        x1.set(0, 0, 0.9); // parent workload changes
+        let y0 = gnn.predict(&x0)[0];
+        let y1 = gnn.predict(&x1)[0];
+        assert!((y0 - y1).abs() > 1e-9, "parent features must matter");
+    }
+
+    #[test]
+    fn training_reduces_loss_on_synthetic_target() {
+        // Target: latency = 1 + 3·w₀/(r₀+0.5) + 2·w₁/(r₁+0.5) — a convex
+        // queueing-ish function of (workload, quota) features.
+        let mut rng = DetRng::new(4);
+        let graph = chain_graph(2);
+        let mut gnn = MicroserviceGnn::new(graph, small_cfg(), &mut rng);
+        let mut data_rng = DetRng::new(5);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..256 {
+            let w0 = data_rng.uniform(0.1, 1.0);
+            let r0 = data_rng.uniform(0.2, 1.0);
+            let w1 = data_rng.uniform(0.1, 1.0);
+            let r1 = data_rng.uniform(0.2, 1.0);
+            xs.push(vec![w0, r0, w1, r1]);
+            ys.push(1.0 + 3.0 * w0 / (r0 + 0.5) + 2.0 * w1 / (r1 + 0.5));
+        }
+        let x = Matrix::from_fn(256, 4, |r, c| xs[r][c]);
+        let loss = AsymmetricHuber::default();
+        let mut opt = Adam::new(3e-3);
+        let mut train_rng = DetRng::new(6);
+        let first = gnn.eval_loss(&x, &ys, &loss);
+        for _ in 0..300 {
+            gnn.train_step(&x, &ys, &loss, &mut opt, &mut train_rng);
+        }
+        let last = gnn.eval_loss(&x, &ys, &loss);
+        assert!(
+            last < first * 0.35,
+            "training must cut loss substantially: {first} → {last}"
+        );
+    }
+
+    /// Gradient check on a Social-Network-shaped graph (fan-out + rejoin).
+    #[test]
+    fn input_gradient_matches_fd_on_fanout_graph() {
+        let mut rng = DetRng::new(12);
+        let graph = GraphSpec::from_edges(
+            6,
+            &[(0, 1), (1, 2), (1, 3), (1, 4), (4, 5), (3, 5)],
+        );
+        let mut gnn = MicroserviceGnn::new(graph, small_cfg(), &mut rng);
+        let x = Matrix::from_fn(1, 12, |_, c| 0.07 * (c as f64) - 0.3);
+        let ana = gnn.grad_input(&x);
+        let eps = 1e-6;
+        for c in 0..12 {
+            let mut xp = x.clone();
+            xp.set(0, c, x.get(0, c) + eps);
+            let mut xm = x.clone();
+            xm.set(0, c, x.get(0, c) - eps);
+            let num = (gnn.predict(&xp)[0] - gnn.predict(&xm)[0]) / (2.0 * eps);
+            let a = ana.get(0, c);
+            assert!(
+                (num - a).abs() < 1e-4 * (1.0 + num.abs()),
+                "fan-out grad mismatch at col {c}: {num} vs {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_training_given_seeds() {
+        let run = || {
+            let mut rng = DetRng::new(40);
+            let mut gnn = MicroserviceGnn::new(chain_graph(3), small_cfg(), &mut rng);
+            let x = Matrix::from_fn(32, 6, |r, c| ((r * 3 + c) % 7) as f64 * 0.1);
+            let y: Vec<f64> = (0..32).map(|r| 1.0 + (r % 5) as f64).collect();
+            let loss = AsymmetricHuber::default();
+            let mut opt = Adam::new(1e-3);
+            let mut tr = DetRng::new(41);
+            for _ in 0..20 {
+                gnn.train_step(&x, &y, &loss, &mut opt, &mut tr);
+            }
+            gnn.predict(&x)
+        };
+        assert_eq!(run(), run(), "training is bit-for-bit deterministic");
+    }
+
+    #[test]
+    fn grad_input_leaves_params_clean() {
+        let mut rng = DetRng::new(7);
+        let mut gnn = MicroserviceGnn::new(chain_graph(2), small_cfg(), &mut rng);
+        let x = Matrix::from_fn(1, 4, |_, c| 0.1 * c as f64 + 0.2);
+        let before = gnn.predict(&x);
+        let _ = gnn.grad_input(&x);
+        // A subsequent train step must start from zero accumulated grads:
+        // run a no-op-ish check that predictions are unchanged by grad_input.
+        let after = gnn.predict(&x);
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,49 @@
+//! The common interface of latency-prediction networks.
+
+use graf_nn::{Adam, AsymmetricHuber, Matrix};
+use graf_sim::rng::DetRng;
+
+/// A network mapping per-service `(workload, quota)` features to predicted
+/// end-to-end tail latency.
+///
+/// Input format: one row per sample, `num_nodes × feature_dim` columns in
+/// node-major order (node 0's features first).
+pub trait LatencyNet {
+    /// Number of graph nodes (microservices).
+    fn num_nodes(&self) -> usize;
+
+    /// Features per node (2 in the paper: workload, quota).
+    fn feature_dim(&self) -> usize;
+
+    /// Predicts latency for a batch (eval mode, dropout off).
+    fn predict(&self, x: &Matrix) -> Vec<f64>;
+
+    /// One training step: forward in train mode, asymmetric-Hüber loss,
+    /// backward, Adam update. Returns the batch loss.
+    fn train_step(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        loss: &AsymmetricHuber,
+        opt: &mut Adam,
+        rng: &mut DetRng,
+    ) -> f64;
+
+    /// Evaluation loss without updating parameters.
+    fn eval_loss(&self, x: &Matrix, y: &[f64], loss: &AsymmetricHuber) -> f64 {
+        let pred = self.predict(x);
+        loss.batch(&pred, y).0
+    }
+
+    /// Gradient of the summed prediction with respect to the input features
+    /// (eval mode). Shape matches `x`. This is what the configuration solver
+    /// chains with its own loss to walk quotas downhill (§3.5).
+    fn grad_input(&mut self, x: &Matrix) -> Matrix;
+
+    /// Total scalar parameter count.
+    fn num_params(&self) -> usize;
+
+    /// Clones the network behind the trait object (used to snapshot the
+    /// best-validation checkpoint during training, §3.4).
+    fn boxed_clone(&self) -> Box<dyn LatencyNet + Send>;
+}

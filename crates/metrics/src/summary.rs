@@ -1,0 +1,140 @@
+//! Exact summaries over small in-memory samples.
+//!
+//! Several GRAF components (the workload analyzer's 90 %-ile call counts, the
+//! evaluation's error tables) need exact percentiles over modest sample sets;
+//! [`Summary`] stores the raw values and sorts on demand.
+
+/// An exact-summary accumulator over `f64` samples.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample. Non-finite values are rejected with a panic since they
+    /// always indicate an upstream bug.
+    pub fn record(&mut self, v: f64) {
+        assert!(v.is_finite(), "summary sample must be finite, got {v}");
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Mean of the samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Population standard deviation, or `None` when empty.
+    pub fn std(&self) -> Option<f64> {
+        let m = self.mean()?;
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64;
+        Some(var.sqrt())
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            self.sorted = true;
+        }
+    }
+
+    /// Exact percentile by the nearest-rank method, or `None` when empty.
+    pub fn percentile(&mut self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.values.len() as f64).ceil() as usize).max(1);
+        Some(self.values[rank - 1])
+    }
+
+    /// Minimum sample, or `None` when empty.
+    pub fn min(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.values.first().copied()
+    }
+
+    /// Maximum sample, or `None` when empty.
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.values.last().copied()
+    }
+
+    /// Borrow the raw samples (unspecified order).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let mut s = Summary::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((s.std().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut s = Summary::new();
+        for v in 1..=10 {
+            s.record(v as f64);
+        }
+        assert_eq!(s.percentile(0.5), Some(5.0));
+        assert_eq!(s.percentile(0.9), Some(9.0));
+        assert_eq!(s.percentile(1.0), Some(10.0));
+        assert_eq!(s.percentile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn empty_summary_is_none() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.percentile(0.5), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        Summary::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn record_after_percentile_keeps_correctness() {
+        let mut s = Summary::new();
+        s.record(5.0);
+        assert_eq!(s.percentile(1.0), Some(5.0));
+        s.record(1.0);
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.max(), Some(5.0));
+    }
+}

@@ -1,0 +1,167 @@
+//! Append-only time series used to record experiment signals.
+//!
+//! The figure-regeneration benches plot instance counts, workloads and CPU
+//! totals over time; [`TimeSeries`] is the minimal structure they share.
+
+/// An append-only series of `(t_us, value)` points, `t` non-decreasing.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    t: Vec<u64>,
+    v: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point. `t_us` must be >= the previous point's time.
+    ///
+    /// # Panics
+    /// Panics if time goes backwards — series are produced by a monotone
+    /// simulation clock, so a violation indicates a driver bug.
+    pub fn push(&mut self, t_us: u64, value: f64) {
+        if let Some(&last) = self.t.last() {
+            assert!(t_us >= last, "time series must be monotone: {t_us} < {last}");
+        }
+        self.t.push(t_us);
+        self.v.push(value);
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// `true` if no points have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Iterator over `(t_us, value)` points.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.t.iter().copied().zip(self.v.iter().copied())
+    }
+
+    /// Last recorded value, if any.
+    pub fn last(&self) -> Option<(u64, f64)> {
+        Some((*self.t.last()?, *self.v.last()?))
+    }
+
+    /// Value at or immediately before `t_us` (step interpolation).
+    pub fn at(&self, t_us: u64) -> Option<f64> {
+        let idx = self.t.partition_point(|&t| t <= t_us);
+        if idx == 0 { None } else { Some(self.v[idx - 1]) }
+    }
+
+    /// Time-weighted mean over `[from_us, to_us)` using step interpolation.
+    ///
+    /// Returns `None` if the series has no value defined anywhere in range.
+    pub fn time_mean(&self, from_us: u64, to_us: u64) -> Option<f64> {
+        if to_us <= from_us || self.t.is_empty() {
+            return None;
+        }
+        let mut acc = 0.0f64;
+        let mut covered = 0u64;
+        // Current value entering the range.
+        let mut cur = self.at(from_us);
+        let mut cur_t = from_us;
+        let start = self.t.partition_point(|&t| t <= from_us);
+        for i in start..self.t.len() {
+            let t = self.t[i].min(to_us);
+            if t > cur_t {
+                if let Some(v) = cur {
+                    acc += v * (t - cur_t) as f64;
+                    covered += t - cur_t;
+                }
+            }
+            if self.t[i] >= to_us {
+                break;
+            }
+            cur = Some(self.v[i]);
+            cur_t = self.t[i];
+        }
+        if cur_t < to_us {
+            if let Some(v) = cur {
+                acc += v * (to_us - cur_t) as f64;
+                covered += to_us - cur_t;
+            }
+        }
+        if covered == 0 { None } else { Some(acc / covered as f64) }
+    }
+
+    /// Maximum value over points with `from_us <= t < to_us`, including the
+    /// value active when entering the range.
+    pub fn max_over(&self, from_us: u64, to_us: u64) -> Option<f64> {
+        let mut best = self.at(from_us);
+        for (t, v) in self.iter() {
+            if t >= from_us && t < to_us {
+                best = Some(best.map_or(v, |b: f64| b.max(v)));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut s = TimeSeries::new();
+        s.push(0, 1.0);
+        s.push(10, 2.0);
+        s.push(20, 3.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.at(5), Some(1.0));
+        assert_eq!(s.at(10), Some(2.0));
+        assert_eq!(s.at(25), Some(3.0));
+        assert_eq!(s.last(), Some((20, 3.0)));
+    }
+
+    #[test]
+    fn at_before_first_point_is_none() {
+        let mut s = TimeSeries::new();
+        s.push(10, 5.0);
+        assert_eq!(s.at(5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_push_panics() {
+        let mut s = TimeSeries::new();
+        s.push(10, 1.0);
+        s.push(5, 2.0);
+    }
+
+    #[test]
+    fn time_mean_weights_by_duration() {
+        let mut s = TimeSeries::new();
+        s.push(0, 1.0);
+        s.push(10, 3.0);
+        // [0,10): 1.0 for 10us; [10,20): 3.0 for 10us → mean 2.0
+        let m = s.time_mean(0, 20).unwrap();
+        assert!((m - 2.0).abs() < 1e-12);
+        // Partial range [5,15): 1.0 for 5us, 3.0 for 5us → 2.0
+        let m = s.time_mean(5, 15).unwrap();
+        assert!((m - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_mean_with_no_coverage_is_none() {
+        let mut s = TimeSeries::new();
+        s.push(100, 1.0);
+        assert_eq!(s.time_mean(0, 50), None);
+    }
+
+    #[test]
+    fn max_over_includes_entering_value() {
+        let mut s = TimeSeries::new();
+        s.push(0, 9.0);
+        s.push(50, 1.0);
+        assert_eq!(s.max_over(10, 40), Some(9.0));
+        assert_eq!(s.max_over(60, 100), Some(1.0));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the metrics substrate.
+
+use graf_metrics::{Histogram, RateCounter, Summary, WindowedLatency};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every histogram quantile lies within the recorded extrema, and the
+    /// p100 equals the maximum exactly.
+    #[test]
+    fn histogram_quantiles_bounded(values in proptest::collection::vec(0u64..5_000_000, 1..400)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let p = h.percentile(q).unwrap();
+            prop_assert!(p >= lo && p <= hi, "p{q} = {p} outside [{lo}, {hi}]");
+        }
+        prop_assert_eq!(h.percentile(1.0).unwrap(), hi);
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// Histogram quantiles are non-decreasing in q.
+    #[test]
+    fn histogram_quantiles_monotone(values in proptest::collection::vec(0u64..10_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut prev = 0;
+        for i in 0..=20 {
+            let p = h.percentile(i as f64 / 20.0).unwrap();
+            prop_assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    /// Histogram quantiles approximate the exact (Summary) quantiles within
+    /// the bucket relative error.
+    #[test]
+    fn histogram_matches_exact_summary(values in proptest::collection::vec(1u64..2_000_000, 10..300)) {
+        let mut h = Histogram::new();
+        let mut s = Summary::new();
+        for &v in &values {
+            h.record(v);
+            s.record(v as f64);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let approx = h.percentile(q).unwrap() as f64;
+            let exact = s.percentile(q).unwrap();
+            prop_assert!(
+                (approx - exact).abs() <= exact * 0.03 + 1.0,
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    /// Merging two histograms equals recording the concatenation.
+    #[test]
+    fn histogram_merge_is_concat(
+        a in proptest::collection::vec(0u64..1_000_000, 0..150),
+        b in proptest::collection::vec(0u64..1_000_000, 1..150),
+    ) {
+        let mut ha = Histogram::new();
+        for &v in &a { ha.record(v); }
+        let mut hb = Histogram::new();
+        for &v in &b { hb.record(v); }
+        let mut hc = Histogram::new();
+        for &v in a.iter().chain(&b) { hc.record(v); }
+        ha.merge(&hb);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            prop_assert_eq!(ha.percentile(q), hc.percentile(q));
+        }
+        prop_assert_eq!(ha.count(), hc.count());
+    }
+
+    /// RateCounter conserves the number of recorded events across windows.
+    #[test]
+    fn rate_counter_conserves_events(ts in proptest::collection::vec(0u64..60_000_000, 1..300)) {
+        let mut r = RateCounter::new(1_000_000, 61);
+        for &t in &ts {
+            r.record(t);
+        }
+        let max = *ts.iter().max().unwrap();
+        prop_assert_eq!(r.count_trailing(max, 61), ts.len() as u64);
+    }
+
+    /// WindowedLatency trailing-window counts partition by window width.
+    #[test]
+    fn windowed_counts_partition(ts in proptest::collection::vec(0u64..10_000_000, 1..200)) {
+        let mut w = WindowedLatency::new(1_000_000, 16);
+        for &t in &ts {
+            w.record(t, 5);
+        }
+        let total = w.count_trailing(9_999_999, 10);
+        let split: u64 = (0..10u64).map(|i| w.count_trailing(i * 1_000_000, 1)).sum();
+        prop_assert_eq!(total, split);
+        prop_assert_eq!(total, ts.len() as u64);
+    }
+
+    /// Summary percentile equals the sorted-order element (nearest rank).
+    #[test]
+    fn summary_is_nearest_rank(values in proptest::collection::vec(-1e6f64..1e6, 1..200), q in 0.0f64..=1.0) {
+        let mut s = Summary::new();
+        for &v in &values {
+            s.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        prop_assert_eq!(s.percentile(q).unwrap(), sorted[rank - 1]);
+    }
+}

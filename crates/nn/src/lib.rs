@@ -1,0 +1,37 @@
+//! # graf-nn
+//!
+//! A from-scratch neural-network substrate replacing the paper's
+//! PyTorch/torch-geometric stack (§4). It provides exactly what GRAF's
+//! latency prediction model and configuration solver need:
+//!
+//! * [`Matrix`] — a dense row-major `f64` matrix with the linear-algebra ops
+//!   the MLPs use,
+//! * [`Mlp`] — multi-layer perceptrons with ReLU activations and dropout,
+//!   implemented in a *stateless-trace* style: `forward` returns a
+//!   [`mlp::MlpTrace`] so the same network can be applied many times within
+//!   one computation graph (as message passing requires) and each application
+//!   back-propagated independently, with parameter gradients accumulating,
+//! * [`Adam`] — the Adam optimizer (Kingma & Ba), which the paper uses both
+//!   for training (§3.4) and for the configuration solver's gradient descent
+//!   over resources (§3.5),
+//! * [`loss`] — losses including the paper's asymmetric Hüber on percentage
+//!   error (eq. 4) with `θ_L = 0.1`, `θ_R = 0.3` (Table 1).
+//!
+//! Backward passes also expose gradients **with respect to inputs**, which is
+//! the mechanism the configuration solver uses to differentiate predicted
+//! latency with respect to CPU quotas.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loss;
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+pub mod param;
+
+pub use loss::AsymmetricHuber;
+pub use matrix::Matrix;
+pub use mlp::{Mlp, MlpTrace, Mode};
+pub use optim::Adam;
+pub use param::Param;

@@ -1,0 +1,310 @@
+//! Dense row-major matrices.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from a generator over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wraps a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// A `1 × n` row vector.
+    pub fn row_vector(data: Vec<f64>) -> Self {
+        let cols = data.len();
+        Self { rows: 1, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Raw data slice (row-major).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable data slice (row-major).
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix product `self × rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Element-wise sum with another matrix of the same shape.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+
+    /// In-place element-wise accumulate.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise Hadamard product.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "hadamard shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect(),
+        }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: f64) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// Adds a `1 × cols` row vector to every row.
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(row.rows, 1, "broadcast expects a row vector");
+        assert_eq!(row.cols, self.cols, "broadcast width mismatch");
+        Matrix::from_fn(self.rows, self.cols, |r, c| self.get(r, c) + row.get(0, c))
+    }
+
+    /// Sums rows into a `1 × cols` vector (gradient of row broadcast).
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.get(r, c);
+            }
+        }
+        out
+    }
+
+    /// Horizontally concatenates matrices with equal row counts.
+    pub fn hcat(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty());
+        let rows = parts[0].rows;
+        assert!(parts.iter().all(|p| p.rows == rows), "hcat row mismatch");
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let mut off = 0;
+            for p in parts {
+                for c in 0..p.cols {
+                    out.data[r * cols + off + c] = p.get(r, c);
+                }
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Extracts columns `[from, to)`.
+    pub fn slice_cols(&self, from: usize, to: usize) -> Matrix {
+        assert!(from <= to && to <= self.cols, "column slice out of range");
+        Matrix::from_fn(self.rows, to - from, |r, c| self.get(r, from + c))
+    }
+
+    /// Extracts rows `[from, to)`.
+    pub fn slice_rows(&self, from: usize, to: usize) -> Matrix {
+        assert!(from <= to && to <= self.rows, "row slice out of range");
+        Matrix::from_fn(to - from, self.cols, |r, c| self.get(from + r, c))
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Sets all entries to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        let i = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i).data(), a.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_fn(2, 4, |r, c| (r * 10 + c) as f64);
+        assert_eq!(a.transpose().transpose().data(), a.data());
+        assert_eq!(a.transpose().get(3, 1), a.get(1, 3));
+    }
+
+    #[test]
+    fn broadcast_and_sum_rows_are_adjoint() {
+        let x = Matrix::from_fn(3, 2, |r, c| (r + c) as f64);
+        let b = Matrix::row_vector(vec![10.0, 20.0]);
+        let y = x.add_row_broadcast(&b);
+        assert_eq!(y.get(2, 1), 3.0 + 20.0);
+        let g = Matrix::from_fn(3, 2, |_, _| 1.0);
+        assert_eq!(g.sum_rows().data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn hcat_and_slice_cols_invert() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r * 2 + c) as f64);
+        let b = Matrix::from_fn(2, 3, |r, c| 100.0 + (r * 3 + c) as f64);
+        let cat = Matrix::hcat(&[&a, &b]);
+        assert_eq!(cat.cols(), 5);
+        assert_eq!(cat.slice_cols(0, 2).data(), a.data());
+        assert_eq!(cat.slice_cols(2, 5).data(), b.data());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_vec(1, 3, vec![1., -2., 3.]);
+        let b = Matrix::from_vec(1, 3, vec![2., 2., 2.]);
+        assert_eq!(a.add(&b).data(), &[3., 0., 5.]);
+        assert_eq!(a.hadamard(&b).data(), &[2., -4., 6.]);
+        assert_eq!(a.scale(-1.0).data(), &[-1., 2., -3.]);
+        assert_eq!(a.map(f64::abs).data(), &[1., 2., 3.]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c.data(), &[3., 0., 5.]);
+    }
+
+    #[test]
+    fn norm_is_frobenius() {
+        let a = Matrix::from_vec(1, 2, vec![3., 4.]);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_associativity_numerically() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r as f64 + 1.0) * (c as f64 - 1.0));
+        let b = Matrix::from_fn(3, 4, |r, c| (r * c) as f64 * 0.5 - 1.0);
+        let c = Matrix::from_fn(4, 2, |r, c| 0.25 * (r + c) as f64);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for i in 0..left.rows() * left.cols() {
+            assert!((left.data()[i] - right.data()[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn transpose_matmul_identity() {
+        // (AB)^T = B^T A^T
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        let b = Matrix::from_fn(3, 2, |r, c| (r + 2 * c) as f64);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        assert_eq!(lhs.data(), rhs.data());
+    }
+
+    #[test]
+    fn slice_rows_extracts() {
+        let a = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f64);
+        let s = a.slice_rows(1, 3);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.data(), &[2., 3., 4., 5.]);
+    }
+}

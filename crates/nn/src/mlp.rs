@@ -1,0 +1,276 @@
+//! Multi-layer perceptrons with trace-based backpropagation.
+//!
+//! An [`Mlp`] owns its parameters but keeps no per-call activation state:
+//! `forward` returns an [`MlpTrace`] capturing everything `backward` needs.
+//! This lets the GNN apply the same network to every node of a graph (message
+//! passing shares φ/γ across nodes) and back-propagate each application,
+//! accumulating parameter gradients.
+
+use graf_sim::rng::DetRng;
+
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// Forward-pass mode.
+pub enum Mode<'a> {
+    /// Training: dropout active, masks drawn from the RNG.
+    Train(&'a mut DetRng),
+    /// Inference: dropout disabled (inverted-dropout needs no rescale).
+    Eval,
+}
+
+/// One hidden/output layer's cached forward state.
+#[derive(Debug)]
+struct LayerTrace {
+    /// Layer input.
+    input: Matrix,
+    /// Pre-activation output (after affine, before ReLU).
+    pre: Matrix,
+    /// Dropout keep-mask scaled by 1/keep (inverted dropout), if applied.
+    dropout: Option<Matrix>,
+}
+
+/// Captured forward state of one MLP application.
+#[derive(Debug)]
+pub struct MlpTrace {
+    layers: Vec<LayerTrace>,
+}
+
+/// A fully connected network: affine layers with ReLU on all but the last,
+/// and optional dropout after each ReLU (the paper applies dropout "to every
+/// layer except for the last", §4).
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    weights: Vec<Param>,
+    biases: Vec<Param>,
+    dropout_p: f64,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer widths, e.g. `[4, 20, 20, 1]`.
+    /// Weights use He initialization from `rng`.
+    pub fn new(widths: &[usize], dropout_p: f64, rng: &mut DetRng) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        assert!((0.0..1.0).contains(&dropout_p), "dropout in [0,1)");
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for w in widths.windows(2) {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let std = (2.0 / fan_in as f64).sqrt();
+            let weight =
+                Matrix::from_fn(fan_in, fan_out, |_, _| rng.std_normal() * std);
+            weights.push(Param::new(weight));
+            biases.push(Param::new(Matrix::zeros(1, fan_out)));
+        }
+        Self { weights, biases, dropout_p }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.weights[0].value.rows()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.weights.last().expect("non-empty").value.cols()
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.weights.iter().map(Param::len).sum::<usize>()
+            + self.biases.iter().map(Param::len).sum::<usize>()
+    }
+
+    /// Applies the network to a batch `x` (`B × input_dim`).
+    ///
+    /// Returns the output (`B × output_dim`) and the trace for `backward`.
+    pub fn forward(&self, x: &Matrix, mode: &mut Mode<'_>) -> (Matrix, MlpTrace) {
+        assert_eq!(x.cols(), self.input_dim(), "input width mismatch");
+        let mut layers = Vec::with_capacity(self.weights.len());
+        let mut cur = x.clone();
+        let last = self.weights.len() - 1;
+        for (i, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let pre = cur.matmul(&w.value).add_row_broadcast(&b.value);
+            let mut out = if i < last { pre.map(|v| v.max(0.0)) } else { pre.clone() };
+            let dropout = if i < last && self.dropout_p > 0.0 {
+                match mode {
+                    Mode::Train(rng) => {
+                        let keep = 1.0 - self.dropout_p;
+                        let mask = Matrix::from_fn(out.rows(), out.cols(), |_, _| {
+                            if rng.unit() < keep { 1.0 / keep } else { 0.0 }
+                        });
+                        out = out.hadamard(&mask);
+                        Some(mask)
+                    }
+                    Mode::Eval => None,
+                }
+            } else {
+                None
+            };
+            layers.push(LayerTrace { input: cur, pre, dropout });
+            cur = out;
+        }
+        (cur, MlpTrace { layers })
+    }
+
+    /// Back-propagates `grad_out` (`B × output_dim`) through the traced
+    /// application. Parameter gradients accumulate into the params; the
+    /// gradient with respect to the input batch is returned.
+    pub fn backward(&mut self, trace: &MlpTrace, grad_out: &Matrix) -> Matrix {
+        assert_eq!(trace.layers.len(), self.weights.len(), "trace/network mismatch");
+        let last = self.weights.len() - 1;
+        let mut grad = grad_out.clone();
+        for i in (0..self.weights.len()).rev() {
+            let lt = &trace.layers[i];
+            if i < last {
+                if let Some(mask) = &lt.dropout {
+                    grad = grad.hadamard(mask);
+                }
+                // ReLU gate on the pre-activation.
+                let gate = lt.pre.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                grad = grad.hadamard(&gate);
+            }
+            let gw = lt.input.transpose().matmul(&grad);
+            let gb = grad.sum_rows();
+            self.weights[i].accumulate(&gw);
+            self.biases[i].accumulate(&gb);
+            grad = grad.matmul(&self.weights[i].value.transpose());
+        }
+        grad
+    }
+
+    /// Mutable references to every parameter, for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.weights.iter_mut().chain(self.biases.iter_mut()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+
+    fn finite_diff_check(widths: &[usize], seed: u64) {
+        let mut rng = DetRng::new(seed);
+        let mlp = Mlp::new(widths, 0.0, &mut rng);
+        let x = Matrix::from_fn(3, widths[0], |r, c| 0.3 * (r as f64) - 0.2 * (c as f64) + 0.1);
+
+        // Loss = sum of outputs; analytic input gradient via backward.
+        let (y, trace) = mlp.forward(&x, &mut Mode::Eval);
+        let ones = Matrix::from_fn(y.rows(), y.cols(), |_, _| 1.0);
+        let mut mlp_mut = mlp.clone();
+        let gx = mlp_mut.backward(&trace, &ones);
+
+        // Numeric gradient.
+        let eps = 1e-6;
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                let (yp, _) = mlp.forward(&xp, &mut Mode::Eval);
+                let (ym, _) = mlp.forward(&xm, &mut Mode::Eval);
+                let num = (yp.data().iter().sum::<f64>() - ym.data().iter().sum::<f64>())
+                    / (2.0 * eps);
+                let ana = gx.get(r, c);
+                assert!(
+                    (num - ana).abs() < 1e-5 * (1.0 + num.abs()),
+                    "input grad mismatch at ({r},{c}): {num} vs {ana}"
+                );
+            }
+        }
+
+        // Parameter gradient check on the first weight.
+        let mut mlp2 = mlp.clone();
+        let (_, trace2) = mlp2.forward(&x, &mut Mode::Eval);
+        mlp2.backward(&trace2, &ones);
+        let ana_w = mlp2.weights[0].grad.clone();
+        for (r, c) in [(0, 0), (widths[0] - 1, 0)] {
+            let orig = mlp.weights[0].value.get(r, c);
+            let mut mp = mlp.clone();
+            mp.weights[0].value.set(r, c, orig + eps);
+            let mut mm = mlp.clone();
+            mm.weights[0].value.set(r, c, orig - eps);
+            let (yp, _) = mp.forward(&x, &mut Mode::Eval);
+            let (ym, _) = mm.forward(&x, &mut Mode::Eval);
+            let num =
+                (yp.data().iter().sum::<f64>() - ym.data().iter().sum::<f64>()) / (2.0 * eps);
+            let ana = ana_w.get(r, c);
+            assert!(
+                (num - ana).abs() < 1e-5 * (1.0 + num.abs()),
+                "weight grad mismatch at ({r},{c}): {num} vs {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        finite_diff_check(&[2, 20, 20, 1], 5);
+        finite_diff_check(&[4, 8, 3], 6);
+    }
+
+    #[test]
+    fn learns_a_linear_function() {
+        let mut rng = DetRng::new(7);
+        let mut mlp = Mlp::new(&[2, 16, 1], 0.0, &mut rng);
+        let mut opt = Adam::new(0.01);
+        // y = 3a - 2b + 1
+        let xs = Matrix::from_fn(64, 2, |r, c| {
+            let t = r as f64 / 64.0;
+            if c == 0 { t } else { 1.0 - 2.0 * t }
+        });
+        let ys = Matrix::from_fn(64, 1, |r, _| {
+            3.0 * xs.get(r, 0) - 2.0 * xs.get(r, 1) + 1.0
+        });
+        let mut last_loss = f64::INFINITY;
+        for _ in 0..800 {
+            let (pred, trace) = mlp.forward(&xs, &mut Mode::Eval);
+            let diff = pred.add(&ys.scale(-1.0));
+            last_loss = diff.norm().powi(2) / 64.0;
+            mlp.backward(&trace, &diff.scale(2.0 / 64.0));
+            opt.step(&mut mlp.params_mut());
+        }
+        assert!(last_loss < 1e-3, "loss {last_loss}");
+    }
+
+    #[test]
+    fn dropout_zeroes_activations_in_training_only() {
+        let mut rng = DetRng::new(8);
+        let mlp = Mlp::new(&[4, 64, 1], 0.5, &mut rng);
+        let x = Matrix::from_fn(1, 4, |_, c| c as f64 + 1.0);
+        let mut drop_rng = DetRng::new(9);
+        let (y1, _) = mlp.forward(&x, &mut Mode::Train(&mut drop_rng));
+        let (y2, _) = mlp.forward(&x, &mut Mode::Eval);
+        let (y3, _) = mlp.forward(&x, &mut Mode::Eval);
+        assert_eq!(y2.data(), y3.data(), "eval is deterministic");
+        assert_ne!(y1.data(), y2.data(), "dropout perturbs training output");
+    }
+
+    #[test]
+    fn shapes_and_param_counts() {
+        let mut rng = DetRng::new(10);
+        let mlp = Mlp::new(&[3, 20, 20, 1], 0.25, &mut rng);
+        assert_eq!(mlp.input_dim(), 3);
+        assert_eq!(mlp.output_dim(), 1);
+        assert_eq!(mlp.num_layers(), 3);
+        assert_eq!(mlp.num_params(), 3 * 20 + 20 + 20 * 20 + 20 + 20 + 1);
+        let x = Matrix::zeros(5, 3);
+        let (y, _) = mlp.forward(&x, &mut Mode::Eval);
+        assert_eq!((y.rows(), y.cols()), (5, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn input_width_is_checked() {
+        let mut rng = DetRng::new(11);
+        let mlp = Mlp::new(&[3, 4, 1], 0.0, &mut rng);
+        let x = Matrix::zeros(1, 5);
+        let _ = mlp.forward(&x, &mut Mode::Eval);
+    }
+}

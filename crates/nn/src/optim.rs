@@ -1,0 +1,112 @@
+//! The Adam optimizer (Kingma & Ba, 2014), as used by the paper for both
+//! model training and the configuration solver (§3.5, reference [45]).
+
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// Adam with bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate (paper: 2 × 10⁻⁴ for training, Table 1).
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical stabilizer.
+    pub eps: f64,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam with the standard betas.
+    pub fn new(lr: f64) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Steps every parameter against its accumulated gradient, then zeroes
+    /// the gradients.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params.iter_mut() {
+            let g = p.grad.clone();
+            p.m = p.m.scale(self.beta1).add(&g.scale(1.0 - self.beta1));
+            p.v = p.v.scale(self.beta2).add(&g.hadamard(&g).scale(1.0 - self.beta2));
+            let mut step = Matrix::zeros(g.rows(), g.cols());
+            for i in 0..g.rows() * g.cols() {
+                let mhat = p.m.data()[i] / bc1;
+                let vhat = p.v.data()[i] / bc2;
+                step.data_mut()[i] = -self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.value.add_assign(&step);
+            p.zero_grad();
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)² from x = 0; Adam must converge to 3.
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let x = p.value.get(0, 0);
+            p.grad.set(0, 0, 2.0 * (x - 3.0));
+            opt.step(&mut [&mut p]);
+        }
+        let x = p.value.get(0, 0);
+        assert!((x - 3.0).abs() < 1e-3, "x={x}");
+        assert_eq!(opt.steps(), 500);
+    }
+
+    /// Rosenbrock-ish 2-parameter test: both coordinates move.
+    #[test]
+    fn adam_handles_multiple_params() {
+        let mut a = Param::new(Matrix::from_vec(1, 1, vec![5.0]));
+        let mut b = Param::new(Matrix::from_vec(1, 1, vec![-5.0]));
+        let mut opt = Adam::new(0.2);
+        for _ in 0..800 {
+            let (x, y) = (a.value.get(0, 0), b.value.get(0, 0));
+            a.grad.set(0, 0, 2.0 * x);
+            b.grad.set(0, 0, 2.0 * (y - 1.0));
+            opt.step(&mut [&mut a, &mut b]);
+        }
+        assert!(a.value.get(0, 0).abs() < 1e-2);
+        assert!((b.value.get(0, 0) - 1.0).abs() < 1e-2);
+    }
+
+    /// Bias correction makes the very first step ≈ lr in the gradient
+    /// direction, independent of gradient magnitude.
+    #[test]
+    fn first_step_is_learning_rate_sized() {
+        for &g in &[1e-4, 1.0, 1e4] {
+            let mut p = Param::new(Matrix::zeros(1, 1));
+            p.grad.set(0, 0, g);
+            Adam::new(0.05).step(&mut [&mut p]);
+            let moved = -p.value.get(0, 0);
+            assert!(
+                (moved - 0.05).abs() < 1e-3,
+                "grad {g}: first Adam step ≈ lr, moved {moved}"
+            );
+        }
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        p.grad.set(0, 0, 1.0);
+        Adam::new(0.01).step(&mut [&mut p]);
+        assert_eq!(p.grad.get(0, 0), 0.0);
+    }
+}

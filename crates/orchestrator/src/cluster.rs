@@ -1,0 +1,259 @@
+//! Deployments and the cluster control plane.
+
+use graf_sim::time::{SimDuration, SimTime};
+use graf_sim::topology::ServiceId;
+use graf_sim::world::World;
+
+use crate::creation::CreationModel;
+
+/// A Kubernetes-style deployment: one service, a fixed CPU unit per instance,
+/// a desired replica count and bounds.
+#[derive(Clone, Debug)]
+pub struct Deployment {
+    /// Managed service.
+    pub service: ServiceId,
+    /// CPU quota per instance in millicores (the paper's "CPU unit" of
+    /// eq. 7: instances = ceil(quota / unit)).
+    pub cpu_unit_mc: f64,
+    /// Current desired replicas.
+    pub desired: usize,
+    /// Lower bound on replicas.
+    pub min_replicas: usize,
+    /// Upper bound on replicas.
+    pub max_replicas: usize,
+}
+
+impl Deployment {
+    /// Creates a deployment with bounds `[1, 1000]` and the given initial size.
+    pub fn new(service: ServiceId, cpu_unit_mc: f64, initial: usize) -> Self {
+        assert!(cpu_unit_mc > 0.0);
+        Self { service, cpu_unit_mc, desired: initial, min_replicas: 1, max_replicas: 1000 }
+    }
+
+    /// Sets replica bounds.
+    pub fn bounds(mut self, min: usize, max: usize) -> Self {
+        assert!(min <= max);
+        self.min_replicas = min;
+        self.max_replicas = max;
+        self
+    }
+}
+
+/// The control plane: a simulated world plus its deployments and the
+/// instance-creation latency model.
+pub struct Cluster {
+    world: World,
+    deployments: Vec<Deployment>,
+    creation: CreationModel,
+    /// Ready times of in-flight creations (pruned lazily).
+    inflight_creations: Vec<SimTime>,
+}
+
+impl Cluster {
+    /// Creates a cluster and immediately starts the initial replicas (ready
+    /// without startup delay — experiments begin from a warm deployment, as
+    /// the paper's do).
+    pub fn new(mut world: World, deployments: Vec<Deployment>, creation: CreationModel) -> Self {
+        for d in &deployments {
+            assert!(
+                (d.service.0 as usize) < world.topology().num_services(),
+                "deployment references unknown service"
+            );
+            world.add_instances(d.service, d.desired, d.cpu_unit_mc, world.now());
+        }
+        // Make the initial instances ready by processing their events "now".
+        let now = world.now();
+        world.run_until(now);
+        Self { world, deployments, creation, inflight_creations: Vec::new() }
+    }
+
+    /// The simulated world.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable access to the simulated world.
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// The deployments, in construction order.
+    pub fn deployments(&self) -> &[Deployment] {
+        &self.deployments
+    }
+
+    /// The deployment managing `service`.
+    pub fn deployment(&self, service: ServiceId) -> &Deployment {
+        self.deployments
+            .iter()
+            .find(|d| d.service == service)
+            .expect("service has a deployment")
+    }
+
+    /// Number of creations currently in flight cluster-wide.
+    pub fn inflight_creations(&mut self) -> usize {
+        let now = self.world.now();
+        self.inflight_creations.retain(|&t| t > now);
+        self.inflight_creations.len()
+    }
+
+    /// Sets the desired replica count of `service`, clamped to the
+    /// deployment's bounds. Added instances become ready after the
+    /// creation-latency curve; removals drain immediately.
+    ///
+    /// Returns the applied (clamped) desired count.
+    pub fn set_desired(&mut self, service: ServiceId, replicas: usize) -> usize {
+        let now = self.world.now();
+        let d = self
+            .deployments
+            .iter_mut()
+            .find(|d| d.service == service)
+            .expect("service has a deployment");
+        let target = replicas.clamp(d.min_replicas, d.max_replicas);
+        let unit = d.cpu_unit_mc;
+        d.desired = target;
+        let (starting, ready, _draining) = self.world.instance_counts(service);
+        let current = starting + ready;
+        if target > current {
+            let add = target - current;
+            self.inflight_creations.retain(|&t| t > now);
+            let concurrent = self.inflight_creations.len() + add;
+            let ready_at = now + self.creation.delay(concurrent);
+            self.world.add_instances(service, add, unit, ready_at);
+            for _ in 0..add {
+                self.inflight_creations.push(ready_at);
+            }
+        } else if target < current {
+            self.world.remove_instances(service, current - target);
+        }
+        target
+    }
+
+    /// Desired replicas needed to provide `quota_mc` at this service's CPU
+    /// unit (the paper's eq. 7: `ceil(quota / unit)`).
+    pub fn replicas_for_quota(&self, service: ServiceId, quota_mc: f64) -> usize {
+        let unit = self.deployment(service).cpu_unit_mc;
+        (quota_mc / unit).ceil().max(0.0) as usize
+    }
+
+    /// Live (starting + ready + draining) instance count of `service`.
+    pub fn live_instances(&self, service: ServiceId) -> usize {
+        let (s, r, d) = self.world.instance_counts(service);
+        s + r + d
+    }
+
+    /// Total live instances across all deployments.
+    pub fn total_instances(&self) -> usize {
+        self.deployments.iter().map(|d| self.live_instances(d.service)).sum()
+    }
+
+    /// Total ready CPU quota across all deployments, millicores.
+    pub fn total_ready_quota_mc(&self) -> f64 {
+        self.deployments.iter().map(|d| self.world.ready_quota_mc(d.service)).sum()
+    }
+
+    /// Mean CPU utilization of `service` over the trailing `dur`.
+    pub fn utilization(&self, service: ServiceId, dur: SimDuration) -> Option<f64> {
+        self.world.service_utilization(service, dur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graf_sim::topology::{ApiSpec, AppTopology, CallNode, ChildMode, ServiceSpec};
+    use graf_sim::world::SimConfig;
+
+    fn topo() -> AppTopology {
+        AppTopology::new(
+            "t",
+            vec![ServiceSpec::new("a", 1.0, 100).cv(0.0), ServiceSpec::new("b", 2.0, 100).cv(0.0)],
+            vec![ApiSpec::new("get", CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1)]))],
+        )
+    }
+
+    fn cluster() -> Cluster {
+        let world = World::new(topo(), SimConfig::default(), 11);
+        Cluster::new(
+            world,
+            vec![
+                Deployment::new(ServiceId(0), 500.0, 2),
+                Deployment::new(ServiceId(1), 500.0, 1),
+            ],
+            CreationModel::default(),
+        )
+    }
+
+    #[test]
+    fn initial_replicas_are_ready_immediately() {
+        let c = cluster();
+        let (_, ready_a, _) = c.world().instance_counts(ServiceId(0));
+        let (_, ready_b, _) = c.world().instance_counts(ServiceId(1));
+        assert_eq!((ready_a, ready_b), (2, 1));
+        assert_eq!(c.total_instances(), 3);
+        assert!((c.total_ready_quota_mc() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_up_takes_creation_time() {
+        let mut c = cluster();
+        c.set_desired(ServiceId(0), 3);
+        let (starting, ready, _) = c.world().instance_counts(ServiceId(0));
+        assert_eq!((starting, ready), (1, 2));
+        // Single creation: ready after 5.5 s.
+        c.world_mut().run_until(SimTime::from_secs(5.0));
+        assert_eq!(c.world().instance_counts(ServiceId(0)).1, 2, "not ready yet");
+        c.world_mut().run_until(SimTime::from_secs(6.0));
+        assert_eq!(c.world().instance_counts(ServiceId(0)).1, 3, "ready after 5.5s");
+    }
+
+    #[test]
+    fn batch_creation_is_slower() {
+        let mut c = cluster();
+        c.set_desired(ServiceId(0), 10); // batch of 8 new
+        c.world_mut().run_until(SimTime::from_secs(10.0));
+        assert_eq!(c.world().instance_counts(ServiceId(0)).1, 2, "8-batch takes 23.6s");
+        c.world_mut().run_until(SimTime::from_secs(24.0));
+        assert_eq!(c.world().instance_counts(ServiceId(0)).1, 10);
+    }
+
+    #[test]
+    fn scale_down_is_immediate() {
+        let mut c = cluster();
+        c.set_desired(ServiceId(0), 1);
+        let (starting, ready, draining) = c.world().instance_counts(ServiceId(0));
+        assert_eq!(starting, 0);
+        assert_eq!(ready + draining, 1, "idle instances removed instantly");
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let world = World::new(topo(), SimConfig::default(), 1);
+        let mut c = Cluster::new(
+            world,
+            vec![Deployment::new(ServiceId(0), 500.0, 2).bounds(2, 4),
+                 Deployment::new(ServiceId(1), 500.0, 1)],
+            CreationModel::instant(),
+        );
+        assert_eq!(c.set_desired(ServiceId(0), 0), 2);
+        assert_eq!(c.set_desired(ServiceId(0), 100), 4);
+    }
+
+    #[test]
+    fn replicas_for_quota_rounds_up() {
+        let c = cluster();
+        assert_eq!(c.replicas_for_quota(ServiceId(0), 1.0), 1);
+        assert_eq!(c.replicas_for_quota(ServiceId(0), 500.0), 1);
+        assert_eq!(c.replicas_for_quota(ServiceId(0), 500.1), 2);
+        assert_eq!(c.replicas_for_quota(ServiceId(0), 1700.0), 4);
+    }
+
+    #[test]
+    fn inflight_creations_prune() {
+        let mut c = cluster();
+        c.set_desired(ServiceId(0), 3);
+        assert_eq!(c.inflight_creations(), 1);
+        c.world_mut().run_until(SimTime::from_secs(10.0));
+        assert_eq!(c.inflight_creations(), 0);
+    }
+}

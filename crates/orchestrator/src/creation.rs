@@ -1,0 +1,117 @@
+//! Instance-creation latency model (paper Figure 1).
+//!
+//! The paper measures the time to create microservice instances on one worker
+//! node, network image pulls excluded: 5.5 s for a single instance, growing
+//! to 45.6 s when 16 are created at once (contention on the node's container
+//! runtime). We reproduce that exact curve by interpolating the measured
+//! points linearly in `log2(batch size)`.
+
+use graf_sim::time::SimDuration;
+
+/// The measured `(batch size, seconds)` points of Figure 1.
+pub const FIGURE1_POINTS: [(usize, f64); 5] =
+    [(1, 5.5), (2, 8.7), (4, 12.5), (8, 23.6), (16, 45.6)];
+
+/// Computes instance-creation delays from concurrent batch sizes.
+#[derive(Clone, Debug)]
+pub struct CreationModel {
+    /// Multiplier on the Figure-1 curve (1.0 = paper-measured; 0.0 = instant).
+    pub scale: f64,
+}
+
+impl Default for CreationModel {
+    fn default() -> Self {
+        Self { scale: 1.0 }
+    }
+}
+
+impl CreationModel {
+    /// A model with instant creation (for experiments isolating other effects).
+    pub fn instant() -> Self {
+        Self { scale: 0.0 }
+    }
+
+    /// Time until instances become ready when `concurrent` creations are in
+    /// flight cluster-wide (including the new ones).
+    ///
+    /// Between measured points the curve is interpolated linearly in
+    /// `log2(n)`; beyond 16 it extrapolates with the last segment's slope.
+    pub fn delay(&self, concurrent: usize) -> SimDuration {
+        if concurrent == 0 || self.scale == 0.0 {
+            return SimDuration::ZERO;
+        }
+        let secs = Self::curve_secs(concurrent) * self.scale;
+        SimDuration::from_secs(secs)
+    }
+
+    fn curve_secs(n: usize) -> f64 {
+        let x = (n as f64).log2();
+        let pts: Vec<(f64, f64)> =
+            FIGURE1_POINTS.iter().map(|&(n, s)| ((n as f64).log2(), s)).collect();
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if x <= x1 {
+                return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+            }
+        }
+        // Extrapolate beyond 16 with the last slope.
+        let (x0, y0) = pts[pts.len() - 2];
+        let (x1, y1) = pts[pts.len() - 1];
+        y1 + (y1 - y0) * (x - x1) / (x1 - x0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_points_are_exact() {
+        let m = CreationModel::default();
+        for &(n, s) in &FIGURE1_POINTS {
+            let d = m.delay(n).as_secs_f64();
+            assert!((d - s).abs() < 1e-9, "batch {n}: {d} vs {s}");
+        }
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let m = CreationModel::default();
+        let mut prev = SimDuration::ZERO;
+        for n in 1..=64 {
+            let d = m.delay(n);
+            assert!(d >= prev, "creation time must not decrease with batch size");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn interpolation_between_points() {
+        let m = CreationModel::default();
+        let d3 = m.delay(3).as_secs_f64();
+        assert!(d3 > 8.7 && d3 < 12.5, "3-instance batch between 2 and 4: {d3}");
+    }
+
+    #[test]
+    fn extrapolation_beyond_16() {
+        let m = CreationModel::default();
+        assert!(m.delay(32).as_secs_f64() > 45.6);
+    }
+
+    #[test]
+    fn instant_model_is_zero() {
+        let m = CreationModel::instant();
+        assert_eq!(m.delay(8), SimDuration::ZERO);
+        assert_eq!(CreationModel::default().delay(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let m = CreationModel { scale: 0.5 };
+        assert!((m.delay(1).as_secs_f64() - 2.75).abs() < 1e-9);
+    }
+}

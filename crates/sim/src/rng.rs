@@ -1,0 +1,163 @@
+//! Deterministic random-number generation and the distributions the
+//! simulation draws from.
+//!
+//! All stochastic behaviour in the simulator (service-time variability,
+//! arrival jitter, trace sampling, user think times) flows from one seed so
+//! experiments are exactly reproducible. Distributions are implemented
+//! in-repo — the offline dependency set has `rand` but no `rand_distr`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded deterministic RNG with the distribution helpers the simulator needs.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+/// SplitMix64 step, used for seed derivation when forking streams.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Creates an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child RNG for a named stream.
+    ///
+    /// Forking keeps subsystems (load generation, service-time draws, trace
+    /// sampling) statistically independent while preserving determinism even
+    /// when one subsystem changes how many draws it makes.
+    pub fn fork(&self, stream: u64) -> DetRng {
+        // Derive from a fresh seed rather than the current state so forks are
+        // stable regardless of draw order; mix the stream id twice to
+        // decorrelate adjacent streams.
+        let s = splitmix64(splitmix64(stream).wrapping_add(0xA5A5_5A5A_1234_5678));
+        DetRng::new(s)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo);
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Exponential with the given mean (inverse-CDF method).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        // Guard against ln(0).
+        let u = (1.0 - self.unit()).max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn std_normal(&mut self) -> f64 {
+        let u1 = (1.0 - self.unit()).max(f64::MIN_POSITIVE);
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normal parameterized by its *mean* and coefficient of variation.
+    ///
+    /// For service times: `mean` is the intended average work, `cv` is
+    /// std/mean. `cv == 0` returns `mean` exactly.
+    pub fn lognormal_mean_cv(&mut self, mean: f64, cv: f64) -> f64 {
+        debug_assert!(mean > 0.0 && cv >= 0.0);
+        if cv == 0.0 {
+            return mean;
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - 0.5 * sigma2;
+        (mu + sigma2.sqrt() * self.std_normal()).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_state() {
+        let parent1 = DetRng::new(1);
+        let mut parent2 = DetRng::new(1);
+        parent2.unit(); // advance parent2's state
+        let mut f1 = parent1.fork(9);
+        let mut f2 = parent2.fork(9);
+        assert_eq!(f1.unit().to_bits(), f2.unit().to_bits(), "forks depend only on stream id");
+    }
+
+    #[test]
+    fn exp_mean_converges() {
+        let mut r = DetRng::new(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exp(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean={mean}");
+    }
+
+    #[test]
+    fn lognormal_mean_and_cv_converge() {
+        let mut r = DetRng::new(4);
+        let n = 40_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.lognormal_mean_cv(10.0, 0.5)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / mean;
+        assert!((mean - 10.0).abs() < 0.25, "mean={mean}");
+        assert!((cv - 0.5).abs() < 0.05, "cv={cv}");
+    }
+
+    #[test]
+    fn lognormal_zero_cv_is_deterministic() {
+        let mut r = DetRng::new(5);
+        assert_eq!(r.lognormal_mean_cv(7.5, 0.0), 7.5);
+    }
+
+    #[test]
+    fn uniform_bounds_respected() {
+        let mut r = DetRng::new(6);
+        for _ in 0..1_000 {
+            let v = r.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&v));
+            let u = r.uniform_u64(5, 9);
+            assert!((5..=9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(7);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

@@ -1,0 +1,85 @@
+//! Per-service runtime state: replicas, pending queue and observability.
+
+use std::collections::VecDeque;
+
+use graf_metrics::{CpuAccount, RateCounter, WindowedLatency};
+
+use crate::frame::FrameId;
+use crate::station::InstanceId;
+use crate::time::SimTime;
+use crate::topology::ServiceSpec;
+
+/// Runtime state of one microservice: its replicas plus the metric surfaces
+/// the paper's collectors expose (cAdvisor CPU, per-service latency, perceived
+/// workload).
+#[derive(Debug)]
+pub struct ServiceRuntime {
+    /// Static spec.
+    pub spec: ServiceSpec,
+    /// All live replicas (starting, ready and draining).
+    pub instances: Vec<InstanceId>,
+    /// Frames waiting because no replica is ready.
+    pub pending: VecDeque<FrameId>,
+    /// CPU usage vs quota (utilization source for the HPA baseline).
+    pub cpu: CpuAccount,
+    /// Per-service span latency windows.
+    pub latency: WindowedLatency,
+    /// Arrivals per window — the "perceived workload" of Figure 7.
+    pub arrivals: RateCounter,
+    /// Active contention windows: `(from_us, until_us, work multiplier)`.
+    /// While a window covers the current time, every request's CPU demand is
+    /// multiplied — the §6 "unexpected contention in resources" anomaly.
+    pub slowdowns: Vec<(u64, u64, f64)>,
+}
+
+impl ServiceRuntime {
+    /// Creates runtime state with the given observation windows.
+    pub fn new(spec: ServiceSpec, window_us: u64, retain: usize) -> Self {
+        Self {
+            spec,
+            instances: Vec::new(),
+            pending: VecDeque::new(),
+            cpu: CpuAccount::new(),
+            latency: WindowedLatency::new(window_us, retain),
+            arrivals: RateCounter::new(window_us, retain),
+            slowdowns: Vec::new(),
+        }
+    }
+
+    /// The contention work-multiplier in effect at `t_us` (1.0 = none).
+    pub fn slowdown_at(&self, t_us: u64) -> f64 {
+        self.slowdowns
+            .iter()
+            .filter(|&&(from, until, _)| t_us >= from && t_us < until)
+            .map(|&(_, _, f)| f)
+            .fold(1.0, f64::max)
+    }
+
+    /// Records that a frame arrived at this service.
+    pub fn record_arrival(&mut self, now: SimTime) {
+        self.arrivals.record(now.as_micros());
+    }
+
+    /// Records a completed span's latency.
+    pub fn record_latency(&mut self, now: SimTime, latency_us: u64) {
+        self.latency.record(now.as_micros(), latency_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ServiceSpec;
+
+    #[test]
+    fn records_flow_into_metrics() {
+        let mut s = ServiceRuntime::new(ServiceSpec::new("svc", 1.0, 0), 1_000_000, 8);
+        s.record_arrival(SimTime(10));
+        s.record_arrival(SimTime(20));
+        s.record_latency(SimTime(30), 500);
+        assert_eq!(s.arrivals.count_trailing(30, 1), 2);
+        assert_eq!(s.latency.percentile_trailing(30, 1, 0.5), Some(500));
+        assert!(s.pending.is_empty());
+        assert!(s.instances.is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Simulated time: microsecond-resolution instants and durations.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant of simulated time, in microseconds since simulation start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// An instant `secs` seconds after the epoch (rounded to µs).
+    pub fn from_secs(secs: f64) -> Self {
+        debug_assert!(secs >= 0.0);
+        SimTime((secs * 1e6).round() as u64)
+    }
+
+    /// An instant `ms` milliseconds after the epoch (rounded to µs).
+    pub fn from_millis(ms: f64) -> Self {
+        debug_assert!(ms >= 0.0);
+        SimTime((ms * 1e3).round() as u64)
+    }
+
+    /// An instant `us` microseconds after the epoch.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Microseconds since the epoch.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier` (saturating at zero).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A duration of `secs` seconds (rounded to µs).
+    pub fn from_secs(secs: f64) -> Self {
+        debug_assert!(secs >= 0.0);
+        SimDuration((secs * 1e6).round() as u64)
+    }
+
+    /// A duration of `ms` milliseconds (rounded to µs).
+    pub fn from_millis(ms: f64) -> Self {
+        debug_assert!(ms >= 0.0);
+        SimDuration((ms * 1e3).round() as u64)
+    }
+
+    /// A duration of `us` microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(1.5).as_micros(), 1_500_000);
+        assert_eq!(SimTime::from_millis(2.5).as_micros(), 2_500);
+        assert_eq!(SimDuration::from_secs(0.000001).as_micros(), 1);
+        assert!((SimTime::from_micros(250_000).as_secs_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_micros(100) + SimDuration::from_micros(50);
+        assert_eq!(t, SimTime::from_micros(150));
+        assert_eq!(t - SimTime::from_micros(100), SimDuration::from_micros(50));
+        // Saturating subtraction: earlier - later = 0.
+        assert_eq!(SimTime::from_micros(10) - SimTime::from_micros(20), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_secs(1.0) < SimTime::from_secs(2.0));
+        assert!(SimDuration::from_millis(1.0) < SimDuration::from_millis(1.5));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(1.25).to_string(), "1.250s");
+        assert_eq!(SimDuration::from_millis(3.5).to_string(), "3.500ms");
+    }
+}

@@ -1,0 +1,404 @@
+//! Application topology: services, APIs and per-API call trees.
+//!
+//! A microservice application is a set of [`ServiceSpec`]s plus one
+//! [`ApiSpec`] per front-end API. Each API carries a call tree ([`CallNode`]):
+//! a request does local work at a node's service, then performs its child
+//! calls sequentially or in parallel, then returns. This is the structure the
+//! paper's Figures 4, 5 and 10 draw, and it determines both the trace shape
+//! and the GNN's message-passing graph.
+
+use std::fmt::Write as _;
+
+/// Index of a service within an [`AppTopology`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServiceId(pub u16);
+
+impl From<u16> for ServiceId {
+    fn from(v: u16) -> Self {
+        ServiceId(v)
+    }
+}
+
+/// Index of an API within an [`AppTopology`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ApiId(pub u16);
+
+impl From<u16> for ApiId {
+    fn from(v: u16) -> Self {
+        ApiId(v)
+    }
+}
+
+/// Static description of one microservice.
+#[derive(Clone, Debug)]
+pub struct ServiceSpec {
+    /// Human-readable name ("frontend", "cart", …).
+    pub name: String,
+    /// Mean CPU demand per request, in milliseconds of a full core.
+    ///
+    /// A request that would hold one core (1000 mc) for 3 ms has demand 3.0.
+    /// Offered load in millicores is therefore `qps × work_ms`.
+    pub work_ms: f64,
+    /// Fixed per-hop overhead (network + framework), microseconds.
+    pub base_us: u64,
+    /// Coefficient of variation of the per-request CPU demand (lognormal).
+    pub cv: f64,
+}
+
+impl ServiceSpec {
+    /// Creates a spec with the default service-time variability (cv = 0.5).
+    pub fn new(name: &str, work_ms: f64, base_us: u64) -> Self {
+        Self { name: name.to_string(), work_ms, base_us, cv: 0.5 }
+    }
+
+    /// Sets the coefficient of variation of per-request CPU demand.
+    pub fn cv(mut self, cv: f64) -> Self {
+        self.cv = cv;
+        self
+    }
+}
+
+/// Compatibility marker for the two classic child-call patterns.
+///
+/// Retained for readability in topology constructors: `Sequential` builds one
+/// stage per child, `Parallel` puts all children in a single stage. The
+/// general mechanism is [`CallNode::stages`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ChildMode {
+    /// Children are called one after another (one stage each).
+    #[default]
+    Sequential,
+    /// All children are called at once and the node waits for the slowest
+    /// (Bookinfo's Details ∥ Reviews pattern, §2.2).
+    Parallel,
+}
+
+/// One node of an API's call tree.
+///
+/// After its local work completes, a node executes its child **stages** in
+/// order; within a stage, all calls (including a node's `repeat` copies) run
+/// in parallel and the stage finishes when the slowest call returns. This
+/// expresses both the paper's sequential front-end fan-out (Online Boutique's
+/// Frontend calling Currency, then Cart, …) and parallel patterns (Bookinfo's
+/// Details ∥ Reviews; Social Network's compose-post fan-out followed by a
+/// storage write).
+#[derive(Clone, Debug)]
+pub struct CallNode {
+    /// Which service executes this node.
+    pub service: ServiceId,
+    /// Multiplier on the service's mean CPU demand for this API.
+    pub work_scale: f64,
+    /// How many parallel copies of this call the parent stage issues (≥ 1).
+    pub repeat: u32,
+    /// Downstream stages, executed in order after local work.
+    pub stages: Vec<Vec<CallNode>>,
+}
+
+impl CallNode {
+    /// A leaf call to `service` with defaults (scale 1.0, repeat 1).
+    pub fn new(service: u16) -> Self {
+        Self { service: ServiceId(service), work_scale: 1.0, repeat: 1, stages: Vec::new() }
+    }
+
+    /// Sets the work scale.
+    pub fn work_scale(mut self, s: f64) -> Self {
+        self.work_scale = s;
+        self
+    }
+
+    /// Sets the repeat count (parallel copies issued by the parent stage).
+    pub fn repeat(mut self, n: u32) -> Self {
+        assert!(n >= 1, "repeat must be >= 1");
+        self.repeat = n;
+        self
+    }
+
+    /// Appends one stage of parallel calls.
+    pub fn then(mut self, stage: Vec<CallNode>) -> Self {
+        assert!(!stage.is_empty(), "a stage must contain at least one call");
+        self.stages.push(stage);
+        self
+    }
+
+    /// Appends a single-call stage.
+    pub fn call(self, child: CallNode) -> Self {
+        self.then(vec![child])
+    }
+
+    /// Sets the children using the classic two-mode description.
+    pub fn children_mode(mut self, mode: ChildMode, children: Vec<CallNode>) -> Self {
+        match mode {
+            ChildMode::Sequential => {
+                for c in children {
+                    self.stages.push(vec![c]);
+                }
+            }
+            ChildMode::Parallel => {
+                if !children.is_empty() {
+                    self.stages.push(children);
+                }
+            }
+        }
+        self
+    }
+
+    /// Iterates over all child nodes across stages.
+    pub fn child_nodes(&self) -> impl Iterator<Item = &CallNode> {
+        self.stages.iter().flatten()
+    }
+}
+
+/// Static description of one front-end API.
+#[derive(Clone, Debug)]
+pub struct ApiSpec {
+    /// Human-readable name ("cart-page", "post-compose", …).
+    pub name: String,
+    /// The call tree rooted at the front-end service. The root's `repeat`
+    /// must be 1.
+    pub tree: CallNode,
+}
+
+impl ApiSpec {
+    /// Creates an API spec.
+    pub fn new(name: &str, tree: CallNode) -> Self {
+        Self { name: name.to_string(), tree }
+    }
+}
+
+/// A complete application topology.
+#[derive(Clone, Debug)]
+pub struct AppTopology {
+    /// Application name.
+    pub name: String,
+    /// All services; [`ServiceId`]s index into this vector.
+    pub services: Vec<ServiceSpec>,
+    /// All front-end APIs; [`ApiId`]s index into this vector.
+    pub apis: Vec<ApiSpec>,
+}
+
+impl AppTopology {
+    /// Creates and validates a topology.
+    ///
+    /// # Panics
+    /// Panics on invalid structure (out-of-range service ids, zero repeats,
+    /// non-positive work, root repeat ≠ 1, excessive depth) — topologies are
+    /// static program data, so failing fast is correct.
+    pub fn new(name: &str, services: Vec<ServiceSpec>, apis: Vec<ApiSpec>) -> Self {
+        let topo = Self { name: name.to_string(), services, apis };
+        topo.validate();
+        topo
+    }
+
+    fn validate(&self) {
+        assert!(!self.services.is_empty(), "topology needs at least one service");
+        assert!(!self.apis.is_empty(), "topology needs at least one API");
+        for s in &self.services {
+            assert!(s.work_ms > 0.0, "service {} must have positive work", s.name);
+            assert!(s.cv >= 0.0, "service {} cv must be >= 0", s.name);
+        }
+        for api in &self.apis {
+            assert_eq!(api.tree.repeat, 1, "API {} root repeat must be 1", api.name);
+            self.validate_node(&api.tree, 0, &api.name);
+        }
+    }
+
+    fn validate_node(&self, node: &CallNode, depth: usize, api: &str) {
+        assert!(depth < 32, "API {api} call tree too deep (cycle?)");
+        assert!(
+            (node.service.0 as usize) < self.services.len(),
+            "API {api} references unknown service {}",
+            node.service.0
+        );
+        assert!(node.repeat >= 1, "API {api} has a zero-repeat call");
+        assert!(node.work_scale > 0.0, "API {api} has a non-positive work scale");
+        for c in node.child_nodes() {
+            self.validate_node(c, depth + 1, api);
+        }
+    }
+
+    /// Number of services.
+    pub fn num_services(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Number of APIs.
+    pub fn num_apis(&self) -> usize {
+        self.apis.len()
+    }
+
+    /// Ground-truth call multiplicity: how many times one request of `api`
+    /// executes `service` (product of repeats along each path, summed over
+    /// occurrences).
+    pub fn multiplicity(&self, api: ApiId, service: ServiceId) -> f64 {
+        fn walk(node: &CallNode, service: ServiceId, factor: f64, acc: &mut f64) {
+            let here = factor * node.repeat as f64;
+            if node.service == service {
+                *acc += here;
+            }
+            for c in node.child_nodes() {
+                walk(c, service, here, acc);
+            }
+        }
+        let mut acc = 0.0;
+        walk(&self.apis[api.0 as usize].tree, service, 1.0, &mut acc);
+        acc
+    }
+
+    /// Directed parent→child service edges over all APIs, deduplicated and
+    /// sorted. This is the message-passing graph of the GNN (§3.4).
+    pub fn edges(&self) -> Vec<(ServiceId, ServiceId)> {
+        fn walk(node: &CallNode, out: &mut Vec<(ServiceId, ServiceId)>) {
+            for c in node.child_nodes() {
+                out.push((node.service, c.service));
+                walk(c, out);
+            }
+        }
+        let mut v = Vec::new();
+        for api in &self.apis {
+            walk(&api.tree, &mut v);
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Services reached by `api`, sorted.
+    pub fn services_in_api(&self, api: ApiId) -> Vec<ServiceId> {
+        fn walk(node: &CallNode, out: &mut Vec<ServiceId>) {
+            out.push(node.service);
+            for c in node.child_nodes() {
+                walk(c, out);
+            }
+        }
+        let mut v = Vec::new();
+        walk(&self.apis[api.0 as usize].tree, &mut v);
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Graphviz DOT rendering of the service graph (for the `topologies` bench
+    /// binary, mirroring Figures 4/5/10).
+    pub fn to_dot(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", self.name);
+        for (i, svc) in self.services.iter().enumerate() {
+            let _ = writeln!(s, "  s{} [label=\"{}\"];", i, svc.name);
+        }
+        for (p, c) in self.edges() {
+            let _ = writeln!(s, "  s{} -> s{};", p.0, c.0);
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear3() -> AppTopology {
+        AppTopology::new(
+            "lin",
+            vec![
+                ServiceSpec::new("a", 1.0, 100),
+                ServiceSpec::new("b", 1.0, 100),
+                ServiceSpec::new("c", 1.0, 100),
+            ],
+            vec![ApiSpec::new(
+                "get",
+                CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1).children_mode(ChildMode::Sequential, vec![CallNode::new(2)])]),
+            )],
+        )
+    }
+
+    #[test]
+    fn multiplicity_of_linear_chain() {
+        let t = linear3();
+        for s in 0..3 {
+            assert_eq!(t.multiplicity(ApiId(0), ServiceId(s)), 1.0);
+        }
+    }
+
+    #[test]
+    fn multiplicity_with_repeats_multiplies_along_path() {
+        // root -> (b x2) -> (c x3): c runs 6 times per request.
+        let t = AppTopology::new(
+            "rep",
+            vec![
+                ServiceSpec::new("a", 1.0, 0),
+                ServiceSpec::new("b", 1.0, 0),
+                ServiceSpec::new("c", 1.0, 0),
+            ],
+            vec![ApiSpec::new(
+                "get",
+                CallNode::new(0).children_mode(ChildMode::Sequential, vec![
+                    CallNode::new(1).repeat(2).children_mode(ChildMode::Sequential, vec![CallNode::new(2).repeat(3)]),
+                ]),
+            )],
+        );
+        assert_eq!(t.multiplicity(ApiId(0), ServiceId(1)), 2.0);
+        assert_eq!(t.multiplicity(ApiId(0), ServiceId(2)), 6.0);
+        assert_eq!(t.multiplicity(ApiId(0), ServiceId(0)), 1.0);
+    }
+
+    #[test]
+    fn edges_deduplicate_across_apis() {
+        let t = AppTopology::new(
+            "two-apis",
+            vec![ServiceSpec::new("a", 1.0, 0), ServiceSpec::new("b", 1.0, 0)],
+            vec![
+                ApiSpec::new("x", CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1)])),
+                ApiSpec::new("y", CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1)])),
+            ],
+        );
+        assert_eq!(t.edges(), vec![(ServiceId(0), ServiceId(1))]);
+    }
+
+    #[test]
+    fn services_in_api_subsets() {
+        let t = AppTopology::new(
+            "sub",
+            vec![
+                ServiceSpec::new("a", 1.0, 0),
+                ServiceSpec::new("b", 1.0, 0),
+                ServiceSpec::new("c", 1.0, 0),
+            ],
+            vec![
+                ApiSpec::new("x", CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1)])),
+                ApiSpec::new("y", CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(2)])),
+            ],
+        );
+        assert_eq!(t.services_in_api(ApiId(0)), vec![ServiceId(0), ServiceId(1)]);
+        assert_eq!(t.services_in_api(ApiId(1)), vec![ServiceId(0), ServiceId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown service")]
+    fn out_of_range_service_panics() {
+        AppTopology::new(
+            "bad",
+            vec![ServiceSpec::new("a", 1.0, 0)],
+            vec![ApiSpec::new("x", CallNode::new(5))],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "root repeat")]
+    fn root_repeat_must_be_one() {
+        AppTopology::new(
+            "bad",
+            vec![ServiceSpec::new("a", 1.0, 0)],
+            vec![ApiSpec::new("x", CallNode::new(0).repeat(2))],
+        );
+    }
+
+    #[test]
+    fn dot_contains_all_services_and_edges() {
+        let t = linear3();
+        let dot = t.to_dot();
+        assert!(dot.contains("s0 [label=\"a\"]"));
+        assert!(dot.contains("s0 -> s1;"));
+        assert!(dot.contains("s1 -> s2;"));
+    }
+}

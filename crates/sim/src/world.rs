@@ -1,0 +1,1291 @@
+//! The simulation world: event loop, request routing, instance lifecycle and
+//! observability surfaces.
+//!
+//! [`World`] is the single mutable object an experiment drives. Higher layers
+//! (the orchestrator's autoscalers, GRAF's controller, the load generators)
+//! interleave with it through a simple contract:
+//!
+//! 1. schedule request arrivals with [`World::inject`],
+//! 2. advance simulated time with [`World::run_until`],
+//! 3. between advances, observe metrics/traces and mutate capacity with
+//!    [`World::add_instances`] / [`World::remove_instances`].
+//!
+//! Determinism: all events are processed in `(time, schedule-order)` order and
+//! all randomness derives from the seed passed to [`World::new`].
+
+use std::collections::HashMap;
+
+use graf_metrics::{RateCounter, WindowedLatency};
+use graf_trace::{Span, SpanId, TraceId, TraceStore};
+
+use crate::events::EventQueue;
+use crate::frame::{Frame, FrameId, FrameState, RequestId};
+use crate::rng::DetRng;
+use crate::service::ServiceRuntime;
+use crate::station::{Instance, InstanceId, InstanceState};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{ApiId, AppTopology, CallNode, ServiceId};
+
+/// Tuning knobs of the simulation.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Metric window width in µs (latency windows, arrival-rate windows).
+    pub window_us: u64,
+    /// Number of metric windows retained per surface.
+    pub retain_windows: usize,
+    /// Per-job CPU rate cap in millicores (one core by default): a single
+    /// request handler cannot use more than one core no matter the quota.
+    pub per_job_cap_mc: f64,
+    /// Probability that a request is traced (Jaeger sampling rate).
+    pub trace_sample: f64,
+    /// Maximum finished traces retained.
+    pub trace_capacity: usize,
+    /// Client-side request timeout in µs (`None` = never). Mirrors Vegeta's
+    /// 30 s default: a timed-out request is abandoned — its in-flight work is
+    /// cancelled and its completion records the capped latency.
+    pub request_timeout_us: Option<u64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            window_us: 1_000_000, // 1 s windows; controllers query trailing k
+            retain_windows: 600,
+            per_job_cap_mc: 1000.0,
+            trace_sample: 1.0,
+            trace_capacity: 200_000,
+            request_timeout_us: Some(30_000_000),
+        }
+    }
+}
+
+/// A finished end-to-end request.
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    /// Request id (doubles as trace id).
+    pub request: RequestId,
+    /// API invoked.
+    pub api: ApiId,
+    /// Injection time (front-end receive).
+    pub start: SimTime,
+    /// Response time (capped at the timeout for abandoned requests).
+    pub end: SimTime,
+    /// `true` when the client abandoned the request at the timeout.
+    pub timed_out: bool,
+}
+
+impl Completion {
+    /// End-to-end latency in microseconds.
+    pub fn latency_us(&self) -> u64 {
+        (self.end - self.start).as_micros()
+    }
+}
+
+/// Aggregate counters, mostly for tests and sanity checks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorldStats {
+    /// Requests injected so far.
+    pub injected: u64,
+    /// Requests completed so far.
+    pub completed: u64,
+    /// Spans recorded into the trace store.
+    pub spans: u64,
+    /// Requests abandoned at the client timeout.
+    pub timeouts: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+/// Flattened call-tree node of one API (index-linked for cheap runtime walks).
+#[derive(Clone, Debug)]
+struct PlanNode {
+    service: ServiceId,
+    work_scale: f64,
+    repeat: u32,
+    /// Child stages: executed in order; calls within a stage run in parallel.
+    stages: Vec<Vec<u16>>,
+}
+
+#[derive(Clone, Debug)]
+struct ApiPlan {
+    nodes: Vec<PlanNode>,
+    root: u16,
+}
+
+fn flatten(tree: &CallNode) -> ApiPlan {
+    fn walk(node: &CallNode, nodes: &mut Vec<PlanNode>) -> u16 {
+        let idx = nodes.len() as u16;
+        nodes.push(PlanNode {
+            service: node.service,
+            work_scale: node.work_scale,
+            repeat: node.repeat,
+            stages: Vec::new(),
+        });
+        let mut stages = Vec::with_capacity(node.stages.len());
+        for stage in &node.stages {
+            let mut s = Vec::with_capacity(stage.len());
+            for c in stage {
+                s.push(walk(c, nodes));
+            }
+            stages.push(s);
+        }
+        nodes[idx as usize].stages = stages;
+        idx
+    }
+    let mut nodes = Vec::new();
+    let root = walk(tree, &mut nodes);
+    ApiPlan { nodes, root }
+}
+
+/// Per-request bookkeeping while the request is in flight.
+#[derive(Debug)]
+struct RequestMeta {
+    api: ApiId,
+    start: SimTime,
+    next_span: u32,
+    sampled: bool,
+    /// Live frames of this request: `(frame, generation)`.
+    frames: Vec<(FrameId, u32)>,
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival { api: ApiId },
+    RequestTimeout { request: RequestId },
+    StartFrame { frame: FrameId, generation: u32 },
+    JobCheck { instance: InstanceId, epoch: u64 },
+    InstanceReady { instance: InstanceId },
+}
+
+/// The simulated cluster: application, replicas, in-flight requests, metrics.
+pub struct World {
+    cfg: SimConfig,
+    topo: AppTopology,
+    plans: Vec<ApiPlan>,
+    services: Vec<ServiceRuntime>,
+    instances: Vec<Option<Instance>>,
+    frames: Vec<Frame>,
+    free_frames: Vec<u32>,
+    requests: HashMap<RequestId, RequestMeta>,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    rng_work: DetRng,
+    rng_trace: DetRng,
+    traces: TraceStore,
+    completions: Vec<Completion>,
+    e2e: WindowedLatency,
+    api_arrivals: Vec<RateCounter>,
+    next_request: u64,
+    stats: WorldStats,
+}
+
+impl World {
+    /// Creates a world for `topo` with the given config and seed.
+    pub fn new(topo: AppTopology, cfg: SimConfig, seed: u64) -> Self {
+        let root_rng = DetRng::new(seed);
+        let plans = topo.apis.iter().map(|a| flatten(&a.tree)).collect();
+        let services = topo
+            .services
+            .iter()
+            .map(|s| ServiceRuntime::new(s.clone(), cfg.window_us, cfg.retain_windows))
+            .collect();
+        let e2e = WindowedLatency::new(cfg.window_us, cfg.retain_windows);
+        let api_arrivals = topo
+            .apis
+            .iter()
+            .map(|_| RateCounter::new(cfg.window_us, cfg.retain_windows))
+            .collect();
+        Self {
+            plans,
+            services,
+            instances: Vec::new(),
+            frames: Vec::new(),
+            free_frames: Vec::new(),
+            requests: HashMap::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng_work: root_rng.fork(seed ^ 0x1),
+            rng_trace: root_rng.fork(seed ^ 0x2),
+            traces: TraceStore::new(cfg.trace_capacity),
+            completions: Vec::new(),
+            e2e,
+            api_arrivals,
+            next_request: 0,
+            stats: WorldStats::default(),
+            cfg,
+            topo,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The application topology.
+    pub fn topology(&self) -> &AppTopology {
+        &self.topo
+    }
+
+    /// The simulation config.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> WorldStats {
+        self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Capacity management
+    // ------------------------------------------------------------------
+
+    /// Adds `n` instances of `quota_mc` millicores to `service`, becoming
+    /// ready at `ready_at` (clamped to now). Returns their ids.
+    pub fn add_instances(
+        &mut self,
+        service: ServiceId,
+        n: usize,
+        quota_mc: f64,
+        ready_at: SimTime,
+    ) -> Vec<InstanceId> {
+        let ready_at = ready_at.max(self.now);
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = InstanceId(self.instances.len() as u32);
+            let state = InstanceState::Starting { ready_at };
+            self.instances.push(Some(Instance::new(
+                service,
+                quota_mc,
+                state,
+                self.cfg.per_job_cap_mc,
+                self.now,
+            )));
+            self.services[service.0 as usize].instances.push(id);
+            self.queue.schedule(ready_at, Event::InstanceReady { instance: id });
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Removes up to `n` instances from `service`.
+    ///
+    /// Starting instances are cancelled first (they have no jobs); then ready
+    /// instances with the fewest in-flight jobs are drained: they finish their
+    /// jobs but accept no new ones, and their quota stops counting
+    /// immediately (Kubernetes removes the endpoint from the Service when the
+    /// pod begins terminating). Returns how many were removed.
+    pub fn remove_instances(&mut self, service: ServiceId, n: usize) -> usize {
+        let mut removed = 0;
+        // Pass 1: cancel Starting instances (newest first, as k8s does).
+        let starting: Vec<InstanceId> = self.services[service.0 as usize]
+            .instances
+            .iter()
+            .rev()
+            .copied()
+            .filter(|id| {
+                matches!(
+                    self.instances[id.0 as usize].as_ref().map(|i| i.state),
+                    Some(InstanceState::Starting { .. })
+                )
+            })
+            .collect();
+        for id in starting {
+            if removed >= n {
+                break;
+            }
+            self.delete_instance(id);
+            removed += 1;
+        }
+        // Pass 2: drain ready instances with the fewest jobs.
+        while removed < n {
+            let victim = self.services[service.0 as usize]
+                .instances
+                .iter()
+                .copied()
+                .filter_map(|id| {
+                    self.instances[id.0 as usize]
+                        .as_ref()
+                        .filter(|i| i.state == InstanceState::Ready)
+                        .map(|i| (id, i.job_count()))
+                })
+                .min_by_key(|&(id, jobs)| (jobs, id.0));
+            let Some((id, jobs)) = victim else { break };
+            {
+                let inst = self.instances[id.0 as usize].as_mut().expect("live instance");
+                let used = inst.advance(self.now);
+                inst.start_draining();
+                // Draining bumped the epoch, invalidating any scheduled
+                // completion check: re-arm it so in-flight jobs still finish.
+                let epoch = inst.epoch;
+                let next = inst.next_completion(self.now);
+                self.services[service.0 as usize].cpu.add_usage(self.now.as_micros(), used);
+                if let Some(t) = next {
+                    self.queue.schedule(t, Event::JobCheck { instance: id, epoch });
+                }
+            }
+            self.sync_quota(service);
+            if jobs == 0 {
+                self.delete_instance(id);
+            }
+            removed += 1;
+        }
+        removed
+    }
+
+    fn delete_instance(&mut self, id: InstanceId) {
+        if let Some(inst) = self.instances[id.0 as usize].take() {
+            let svc = &mut self.services[inst.service.0 as usize];
+            svc.instances.retain(|&x| x != id);
+            drop(inst);
+            self.sync_quota_of(id, None);
+        }
+    }
+
+    /// Recomputes the ready-quota integral for `service`.
+    fn sync_quota(&mut self, service: ServiceId) {
+        let total: f64 = self.services[service.0 as usize]
+            .instances
+            .iter()
+            .filter_map(|id| self.instances[id.0 as usize].as_ref())
+            .filter(|i| i.state == InstanceState::Ready)
+            .map(|i| i.quota_mc)
+            .sum();
+        self.services[service.0 as usize].cpu.set_quota(self.now.as_micros(), total);
+    }
+
+    fn sync_quota_of(&mut self, _id: InstanceId, service: Option<ServiceId>) {
+        if let Some(s) = service {
+            self.sync_quota(s);
+        } else {
+            // Service unknown after deletion; recompute all (cheap: few services).
+            for s in 0..self.services.len() {
+                self.sync_quota(ServiceId(s as u16));
+            }
+        }
+    }
+
+    /// Vertically rescales every ready instance of `service` to `quota_mc`
+    /// millicores (the paper's footnote-1 alternative to horizontal scaling;
+    /// bounded in reality by the node's capacity, which is why GRAF scales
+    /// horizontally).
+    pub fn resize_instances(&mut self, service: ServiceId, quota_mc: f64) {
+        assert!(quota_mc > 0.0);
+        let ids: Vec<InstanceId> = self.services[service.0 as usize].instances.clone();
+        for id in ids {
+            let Some(inst) = self.instances[id.0 as usize].as_mut() else { continue };
+            if inst.state != InstanceState::Ready {
+                continue;
+            }
+            let used = inst.advance(self.now);
+            inst.set_quota(quota_mc);
+            let epoch = inst.epoch;
+            let next = inst.next_completion(self.now);
+            self.services[service.0 as usize].cpu.add_usage(self.now.as_micros(), used);
+            if let Some(t) = next {
+                self.queue.schedule(t, Event::JobCheck { instance: id, epoch });
+            }
+        }
+        self.sync_quota(service);
+    }
+
+    /// Number of instances of `service` in each state: `(starting, ready, draining)`.
+    pub fn instance_counts(&self, service: ServiceId) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for id in &self.services[service.0 as usize].instances {
+            if let Some(i) = self.instances[id.0 as usize].as_ref() {
+                match i.state {
+                    InstanceState::Starting { .. } => c.0 += 1,
+                    InstanceState::Ready => c.1 += 1,
+                    InstanceState::Draining => c.2 += 1,
+                }
+            }
+        }
+        c
+    }
+
+    /// Total ready quota of `service` in millicores.
+    pub fn ready_quota_mc(&self, service: ServiceId) -> f64 {
+        self.services[service.0 as usize]
+            .instances
+            .iter()
+            .filter_map(|id| self.instances[id.0 as usize].as_ref())
+            .filter(|i| i.state == InstanceState::Ready)
+            .map(|i| i.quota_mc)
+            .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Load injection & the event loop
+    // ------------------------------------------------------------------
+
+    /// Schedules one request of `api` to arrive at time `t` (>= now).
+    pub fn inject(&mut self, api: ApiId, t: SimTime) {
+        assert!((api.0 as usize) < self.plans.len(), "unknown api {}", api.0);
+        self.queue.schedule(t.max(self.now), Event::Arrival { api });
+    }
+
+    /// Processes all events up to and including `t`, then sets now = `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        assert!(t >= self.now, "cannot run backwards");
+        while let Some((et, ev)) = self.queue.pop_due(t) {
+            debug_assert!(et >= self.now);
+            self.now = et;
+            self.stats.events += 1;
+            self.dispatch(ev);
+        }
+        self.now = t;
+    }
+
+    /// Runs until the event queue is empty or `limit` is reached.
+    pub fn run_to_quiescence(&mut self, limit: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > limit {
+                break;
+            }
+            self.run_until(t);
+        }
+        self.now = self.now.max(limit.min(self.queue.peek_time().unwrap_or(limit)));
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Arrival { api } => self.on_arrival(api),
+            Event::RequestTimeout { request } => self.on_request_timeout(request),
+            Event::StartFrame { frame, generation } => self.on_start_frame(frame, generation),
+            Event::JobCheck { instance, epoch } => self.on_job_check(instance, epoch),
+            Event::InstanceReady { instance } => self.on_instance_ready(instance),
+        }
+    }
+
+    fn on_arrival(&mut self, api: ApiId) {
+        self.api_arrivals[api.0 as usize].record(self.now.as_micros());
+        let rid = RequestId(self.next_request);
+        self.next_request += 1;
+        self.stats.injected += 1;
+        let sampled = self.rng_trace.chance(self.cfg.trace_sample);
+        self.requests.insert(
+            rid,
+            RequestMeta { api, start: self.now, next_span: 0, sampled, frames: Vec::new() },
+        );
+        if let Some(to) = self.cfg.request_timeout_us {
+            self.queue.schedule(SimTime(self.now.0 + to), Event::RequestTimeout { request: rid });
+        }
+        let root = self.plans[api.0 as usize].root;
+        let fid = self.alloc_frame(rid, api, root, None);
+        self.schedule_frame_start(fid);
+    }
+
+    fn alloc_frame(
+        &mut self,
+        request: RequestId,
+        api: ApiId,
+        plan_node: u16,
+        parent: Option<FrameId>,
+    ) -> FrameId {
+        let meta = self.requests.get_mut(&request).expect("request meta");
+        let span_id = meta.next_span;
+        meta.next_span += 1;
+        let parent_span = parent.map(|p| self.frames[p.0 as usize].span_id);
+        let service = self.plans[api.0 as usize].nodes[plan_node as usize].service;
+        let frame = Frame {
+            request,
+            plan_node,
+            service,
+            parent,
+            span_id,
+            parent_span,
+            start: self.now,
+            state: FrameState::PendingInstance,
+            instance: None,
+            generation: 0,
+        };
+        let fid = if let Some(slot) = self.free_frames.pop() {
+            let generation = self.frames[slot as usize].generation.wrapping_add(1);
+            self.frames[slot as usize] = Frame { generation, ..frame };
+            FrameId(slot)
+        } else {
+            self.frames.push(frame);
+            FrameId((self.frames.len() - 1) as u32)
+        };
+        let generation = self.frames[fid.0 as usize].generation;
+        self.requests
+            .get_mut(&request)
+            .expect("request meta")
+            .frames
+            .push((fid, generation));
+        fid
+    }
+
+    fn schedule_frame_start(&mut self, fid: FrameId) {
+        let f = &self.frames[fid.0 as usize];
+        let base = self.services[f.service.0 as usize].spec.base_us;
+        let gen = f.generation;
+        self.queue
+            .schedule(SimTime(self.now.0 + base), Event::StartFrame { frame: fid, generation: gen });
+    }
+
+    fn on_start_frame(&mut self, fid: FrameId, generation: u32) {
+        let f = &self.frames[fid.0 as usize];
+        if f.generation != generation || f.state != FrameState::PendingInstance {
+            return; // stale event
+        }
+        let service = f.service;
+        self.services[service.0 as usize].record_arrival(self.now);
+        match self.pick_instance(service) {
+            Some(iid) => self.assign_job(iid, fid),
+            None => self.services[service.0 as usize].pending.push_back(fid),
+        }
+    }
+
+    /// Least-loaded ready instance of `service`.
+    fn pick_instance(&self, service: ServiceId) -> Option<InstanceId> {
+        self.services[service.0 as usize]
+            .instances
+            .iter()
+            .copied()
+            .filter_map(|id| {
+                self.instances[id.0 as usize]
+                    .as_ref()
+                    .filter(|i| i.accepts_jobs())
+                    .map(|i| (id, i.job_count()))
+            })
+            .min_by_key(|&(id, jobs)| (jobs, id.0))
+            .map(|(id, _)| id)
+    }
+
+    fn assign_job(&mut self, iid: InstanceId, fid: FrameId) {
+        let (api, plan_node, service) = {
+            let f = &self.frames[fid.0 as usize];
+            let api = self.requests.get(&f.request).expect("live request").api;
+            (api, f.plan_node, f.service)
+        };
+        let node = &self.plans[api.0 as usize].nodes[plan_node as usize];
+        let spec = &self.services[service.0 as usize].spec;
+        let contention = self.services[service.0 as usize].slowdown_at(self.now.as_micros());
+        // work_ms is in full-core milliseconds: convert to millicore·µs.
+        let mean_mc_us = spec.work_ms * 1_000_000.0 * node.work_scale * contention;
+        let work = self.rng_work.lognormal_mean_cv(mean_mc_us.max(1e-6), spec.cv);
+        let inst = self.instances[iid.0 as usize].as_mut().expect("live instance");
+        let used = inst.advance(self.now);
+        inst.push_job(fid, work);
+        let epoch = inst.epoch;
+        let next = inst.next_completion(self.now);
+        self.services[service.0 as usize].cpu.add_usage(self.now.as_micros(), used);
+        self.frames[fid.0 as usize].state = FrameState::Working;
+        self.frames[fid.0 as usize].instance = Some(iid.0);
+        if let Some(t) = next {
+            self.queue.schedule(t, Event::JobCheck { instance: iid, epoch });
+        }
+    }
+
+    fn on_job_check(&mut self, iid: InstanceId, epoch: u64) {
+        let Some(inst) = self.instances[iid.0 as usize].as_mut() else { return };
+        if inst.epoch != epoch {
+            return; // superseded
+        }
+        let service = inst.service;
+        let used = inst.advance(self.now);
+        let finished = inst.take_finished();
+        let drained = inst.drained();
+        let epoch = inst.epoch;
+        let next = inst.next_completion(self.now);
+        self.services[service.0 as usize].cpu.add_usage(self.now.as_micros(), used);
+        if drained {
+            self.delete_instance(iid);
+        } else if let Some(t) = next {
+            self.queue.schedule(t, Event::JobCheck { instance: iid, epoch });
+        }
+        for fid in finished {
+            self.frame_work_done(fid);
+        }
+    }
+
+    fn on_instance_ready(&mut self, iid: InstanceId) {
+        let Some(inst) = self.instances[iid.0 as usize].as_mut() else { return };
+        if !matches!(inst.state, InstanceState::Starting { .. }) {
+            return;
+        }
+        inst.state = InstanceState::Ready;
+        let service = inst.service;
+        self.sync_quota(service);
+        // Admit everything that was waiting; PS stations have no admission cap.
+        while let Some(fid) = self.services[service.0 as usize].pending.pop_front() {
+            match self.pick_instance(service) {
+                Some(target) => self.assign_job(target, fid),
+                None => {
+                    self.services[service.0 as usize].pending.push_front(fid);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Client timeout: the request is abandoned. All of its live frames are
+    /// torn down (queued ones dequeued, running jobs cancelled — the client
+    /// hung up, and upstream cancellation propagates in a service mesh), the
+    /// trace is aborted, and a completion is emitted with the capped latency.
+    fn on_request_timeout(&mut self, request: RequestId) {
+        let Some(meta) = self.requests.remove(&request) else {
+            return; // completed before the deadline
+        };
+        for (fid, generation) in &meta.frames {
+            let f = &self.frames[fid.0 as usize];
+            if f.generation != *generation || f.is_done() {
+                continue;
+            }
+            let service = f.service;
+            match f.state {
+                FrameState::PendingInstance => {
+                    self.services[service.0 as usize].pending.retain(|&x| x != *fid);
+                }
+                FrameState::Working => {
+                    if let Some(iid) = f.instance {
+                        if let Some(inst) = self.instances[iid as usize].as_mut() {
+                            let used = inst.advance(self.now);
+                            let removed = inst.remove_job(*fid);
+                            let epoch = inst.epoch;
+                            let next = inst.next_completion(self.now);
+                            let drained = inst.drained();
+                            self.services[service.0 as usize]
+                                .cpu
+                                .add_usage(self.now.as_micros(), used);
+                            if removed {
+                                if drained {
+                                    self.delete_instance(InstanceId(iid));
+                                } else if let Some(t) = next {
+                                    self.queue.schedule(
+                                        t,
+                                        Event::JobCheck { instance: InstanceId(iid), epoch },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                FrameState::Children { .. } | FrameState::Done => {}
+            }
+            self.frames[fid.0 as usize].state = FrameState::Done;
+            self.free_frames.push(fid.0);
+        }
+        if meta.sampled {
+            self.traces.abort_trace(TraceId(request.0));
+        }
+        let completion = Completion {
+            request,
+            api: meta.api,
+            start: meta.start,
+            end: self.now,
+            timed_out: true,
+        };
+        self.e2e.record(self.now.as_micros(), completion.latency_us());
+        self.completions.push(completion);
+        self.stats.timeouts += 1;
+        self.stats.completed += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Frame state machine
+    // ------------------------------------------------------------------
+
+    fn frame_work_done(&mut self, fid: FrameId) {
+        let (api, plan_node) = {
+            let f = &self.frames[fid.0 as usize];
+            let api = self.requests.get(&f.request).expect("live request").api;
+            (api, f.plan_node)
+        };
+        let node = &self.plans[api.0 as usize].nodes[plan_node as usize];
+        if node.stages.is_empty() {
+            self.complete_frame(fid);
+            return;
+        }
+        self.start_stage(fid, 0);
+    }
+
+    /// Launches stage `stage` of frame `fid`: all calls of the stage (each
+    /// child × its repeat count) start in parallel.
+    fn start_stage(&mut self, fid: FrameId, stage: u16) {
+        let (api, plan_node, request) = {
+            let f = &self.frames[fid.0 as usize];
+            let api = self.requests.get(&f.request).expect("live request").api;
+            (api, f.plan_node, f.request)
+        };
+        let calls = self.plans[api.0 as usize].nodes[plan_node as usize].stages
+            [stage as usize]
+            .clone();
+        let total: u32 = calls
+            .iter()
+            .map(|&c| self.plans[api.0 as usize].nodes[c as usize].repeat)
+            .sum();
+        debug_assert!(total > 0, "stages are non-empty by construction");
+        self.frames[fid.0 as usize].state = FrameState::Children { stage, outstanding: total };
+        for c in calls {
+            let reps = self.plans[api.0 as usize].nodes[c as usize].repeat;
+            for _ in 0..reps {
+                let child = self.alloc_frame(request, api, c, Some(fid));
+                self.schedule_frame_start(child);
+            }
+        }
+    }
+
+    fn child_completed(&mut self, fid: FrameId) {
+        let FrameState::Children { stage, outstanding } = self.frames[fid.0 as usize].state
+        else {
+            unreachable!("child completion outside Children state")
+        };
+        let outstanding = outstanding - 1;
+        self.frames[fid.0 as usize].state = FrameState::Children { stage, outstanding };
+        if outstanding > 0 {
+            return;
+        }
+        let (api, plan_node) = {
+            let f = &self.frames[fid.0 as usize];
+            let api = self.requests.get(&f.request).expect("live request").api;
+            (api, f.plan_node)
+        };
+        let n_stages = self.plans[api.0 as usize].nodes[plan_node as usize].stages.len();
+        if (stage as usize + 1) < n_stages {
+            self.start_stage(fid, stage + 1);
+        } else {
+            self.complete_frame(fid);
+        }
+    }
+
+    fn complete_frame(&mut self, fid: FrameId) {
+        let (request, service, parent, span_id, parent_span, start) = {
+            let f = &mut self.frames[fid.0 as usize];
+            f.state = FrameState::Done;
+            (f.request, f.service, f.parent, f.span_id, f.parent_span, f.start)
+        };
+        let latency = (self.now - start).as_micros();
+        self.services[service.0 as usize].record_latency(self.now, latency);
+
+        let meta = self.requests.get(&request).expect("live request");
+        let api = meta.api;
+        if meta.sampled {
+            self.traces.push_span(Span {
+                trace_id: TraceId(request.0),
+                span_id: SpanId(span_id),
+                parent: parent_span.map(SpanId),
+                service: service.0,
+                api: api.0,
+                start_us: start.as_micros(),
+                end_us: self.now.as_micros(),
+            });
+            self.stats.spans += 1;
+        }
+
+        // Recycle the frame slot.
+        self.free_frames.push(fid.0);
+
+        match parent {
+            Some(p) => self.child_completed(p),
+            None => {
+                let meta = self.requests.remove(&request).expect("live request");
+                let completion = Completion {
+                    request,
+                    api,
+                    start: meta.start,
+                    end: self.now,
+                    timed_out: false,
+                };
+                self.e2e.record(self.now.as_micros(), completion.latency_us());
+                self.completions.push(completion);
+                self.stats.completed += 1;
+                if meta.sampled {
+                    self.traces.finish_trace(TraceId(request.0), api.0);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Completed requests since the last drain.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Number of requests currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// The trace store (Jaeger analog).
+    pub fn traces(&self) -> &TraceStore {
+        &self.traces
+    }
+
+    /// Mutable trace store, for draining finished traces.
+    pub fn traces_mut(&mut self) -> &mut TraceStore {
+        &mut self.traces
+    }
+
+    /// End-to-end latency percentile over the trailing `k` metric windows.
+    pub fn e2e_percentile(&self, k: usize, q: f64) -> Option<SimDuration> {
+        self.e2e
+            .percentile_trailing(self.now.as_micros(), k, q)
+            .map(SimDuration::from_micros)
+    }
+
+    /// Per-service latency percentile over the trailing `k` windows.
+    pub fn service_percentile(&self, service: ServiceId, k: usize, q: f64) -> Option<SimDuration> {
+        self.services[service.0 as usize]
+            .latency
+            .percentile_trailing(self.now.as_micros(), k, q)
+            .map(SimDuration::from_micros)
+    }
+
+    /// CPU utilization of `service` over the trailing window of `dur`.
+    pub fn service_utilization(&self, service: ServiceId, dur: SimDuration) -> Option<f64> {
+        let to = self.now.as_micros();
+        let from = to.saturating_sub(dur.as_micros());
+        self.services[service.0 as usize].cpu.utilization(from, to)
+    }
+
+    /// Mean used millicores of `service` over the trailing window of `dur`.
+    pub fn service_used_mc(&self, service: ServiceId, dur: SimDuration) -> f64 {
+        let to = self.now.as_micros();
+        let from = to.saturating_sub(dur.as_micros());
+        self.services[service.0 as usize].cpu.used_millicores(from, to)
+    }
+
+    /// Arrival rate (req/s) perceived by `service` over the trailing `k` windows.
+    pub fn service_arrival_rate(&self, service: ServiceId, k: usize) -> f64 {
+        let at = self.now.as_micros().saturating_sub(1);
+        self.services[service.0 as usize].arrivals.rate_trailing(at, k)
+    }
+
+    /// Injects a contention anomaly (§6): between `from` and `until`, every
+    /// request handled by `service` costs `factor×` its normal CPU — the
+    /// latency-spike signature of noisy neighbours / cache contention.
+    pub fn inject_contention(
+        &mut self,
+        service: ServiceId,
+        factor: f64,
+        from: SimTime,
+        until: SimTime,
+    ) {
+        assert!(factor >= 1.0, "contention can only slow work down");
+        assert!(until > from);
+        self.services[service.0 as usize]
+            .slowdowns
+            .push((from.as_micros(), until.as_micros(), factor));
+    }
+
+    /// Front-end arrival rate (req/s) of `api` over the trailing `k` windows.
+    ///
+    /// This is the only workload signal GRAF's proactive controller consumes
+    /// (§3.8): it is available the instant traffic changes at the front end,
+    /// before any interior microservice has felt the change.
+    pub fn api_arrival_rate(&self, api: ApiId, k: usize) -> f64 {
+        // Query one microsecond back so a control tick landing exactly on a
+        // window boundary reads k *complete* windows, not a fresh empty one.
+        let at = self.now.as_micros().saturating_sub(1);
+        self.api_arrivals[api.0 as usize].rate_trailing(at, k)
+    }
+
+    /// Number of frames queued at `service` waiting for a ready instance.
+    pub fn service_pending(&self, service: ServiceId) -> usize {
+        self.services[service.0 as usize].pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{ApiSpec, ChildMode, ServiceSpec};
+
+    fn chain2(work_a: f64, work_b: f64) -> AppTopology {
+        AppTopology::new(
+            "chain2",
+            vec![
+                ServiceSpec::new("a", work_a, 500).cv(0.0),
+                ServiceSpec::new("b", work_b, 500).cv(0.0),
+            ],
+            vec![ApiSpec::new(
+                "get",
+                CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1)]),
+            )],
+        )
+    }
+
+    fn ready_world(topo: AppTopology, quota: f64) -> World {
+        let n = topo.num_services();
+        let mut w = World::new(topo, SimConfig::default(), 42);
+        for s in 0..n {
+            w.add_instances(ServiceId(s as u16), 1, quota, SimTime::ZERO);
+        }
+        w.run_until(SimTime(1)); // process InstanceReady events
+        w
+    }
+
+    #[test]
+    fn single_request_end_to_end_latency() {
+        // Deterministic (cv = 0): a = 2 mc·ms, b = 4 mc·ms at 1000 mc quota
+        // → 2 ms + 4 ms of work + 2 hops of 0.5 ms base = 7 ms.
+        let mut w = ready_world(chain2(2.0, 4.0), 1000.0);
+        w.inject(ApiId(0), SimTime::from_millis(1.0));
+        w.run_until(SimTime::from_secs(1.0));
+        let done = w.drain_completions();
+        assert_eq!(done.len(), 1);
+        let lat = done[0].latency_us();
+        assert!((6_900..=7_100).contains(&lat), "latency {lat} us");
+        assert_eq!(w.in_flight(), 0);
+    }
+
+    #[test]
+    fn requests_queue_when_no_instance_ready() {
+        let topo = chain2(1.0, 1.0);
+        let mut w = World::new(topo, SimConfig::default(), 1);
+        // Instance for 'a' becomes ready only at t = 2 s.
+        w.add_instances(ServiceId(0), 1, 1000.0, SimTime::from_secs(2.0));
+        w.add_instances(ServiceId(1), 1, 1000.0, SimTime::ZERO);
+        w.inject(ApiId(0), SimTime::from_millis(10.0));
+        w.run_until(SimTime::from_secs(1.0));
+        assert_eq!(w.service_pending(ServiceId(0)), 1, "waiting for startup");
+        assert_eq!(w.stats().completed, 0);
+        w.run_until(SimTime::from_secs(3.0));
+        assert_eq!(w.stats().completed, 1);
+        // Latency includes the wait for instance readiness (~2 s).
+        let done = w.drain_completions();
+        assert!(done[0].latency_us() > 1_900_000);
+    }
+
+    #[test]
+    fn parallel_children_take_max_not_sum() {
+        // root -> (b ∥ c); b = 10 ms, c = 30 ms at 1000 mc. Parallel e2e ≈
+        // root work (1 ms) + max(10, 30) + bases, far below the 40 ms sum.
+        let topo = AppTopology::new(
+            "par",
+            vec![
+                ServiceSpec::new("root", 1.0, 100).cv(0.0),
+                ServiceSpec::new("b", 10.0, 100).cv(0.0),
+                ServiceSpec::new("c", 30.0, 100).cv(0.0),
+            ],
+            vec![ApiSpec::new(
+                "get",
+                CallNode::new(0)
+                    .children_mode(ChildMode::Parallel, vec![CallNode::new(1), CallNode::new(2)]),
+            )],
+        );
+        let mut w = ready_world(topo, 1000.0);
+        w.inject(ApiId(0), SimTime::from_millis(1.0));
+        w.run_until(SimTime::from_secs(1.0));
+        let done = w.drain_completions();
+        assert_eq!(done.len(), 1);
+        let lat_ms = done[0].latency_us() as f64 / 1000.0;
+        assert!((31.0..36.0).contains(&lat_ms), "parallel latency {lat_ms} ms");
+    }
+
+    #[test]
+    fn sequential_children_sum() {
+        let topo = AppTopology::new(
+            "seq",
+            vec![
+                ServiceSpec::new("root", 1.0, 100).cv(0.0),
+                ServiceSpec::new("b", 10.0, 100).cv(0.0),
+                ServiceSpec::new("c", 30.0, 100).cv(0.0),
+            ],
+            vec![ApiSpec::new(
+                "get",
+                CallNode::new(0)
+                    .children_mode(ChildMode::Sequential, vec![CallNode::new(1), CallNode::new(2)]),
+            )],
+        );
+        let mut w = ready_world(topo, 1000.0);
+        w.inject(ApiId(0), SimTime::from_millis(1.0));
+        w.run_until(SimTime::from_secs(1.0));
+        let done = w.drain_completions();
+        let lat_ms = done[0].latency_us() as f64 / 1000.0;
+        assert!((41.0..46.0).contains(&lat_ms), "sequential latency {lat_ms} ms");
+    }
+
+    #[test]
+    fn repeat_calls_execute_repeatedly() {
+        let topo = AppTopology::new(
+            "rep",
+            vec![ServiceSpec::new("root", 1.0, 0).cv(0.0), ServiceSpec::new("b", 5.0, 0).cv(0.0)],
+            vec![ApiSpec::new("get", CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1).repeat(3)]))],
+        );
+        let mut w = ready_world(topo, 1000.0);
+        let cfg = SimConfig { trace_sample: 1.0, ..SimConfig::default() };
+        assert_eq!(cfg.trace_sample, 1.0);
+        w.inject(ApiId(0), SimTime::from_millis(1.0));
+        w.run_until(SimTime::from_secs(1.0));
+        let traces = w.traces_mut().drain_finished();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].calls_to(1), 3, "service b ran 3 spans");
+        // Sequential repeats: 1 + 3×5 = 16 ms of work.
+        let done = w.drain_completions();
+        let lat_ms = done[0].latency_us() as f64 / 1000.0;
+        assert!((15.5..17.0).contains(&lat_ms), "latency {lat_ms}");
+    }
+
+    #[test]
+    fn more_quota_reduces_latency_under_load() {
+        // Open-loop load at 200 qps on a 5 mc·ms service: offered load
+        // 1000 mc. Quota 1250 vs 2500 → p99 must drop.
+        fn p99_at(quota: f64) -> u64 {
+            let topo = AppTopology::new(
+                "one",
+                vec![ServiceSpec::new("s", 5.0, 100)],
+                vec![ApiSpec::new("get", CallNode::new(0))],
+            );
+            let mut w = World::new(topo, SimConfig::default(), 9);
+            w.add_instances(ServiceId(0), 1, quota, SimTime::ZERO);
+            for i in 0..2_000u64 {
+                w.inject(ApiId(0), SimTime(i * 5_000)); // 200 qps for 10 s
+            }
+            w.run_until(SimTime::from_secs(20.0));
+            let mut lats: Vec<u64> =
+                w.drain_completions().iter().map(|c| c.latency_us()).collect();
+            lats.sort_unstable();
+            lats[(lats.len() as f64 * 0.99) as usize - 1]
+        }
+        let lo = p99_at(1250.0);
+        let hi = p99_at(2500.0);
+        assert!(hi < lo, "p99 at 2500mc ({hi}) must beat 1250mc ({lo})");
+    }
+
+    #[test]
+    fn utilization_tracks_offered_load() {
+        let topo = AppTopology::new(
+            "one",
+            vec![ServiceSpec::new("s", 5.0, 100).cv(0.0)],
+            vec![ApiSpec::new("get", CallNode::new(0))],
+        );
+        let mut w = World::new(topo, SimConfig::default(), 10);
+        w.add_instances(ServiceId(0), 1, 2000.0, SimTime::ZERO);
+        // 100 qps × 5 mc·ms = 500 mc used of 2000 → utilization ≈ 0.25.
+        for i in 0..1_000u64 {
+            w.inject(ApiId(0), SimTime(i * 10_000));
+        }
+        w.run_until(SimTime::from_secs(10.0));
+        let u = w.service_utilization(ServiceId(0), SimDuration::from_secs(9.0)).unwrap();
+        assert!((0.2..0.3).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn removing_instances_prefers_starting_then_drains() {
+        let topo = chain2(1.0, 1.0);
+        let mut w = World::new(topo, SimConfig::default(), 3);
+        w.add_instances(ServiceId(0), 2, 500.0, SimTime::ZERO);
+        w.run_until(SimTime(10));
+        w.add_instances(ServiceId(0), 2, 500.0, SimTime::from_secs(10.0)); // still starting
+        let (starting, ready, _) = w.instance_counts(ServiceId(0));
+        assert_eq!((starting, ready), (2, 2));
+        let removed = w.remove_instances(ServiceId(0), 3);
+        assert_eq!(removed, 3);
+        let (starting, ready, draining) = w.instance_counts(ServiceId(0));
+        assert_eq!(starting, 0, "starting cancelled first");
+        assert_eq!(ready + draining, 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        fn run(seed: u64) -> Vec<u64> {
+            let mut w = ready_world(chain2(2.0, 3.0), 800.0);
+            let _ = seed;
+            let mut rng = DetRng::new(77);
+            let mut t = SimTime::ZERO;
+            for _ in 0..200 {
+                t = t + SimDuration::from_micros((rng.exp(5_000.0)) as u64 + 1);
+                w.inject(ApiId(0), t);
+            }
+            w.run_until(SimTime::from_secs(10.0));
+            w.drain_completions().iter().map(|c| c.latency_us()).collect()
+        }
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn traces_have_correct_edges() {
+        let mut w = ready_world(chain2(1.0, 1.0), 1000.0);
+        w.inject(ApiId(0), SimTime::from_millis(1.0));
+        w.run_until(SimTime::from_secs(1.0));
+        let traces = w.traces_mut().drain_finished();
+        assert_eq!(traces.len(), 1);
+        let mut cs = graf_trace::CallStats::new();
+        cs.observe_all(traces.iter());
+        let edges = cs.edges();
+        assert_eq!(edges.len(), 1);
+        assert_eq!((edges[0].parent, edges[0].child), (0, 1));
+    }
+
+    #[test]
+    fn timeouts_abandon_requests_and_free_capacity() {
+        // A starved service (20 mc) cannot finish 5 core·ms requests before
+        // the 1 s client timeout; abandoned jobs must leave the instance so
+        // later requests start fresh.
+        let topo = AppTopology::new(
+            "slow",
+            vec![ServiceSpec::new("s", 5.0, 0).cv(0.0)],
+            vec![ApiSpec::new("get", CallNode::new(0))],
+        );
+        let cfg = SimConfig { request_timeout_us: Some(1_000_000), ..SimConfig::default() };
+        let mut w = World::new(topo, cfg, 8);
+        w.add_instances(ServiceId(0), 1, 20.0, SimTime::ZERO);
+        for i in 0..10u64 {
+            w.inject(ApiId(0), SimTime(i * 1_000));
+        }
+        w.run_until(SimTime::from_secs(5.0));
+        let done = w.drain_completions();
+        assert_eq!(done.len(), 10);
+        assert!(done.iter().all(|c| c.timed_out), "all starved requests time out");
+        assert!(done.iter().all(|c| c.latency_us() == 1_000_000), "latency capped");
+        assert_eq!(w.stats().timeouts, 10);
+        assert_eq!(w.in_flight(), 0, "metadata cleaned up");
+        // The instance is empty again: a fresh feasible request completes.
+        w.add_instances(ServiceId(0), 1, 1000.0, w.now());
+        w.inject(ApiId(0), w.now());
+        w.run_until(SimTime(w.now().0 + 500_000));
+        let done = w.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert!(!done[0].timed_out, "fast request completes normally");
+    }
+
+    #[test]
+    fn completed_requests_do_not_time_out() {
+        let topo = AppTopology::new(
+            "fast",
+            vec![ServiceSpec::new("s", 1.0, 0).cv(0.0)],
+            vec![ApiSpec::new("get", CallNode::new(0))],
+        );
+        let cfg = SimConfig { request_timeout_us: Some(1_000_000), ..SimConfig::default() };
+        let mut w = World::new(topo, cfg, 9);
+        w.add_instances(ServiceId(0), 1, 1000.0, SimTime::ZERO);
+        w.inject(ApiId(0), SimTime(0));
+        w.run_until(SimTime::from_secs(3.0)); // run past the timeout event
+        let done = w.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert!(!done[0].timed_out);
+        assert_eq!(w.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn contention_injection_inflates_latency_within_its_window() {
+        let topo = AppTopology::new(
+            "one",
+            vec![ServiceSpec::new("s", 1.0, 0).cv(0.0)],
+            vec![ApiSpec::new("get", CallNode::new(0))],
+        );
+        let mut w = World::new(topo, SimConfig::default(), 12);
+        w.add_instances(ServiceId(0), 1, 1000.0, SimTime::ZERO);
+        // Contention 4x during [2s, 4s).
+        w.inject_contention(ServiceId(0), 4.0, SimTime::from_secs(2.0), SimTime::from_secs(4.0));
+        for i in 0..60u64 {
+            w.inject(ApiId(0), SimTime(i * 100_000)); // 10 qps for 6 s
+        }
+        w.run_until(SimTime::from_secs(8.0));
+        let done = w.drain_completions();
+        let lat_at = |from: f64, to: f64| -> f64 {
+            let v: Vec<f64> = done
+                .iter()
+                .filter(|c| {
+                    let t = c.start.as_secs_f64();
+                    t >= from && t < to
+                })
+                .map(|c| c.latency_us() as f64)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        let before = lat_at(0.0, 1.9);
+        let during = lat_at(2.0, 3.9);
+        let after = lat_at(4.1, 6.0);
+        assert!(during > before * 2.5, "contention inflates latency: {before} → {during}");
+        assert!(after < during / 2.0, "latency recovers after the window: {during} → {after}");
+    }
+
+    #[test]
+    fn vertical_scaling_takes_effect_mid_flight() {
+        let topo = AppTopology::new(
+            "one",
+            vec![ServiceSpec::new("s", 10.0, 0).cv(0.0)],
+            vec![ApiSpec::new("get", CallNode::new(0))],
+        );
+        let mut w = World::new(topo, SimConfig::default(), 13);
+        w.add_instances(ServiceId(0), 1, 100.0, SimTime::ZERO);
+        // A 10 core·ms job at 100 mc would take 100 ms; halfway through,
+        // resize to 1000 mc and it finishes much sooner.
+        w.inject(ApiId(0), SimTime(0));
+        w.run_until(SimTime::from_millis(50.0));
+        assert_eq!(w.stats().completed, 0);
+        w.resize_instances(ServiceId(0), 1000.0);
+        w.run_until(SimTime::from_millis(60.0));
+        let done = w.drain_completions();
+        assert_eq!(done.len(), 1, "resize accelerated the in-flight job");
+        let lat = done[0].latency_us();
+        assert!((54_000..58_000).contains(&lat), "≈50ms at 100mc + 5ms at 1000mc: {lat}");
+        assert!((w.ready_quota_mc(ServiceId(0)) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_sampling_probability_is_respected() {
+        let topo = AppTopology::new(
+            "one",
+            vec![ServiceSpec::new("s", 0.5, 0).cv(0.0)],
+            vec![ApiSpec::new("get", CallNode::new(0))],
+        );
+        let cfg = SimConfig { trace_sample: 0.3, ..SimConfig::default() };
+        let mut w = World::new(topo, cfg, 14);
+        w.add_instances(ServiceId(0), 1, 1000.0, SimTime::ZERO);
+        for i in 0..1_000u64 {
+            w.inject(ApiId(0), SimTime(i * 2_000));
+        }
+        w.run_until(SimTime::from_secs(5.0));
+        let traces = w.traces_mut().drain_finished().len() as f64;
+        assert!(
+            (traces / 1000.0 - 0.3).abs() < 0.06,
+            "≈30% of requests traced, got {traces}"
+        );
+        assert_eq!(w.stats().completed, 1000, "sampling never drops requests");
+    }
+
+    #[test]
+    fn draining_instance_finishes_jobs_then_disappears() {
+        let topo = AppTopology::new(
+            "one",
+            vec![ServiceSpec::new("s", 50.0, 0).cv(0.0)],
+            vec![ApiSpec::new("get", CallNode::new(0))],
+        );
+        let mut w = World::new(topo, SimConfig::default(), 15);
+        w.add_instances(ServiceId(0), 2, 1000.0, SimTime::ZERO);
+        w.inject(ApiId(0), SimTime(0));
+        w.inject(ApiId(0), SimTime(1));
+        w.run_until(SimTime::from_millis(10.0)); // both in flight (50ms each)
+        let removed = w.remove_instances(ServiceId(0), 2);
+        assert_eq!(removed, 2);
+        let (_, ready, draining) = w.instance_counts(ServiceId(0));
+        assert_eq!(ready, 0);
+        assert!(draining >= 1, "jobs keep their instance until done");
+        w.run_until(SimTime::from_secs(1.0));
+        assert_eq!(w.stats().completed, 2, "in-flight work still completes");
+        let (s, r, d) = w.instance_counts(ServiceId(0));
+        assert_eq!((s, r, d), (0, 0, 0), "drained instances are deleted");
+    }
+
+    #[test]
+    fn work_is_conserved_under_load() {
+        // Total CPU used ≈ requests × mean work when the system drains fully.
+        let topo = AppTopology::new(
+            "one",
+            vec![ServiceSpec::new("s", 4.0, 0).cv(0.0)],
+            vec![ApiSpec::new("get", CallNode::new(0))],
+        );
+        let mut w = World::new(topo, SimConfig::default(), 5);
+        w.add_instances(ServiceId(0), 2, 1000.0, SimTime::ZERO);
+        for i in 0..500u64 {
+            w.inject(ApiId(0), SimTime(i * 2_000));
+        }
+        w.run_until(SimTime::from_secs(5.0));
+        assert_eq!(w.stats().completed, 500);
+        let used_total = w.services[0].cpu.used_in(0, w.now().as_micros());
+        let expected = 500.0 * 4.0 * 1_000_000.0; // mc·us (4 core·ms each)
+        let err = (used_total - expected).abs() / expected;
+        assert!(err < 0.01, "used {used_total} vs expected {expected}");
+    }
+}

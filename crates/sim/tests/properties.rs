@@ -1,0 +1,133 @@
+//! Property-based tests for the simulator's core invariants.
+
+use graf_sim::events::EventQueue;
+use graf_sim::frame::FrameId;
+use graf_sim::station::{Instance, InstanceState};
+use graf_sim::time::SimTime;
+use graf_sim::topology::{ApiId, ApiSpec, AppTopology, CallNode, ServiceId, ServiceSpec};
+use graf_sim::world::{SimConfig, World};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue pops events in non-decreasing time order regardless of
+    /// schedule order, with ties resolved by insertion sequence.
+    #[test]
+    fn event_queue_orders_any_schedule(times in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut last_time = 0u64;
+        let mut last_seq_at_time = None::<usize>;
+        let mut popped = 0;
+        while let Some((t, idx)) = q.pop() {
+            prop_assert!(t.0 >= last_time);
+            if t.0 == last_time {
+                if let Some(prev) = last_seq_at_time {
+                    // Ties pop in insertion order only among equal times.
+                    if times[prev] == times[idx] {
+                        prop_assert!(idx > prev);
+                    }
+                }
+            } else {
+                last_seq_at_time = None;
+            }
+            last_time = t.0;
+            last_seq_at_time = Some(idx);
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Processor sharing conserves work: usage reported by advance() equals
+    /// the backlog reduction, for arbitrary job sets and time steps.
+    #[test]
+    fn station_conserves_work(
+        quota in 50.0f64..4000.0,
+        jobs in proptest::collection::vec(10.0f64..1e6, 1..20),
+        steps in proptest::collection::vec(1u64..100_000, 1..20),
+    ) {
+        let mut inst = Instance::new(ServiceId(0), quota, InstanceState::Ready, 1000.0, SimTime::ZERO);
+        for (i, &w) in jobs.iter().enumerate() {
+            inst.push_job(FrameId(i as u32), w);
+        }
+        let before = inst.backlog_mc_us();
+        let mut now = 0u64;
+        let mut used_total = 0.0;
+        for &dt in &steps {
+            now += dt;
+            used_total += inst.advance(SimTime(now));
+            let _ = inst.take_finished();
+        }
+        let after = inst.backlog_mc_us();
+        prop_assert!(
+            (before - after - used_total).abs() < 1e-6 * (1.0 + before),
+            "work conservation: before {before}, after {after}, used {used_total}"
+        );
+        // Usage can never exceed capacity × elapsed (modulo per-job caps).
+        prop_assert!(used_total <= quota * now as f64 + 1e-6);
+    }
+
+    /// End-to-end: every injected request either completes or is still in
+    /// flight — nothing is lost — and completions have sane timestamps.
+    #[test]
+    fn world_conserves_requests(
+        n_requests in 1usize..120,
+        quota in 100.0f64..2000.0,
+        gap_us in 500u64..50_000,
+        seed in 0u64..1000,
+    ) {
+        let topo = AppTopology::new(
+            "prop",
+            vec![ServiceSpec::new("a", 0.5, 200), ServiceSpec::new("b", 1.0, 200)],
+            vec![ApiSpec::new("get", CallNode::new(0).call(CallNode::new(1)))],
+        );
+        let mut w = World::new(topo, SimConfig::default(), seed);
+        w.add_instances(ServiceId(0), 1, quota, SimTime::ZERO);
+        w.add_instances(ServiceId(1), 1, quota, SimTime::ZERO);
+        for i in 0..n_requests {
+            w.inject(ApiId(0), SimTime(i as u64 * gap_us));
+        }
+        w.run_until(SimTime::from_secs(120.0));
+        let done = w.drain_completions();
+        prop_assert_eq!(done.len() + w.in_flight(), n_requests);
+        for c in &done {
+            prop_assert!(c.end >= c.start);
+            prop_assert!(c.latency_us() > 0);
+            // The 30 s client timeout bounds every reported latency.
+            prop_assert!(c.latency_us() <= 30_000_000);
+        }
+    }
+
+    /// Latency is monotone in quota on average: doubling every quota never
+    /// increases the mean latency materially (allowing small stochastic
+    /// wiggle when both systems are unloaded).
+    #[test]
+    fn more_quota_never_materially_slower(
+        base_quota in 120.0f64..600.0,
+        rate_gap_us in 2_000u64..20_000,
+        seed in 0u64..200,
+    ) {
+        fn mean_latency(quota: f64, gap: u64, seed: u64) -> f64 {
+            let topo = AppTopology::new(
+                "prop",
+                vec![ServiceSpec::new("s", 1.0, 100)],
+                vec![ApiSpec::new("get", CallNode::new(0))],
+            );
+            let mut w = World::new(topo, SimConfig::default(), seed);
+            w.add_instances(ServiceId(0), 1, quota, SimTime::ZERO);
+            for i in 0..200u64 {
+                w.inject(ApiId(0), SimTime(i * gap));
+            }
+            w.run_until(SimTime::from_secs(120.0));
+            let done = w.drain_completions();
+            done.iter().map(|c| c.latency_us() as f64).sum::<f64>() / done.len().max(1) as f64
+        }
+        let slow = mean_latency(base_quota, rate_gap_us, seed);
+        let fast = mean_latency(base_quota * 2.0, rate_gap_us, seed);
+        prop_assert!(
+            fast <= slow * 1.05 + 50.0,
+            "doubling quota can't hurt: {slow} → {fast} (quota {base_quota}, gap {rate_gap_us})"
+        );
+    }
+}

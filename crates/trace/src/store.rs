@@ -1,0 +1,188 @@
+//! Trace assembly and retention.
+
+use std::collections::HashMap;
+
+use crate::span::{Span, TraceId};
+
+/// A fully assembled trace: all spans of one end-to-end request.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// The trace id.
+    pub id: TraceId,
+    /// Index of the API this request invoked.
+    pub api: u16,
+    /// Spans in completion order; the root span is the one with `parent == None`.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// End-to-end latency: root span duration, or envelope of all spans when
+    /// the root is missing (sampled-out edge case).
+    pub fn e2e_latency_us(&self) -> u64 {
+        if let Some(root) = self.spans.iter().find(|s| s.is_root()) {
+            return root.duration_us();
+        }
+        let start = self.spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+        let end = self.spans.iter().map(|s| s.end_us).max().unwrap_or(0);
+        end.saturating_sub(start)
+    }
+
+    /// Number of spans executed by `service` in this trace.
+    pub fn calls_to(&self, service: u16) -> u32 {
+        self.spans.iter().filter(|s| s.service == service).count() as u32
+    }
+}
+
+/// Collects spans, assembles completed traces, and bounds memory.
+///
+/// The simulator pushes spans as service frames finish and calls
+/// [`TraceStore::finish_trace`] when the root span completes. Completed traces
+/// are kept in a bounded FIFO (the Jaeger retention analog); consumers drain
+/// or inspect them.
+#[derive(Debug)]
+pub struct TraceStore {
+    open: HashMap<TraceId, Vec<Span>>,
+    finished: Vec<Trace>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceStore {
+    /// Creates a store retaining up to `capacity` finished traces.
+    pub fn new(capacity: usize) -> Self {
+        Self { open: HashMap::new(), finished: Vec::new(), capacity, dropped: 0 }
+    }
+
+    /// Records a span for an in-flight trace.
+    pub fn push_span(&mut self, span: Span) {
+        self.open.entry(span.trace_id).or_default().push(span);
+    }
+
+    /// Marks a trace complete, moving it to the finished set.
+    ///
+    /// Unknown trace ids are ignored (the trace may not have been sampled).
+    pub fn finish_trace(&mut self, id: TraceId, api: u16) {
+        if let Some(spans) = self.open.remove(&id) {
+            if self.finished.len() >= self.capacity {
+                // FIFO eviction; bulk-drain half to amortize the shift.
+                let drop_n = (self.capacity / 2).max(1);
+                self.finished.drain(0..drop_n);
+                self.dropped += drop_n as u64;
+            }
+            self.finished.push(Trace { id, api, spans });
+        }
+    }
+
+    /// Discards an in-flight trace without finishing it (request failure).
+    pub fn abort_trace(&mut self, id: TraceId) {
+        self.open.remove(&id);
+    }
+
+    /// Completed traces currently retained, oldest first.
+    pub fn finished(&self) -> &[Trace] {
+        &self.finished
+    }
+
+    /// Removes and returns all completed traces.
+    pub fn drain_finished(&mut self) -> Vec<Trace> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Number of traces evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of traces still being assembled.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Clears all state.
+    pub fn clear(&mut self) {
+        self.open.clear();
+        self.finished.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanId;
+
+    fn span(trace: u64, span_id: u32, parent: Option<u32>, service: u16, s: u64, e: u64) -> Span {
+        Span {
+            trace_id: TraceId(trace),
+            span_id: SpanId(span_id),
+            parent: parent.map(SpanId),
+            service,
+            api: 0,
+            start_us: s,
+            end_us: e,
+        }
+    }
+
+    #[test]
+    fn assembles_traces() {
+        let mut st = TraceStore::new(16);
+        st.push_span(span(1, 0, None, 0, 0, 100));
+        st.push_span(span(1, 1, Some(0), 1, 10, 60));
+        st.finish_trace(TraceId(1), 0);
+        assert_eq!(st.finished().len(), 1);
+        let t = &st.finished()[0];
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.e2e_latency_us(), 100);
+        assert_eq!(t.calls_to(1), 1);
+        assert_eq!(st.open_count(), 0);
+    }
+
+    #[test]
+    fn e2e_latency_without_root_uses_envelope() {
+        let t = Trace {
+            id: TraceId(9),
+            api: 0,
+            spans: vec![span(9, 1, Some(0), 1, 20, 50), span(9, 2, Some(0), 2, 40, 90)],
+        };
+        assert_eq!(t.e2e_latency_us(), 70);
+    }
+
+    #[test]
+    fn finishing_unknown_trace_is_noop() {
+        let mut st = TraceStore::new(4);
+        st.finish_trace(TraceId(7), 0);
+        assert!(st.finished().is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut st = TraceStore::new(4);
+        for i in 0..6u64 {
+            st.push_span(span(i, 0, None, 0, 0, 1));
+            st.finish_trace(TraceId(i), 0);
+        }
+        assert!(st.finished().len() <= 4 + 1);
+        assert!(st.dropped() >= 2);
+        // The newest trace is always retained.
+        assert!(st.finished().iter().any(|t| t.id == TraceId(5)));
+    }
+
+    #[test]
+    fn abort_discards_open_trace() {
+        let mut st = TraceStore::new(4);
+        st.push_span(span(3, 0, None, 0, 0, 1));
+        st.abort_trace(TraceId(3));
+        st.finish_trace(TraceId(3), 0);
+        assert!(st.finished().is_empty());
+        assert_eq!(st.open_count(), 0);
+    }
+
+    #[test]
+    fn drain_empties_store() {
+        let mut st = TraceStore::new(4);
+        st.push_span(span(1, 0, None, 0, 0, 1));
+        st.finish_trace(TraceId(1), 0);
+        let traces = st.drain_finished();
+        assert_eq!(traces.len(), 1);
+        assert!(st.finished().is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! SLO explorer: sweep the latency SLO and watch how GRAF's minimal-CPU
+//! configuration and its measured p99 respond (a small-scale Figure 17).
+//!
+//! ```sh
+//! cargo run --release --example slo_explorer
+//! ```
+
+use graf::core::sample_collector::{SampleCollector, SamplingConfig};
+use graf::core::{Graf, GrafBuildConfig, TrainConfig};
+use graf::sim::topology::{ApiSpec, AppTopology, CallNode, ServiceSpec};
+
+fn app() -> AppTopology {
+    AppTopology::new(
+        "slo-explorer",
+        vec![
+            ServiceSpec::new("edge", 1.2, 400),
+            ServiceSpec::new("svc-a", 2.5, 300),
+            ServiceSpec::new("svc-b", 1.8, 300),
+        ],
+        vec![ApiSpec::new(
+            "request",
+            CallNode::new(0).then(vec![CallNode::new(1), CallNode::new(2)]),
+        )],
+    )
+}
+
+fn main() {
+    let sampling = SamplingConfig {
+        probe_qps: vec![80.0],
+        slo_ms: 80.0,
+        measure_secs: 5.0,
+        warmup_secs: 2.5,
+        cpu_unit_mc: 100.0,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        ..Default::default()
+    };
+    println!("training GRAF...");
+    let graf = Graf::build(
+        app(),
+        GrafBuildConfig {
+            sampling: sampling.clone(),
+            train: TrainConfig { epochs: 40, ..Default::default() },
+            num_samples: 600,
+            ..Default::default()
+        },
+    );
+
+    // For each SLO: solve, then *deploy the solved configuration* in a fresh
+    // simulation and measure the真 p99 — the Figure-17 loop.
+    let validator = SampleCollector::new(app(), sampling);
+    println!(
+        "{:>9} {:>12} {:>14} {:>14}",
+        "SLO(ms)", "quota(mc)", "predicted", "measured p99"
+    );
+    for slo in [20.0, 30.0, 40.0, 60.0, 80.0, 120.0] {
+        let mut ctrl = graf.controller(slo);
+        let (quotas, solve) = ctrl.plan(&[80.0]);
+        let (measured, _) = validator.measure(&quotas, &[80.0], 1234 + slo as u64, false);
+        println!(
+            "{:>9.0} {:>12.0} {:>14.1} {:>14.1}",
+            slo,
+            quotas.iter().sum::<f64>(),
+            solve.predicted_ms,
+            measured.e2e_tail_ms.unwrap_or(f64::NAN),
+        );
+    }
+    println!("\nTighter SLOs should cost more CPU; measured p99 should track the target.");
+}

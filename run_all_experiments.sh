@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs every table/figure binary and collects outputs under results/.
+# Pass flags through, e.g.:  ./run_all_experiments.sh --paper-scale
+set -euo pipefail
+cd "$(dirname "$0")"
+
+ARGS=("$@")
+OUT=results
+mkdir -p "$OUT"
+
+BINS=(
+  fig01_instance_creation
+  topologies
+  fig02_03_surge_hpa
+  fig06_latency_curves
+  fig07_cascading
+  table1_hyperparams
+  table2_prediction_error
+  fig11_ablation_mpnn
+  fig12_loss_heatmap
+  fig13_search_space
+  fig14_16_resource_saving
+  fig17_slo_targeting
+  fig18_user_scaling
+  fig19_cost_benefit
+  table3_budget
+  fig20_real_workload
+  fig21_22_surge_comparison
+  solver_latency
+  ablation_loss
+  ablation_sampling
+  ablation_integer
+  ablation_anomaly
+  ablation_partition
+)
+
+cargo build --release -p graf-bench --bins
+
+for bin in "${BINS[@]}"; do
+  echo "== $bin =="
+  cargo run --quiet --release -p graf-bench --bin "$bin" -- "${ARGS[@]}" \
+    | tee "$OUT/$bin.txt"
+done
+
+echo "All outputs in $OUT/"

@@ -1,0 +1,110 @@
+//! Integration: the cascading effect (§2.1) — chain-oblivious autoscaling
+//! perceives a surge one chain level at a time, while proactive whole-chain
+//! creation does not. Spans graf-apps, graf-orchestrator and graf-loadgen.
+
+use graf::apps::{boutique, online_boutique};
+use graf::loadgen::{LoadGen, OpenLoop};
+use graf::orchestrator::{
+    run_experiment, Autoscaler, Cluster, CreationModel, Deployment, ExperimentHooks, HpaConfig,
+    KubernetesHpa, ProactiveOnce,
+};
+use graf::sim::time::SimTime;
+use graf::sim::topology::{ApiId, ServiceId};
+use graf::sim::world::{SimConfig, World};
+
+const BASE_QPS: f64 = 50.0;
+const SURGE_QPS: f64 = 250.0;
+const WARMUP_S: f64 = 360.0;
+const END_S: f64 = WARMUP_S + 240.0;
+
+/// Per-service times (s after surge) to perceive 80 % of the surge rate.
+fn perceive_times(scaler: &mut dyn Autoscaler, seed: u64) -> Vec<f64> {
+    let topo = online_boutique();
+    let world = World::new(topo.clone(), SimConfig::default(), seed);
+    let api = ApiId(boutique::API_CART);
+    let deployments = (0..topo.num_services() as u16)
+        .map(|s| {
+            let offered = BASE_QPS * topo.multiplicity(api, ServiceId(s))
+                * topo.services[s as usize].work_ms;
+            Deployment::new(ServiceId(s), 100.0, ((offered * 1.8 + 60.0) / 100.0).ceil() as usize)
+        })
+        .collect();
+    let mut cluster = Cluster::new(world, deployments, CreationModel::default());
+    let mut load = OpenLoop::new(seed).poisson().schedule(
+        api,
+        vec![(SimTime::ZERO, BASE_QPS), (SimTime::from_secs(WARMUP_S), SURGE_QPS)],
+    );
+
+    let n = topo.num_services();
+    let mut first_peak = vec![f64::NAN; n];
+    {
+        let mut on_segment = |cluster: &mut Cluster, _: &[_]| {
+            let now = cluster.world().now().as_secs_f64();
+            if now < WARMUP_S {
+                return;
+            }
+            for (s, slot) in first_peak.iter_mut().enumerate() {
+                if slot.is_nan() {
+                    let svc = ServiceId(s as u16);
+                    let rate = cluster.world().service_arrival_rate(svc, 5);
+                    let mult = cluster.world().topology().multiplicity(api, svc);
+                    if rate >= 0.8 * SURGE_QPS * mult {
+                        *slot = now - WARMUP_S;
+                    }
+                }
+            }
+        };
+        let mut hooks = ExperimentHooks { on_segment: Some(&mut on_segment), on_control: None };
+        run_experiment(
+            &mut cluster,
+            &mut load as &mut dyn LoadGen,
+            scaler,
+            SimTime::from_secs(END_S),
+            &mut hooks,
+        );
+    }
+    first_peak
+}
+
+fn proactive_targets() -> Vec<(ServiceId, usize)> {
+    let topo = online_boutique();
+    let api = ApiId(boutique::API_CART);
+    (0..topo.num_services() as u16)
+        .map(|s| {
+            let offered = SURGE_QPS * topo.multiplicity(api, ServiceId(s))
+                * topo.services[s as usize].work_ms;
+            (ServiceId(s), ((offered * 1.8 + 60.0) / 100.0).ceil() as usize)
+        })
+        .collect()
+}
+
+#[test]
+fn hpa_staggers_perception_proactive_does_not() {
+    let mut hpa = KubernetesHpa::new(HpaConfig::with_threshold(0.5), 6);
+    let hpa_peaks = perceive_times(&mut hpa, 21);
+    let mut pro = ProactiveOnce::new(SimTime::from_secs(WARMUP_S), proactive_targets());
+    let pro_peaks = perceive_times(&mut pro, 21);
+
+    let finite = |v: &[f64]| v.iter().all(|x| x.is_finite());
+    assert!(finite(&pro_peaks), "proactive: every service reaches peak: {pro_peaks:?}");
+
+    // The front end perceives the surge quickly in both cases.
+    assert!(hpa_peaks[0] <= 15.0, "frontend sees the surge immediately: {hpa_peaks:?}");
+
+    // Under the HPA the deepest chain members lag the front end more than
+    // under proactive creation.
+    let spread = |v: &[f64]| {
+        v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
+    };
+    let hpa_spread = spread(&hpa_peaks);
+    let pro_spread = spread(&pro_peaks);
+    assert!(
+        hpa_spread >= pro_spread,
+        "cascading: HPA spread {hpa_spread:.0}s >= proactive spread {pro_spread:.0}s \
+         (hpa {hpa_peaks:?}, proactive {pro_peaks:?})"
+    );
+    assert!(
+        hpa_spread >= 20.0,
+        "HPA perception is staggered down the chain: {hpa_peaks:?}"
+    );
+}
