@@ -29,10 +29,8 @@ pub fn bookinfo() -> AppTopology {
         ServiceSpec::new("ratings", 0.56, 250).cv(0.45),
     ];
 
-    let page = CallNode::new(PRODUCT_PAGE).then(vec![
-        CallNode::new(DETAILS),
-        CallNode::new(REVIEWS).call(CallNode::new(RATINGS)),
-    ]);
+    let page = CallNode::new(PRODUCT_PAGE)
+        .then(vec![CallNode::new(DETAILS), CallNode::new(REVIEWS).call(CallNode::new(RATINGS))]);
 
     AppTopology::new("bookinfo", services, vec![ApiSpec::new("product-page", page)])
 }

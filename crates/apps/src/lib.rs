@@ -68,10 +68,7 @@ mod tests {
             world.run_until(SimTime::from_secs(30.0));
             let done = world.drain_completions();
             assert_eq!(done.len(), 50 * napis, "{name}: all requests complete");
-            assert!(
-                done.iter().all(|c| c.latency_us() > 0),
-                "{name}: latencies positive"
-            );
+            assert!(done.iter().all(|c| c.latency_us() > 0), "{name}: latencies positive");
         }
     }
 

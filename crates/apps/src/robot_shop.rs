@@ -38,12 +38,10 @@ pub fn robot_shop() -> AppTopology {
         ServiceSpec::new("cart", 0.44, 300).cv(0.45),
     ];
 
-    let browse = CallNode::new(WEB)
-        .then(vec![CallNode::new(CATALOGUE), CallNode::new(RATINGS)]);
+    let browse = CallNode::new(WEB).then(vec![CallNode::new(CATALOGUE), CallNode::new(RATINGS)]);
     let user = CallNode::new(WEB).call(CallNode::new(USER));
-    let cart = CallNode::new(WEB)
-        .call(CallNode::new(CART))
-        .call(CallNode::new(CATALOGUE).work_scale(0.5));
+    let cart =
+        CallNode::new(WEB).call(CallNode::new(CART)).call(CallNode::new(CATALOGUE).work_scale(0.5));
 
     AppTopology::new(
         "robot-shop",

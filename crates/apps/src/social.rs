@@ -56,19 +56,13 @@ pub fn social_network() -> AppTopology {
                 CallNode::new(UNIQUE_ID),
                 CallNode::new(MEDIA),
                 CallNode::new(USER),
-                CallNode::new(TEXT).then(vec![
-                    CallNode::new(USER_MENTION),
-                    CallNode::new(URL_SHORTEN),
-                ]),
+                CallNode::new(TEXT)
+                    .then(vec![CallNode::new(USER_MENTION), CallNode::new(URL_SHORTEN)]),
             ])
             .call(CallNode::new(POST_STORAGE).call(CallNode::new(USER_TIMELINE))),
     );
 
-    AppTopology::new(
-        "social-network",
-        services,
-        vec![ApiSpec::new("post-compose", compose)],
-    )
+    AppTopology::new("social-network", services, vec![ApiSpec::new("post-compose", compose)])
 }
 
 #[cfg(test)]
@@ -105,10 +99,7 @@ mod tests {
             (COMPOSE_POST, POST_STORAGE),
             (POST_STORAGE, USER_TIMELINE),
         ] {
-            assert!(
-                edges.contains(&(ServiceId(p), ServiceId(c))),
-                "missing edge {p}->{c}"
-            );
+            assert!(edges.contains(&(ServiceId(p), ServiceId(c))), "missing edge {p}->{c}");
         }
         assert_eq!(edges.len(), 9);
     }

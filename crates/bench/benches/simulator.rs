@@ -11,10 +11,7 @@ use graf_sim::world::{SimConfig, World};
 /// Simulates 10 s of Online Boutique at the standard mix.
 fn simulate_10s(seed: u64, trace: bool) -> u64 {
     let topo = online_boutique();
-    let cfg = SimConfig {
-        trace_sample: if trace { 1.0 } else { 0.0 },
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig { trace_sample: if trace { 1.0 } else { 0.0 }, ..SimConfig::default() };
     let mut w = World::new(topo, cfg, seed);
     for s in 0..6u16 {
         w.add_instances(ServiceId(s), 4, 250.0, SimTime::ZERO);
@@ -35,12 +32,8 @@ fn simulate_10s(seed: u64, trace: bool) -> u64 {
 }
 
 fn bench_sim(c: &mut Criterion) {
-    c.bench_function("boutique_10s_600qps_no_tracing", |b| {
-        b.iter(|| simulate_10s(9, false))
-    });
-    c.bench_function("boutique_10s_600qps_full_tracing", |b| {
-        b.iter(|| simulate_10s(9, true))
-    });
+    c.bench_function("boutique_10s_600qps_no_tracing", |b| b.iter(|| simulate_10s(9, false)));
+    c.bench_function("boutique_10s_600qps_full_tracing", |b| b.iter(|| simulate_10s(9, true)));
 }
 
 criterion_group! {

@@ -37,13 +37,10 @@ fn trained_model() -> (LatencyModel, Bounds, Vec<f64>) {
     let ds = LatencyModel::dataset_from_samples(&scaler, &samples);
     let split = ds.split(0.8, 0.1, 1);
     let edges: Vec<(u16, u16)> = (0..n as u16 - 1).map(|i| (i, i + 1)).collect();
-    let mut model =
-        LatencyModel::new(NetKind::Gnn, &edges, n, scaler, split.train.label_mean(), 3);
+    let mut model = LatencyModel::new(NetKind::Gnn, &edges, n, scaler, split.train.label_mean(), 3);
     model.train(&split, &TrainConfig { epochs: 30, evals: 5, ..Default::default() });
-    let bounds = Bounds {
-        lower: works.iter().map(|w| 100.0 + w * 260.0).collect(),
-        upper: vec![2000.0; n],
-    };
+    let bounds =
+        Bounds { lower: works.iter().map(|w| 100.0 + w * 260.0).collect(), upper: vec![2000.0; n] };
     (model, bounds, vec![150.0; n])
 }
 

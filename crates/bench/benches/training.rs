@@ -34,9 +34,7 @@ fn bench_training(c: &mut Criterion) {
         c.bench_function(&format!("gnn_train_step_{n}_nodes_b256"), |b| {
             b.iter(|| gnn.train_step(&x, &y, &loss, &mut opt, &mut drop_rng))
         });
-        c.bench_function(&format!("gnn_predict_{n}_nodes_b256"), |b| {
-            b.iter(|| gnn.predict(&x))
-        });
+        c.bench_function(&format!("gnn_predict_{n}_nodes_b256"), |b| b.iter(|| gnn.predict(&x)));
 
         let mut flat = FlatMlp::new(n, 2, 120, 0.25, &mut rng);
         let mut opt2 = Adam::new(1e-3);

@@ -7,6 +7,8 @@
 ///   configuration (slower, closer to the paper's statistical power).
 /// * `--samples <n>` — override the training-sample count.
 /// * `--quick` — shrink everything for a fast smoke run.
+/// * `--telemetry <path>` — enable the graf-obs telemetry layer: dump the
+///   JSONL event log to `path` and print the summary table at exit.
 #[derive(Clone, Debug)]
 pub struct Args {
     /// Base RNG seed.
@@ -17,11 +19,13 @@ pub struct Args {
     pub samples: Option<usize>,
     /// Fast smoke-run mode.
     pub quick: bool,
+    /// JSONL telemetry dump path (telemetry stays disabled when unset).
+    pub telemetry: Option<String>,
 }
 
 impl Default for Args {
     fn default() -> Self {
-        Self { seed: 7, paper_scale: false, samples: None, quick: false }
+        Self { seed: 7, paper_scale: false, samples: None, quick: false, telemetry: None }
     }
 }
 
@@ -38,10 +42,8 @@ impl Args {
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--seed" => {
-                    out.seed = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed needs a u64 value");
+                    out.seed =
+                        it.next().and_then(|v| v.parse().ok()).expect("--seed needs a u64 value");
                 }
                 "--paper-scale" => out.paper_scale = true,
                 "--quick" => out.quick = true,
@@ -52,10 +54,38 @@ impl Args {
                             .expect("--samples needs a usize value"),
                     );
                 }
+                "--telemetry" => {
+                    out.telemetry = Some(it.next().expect("--telemetry needs a file path"));
+                }
                 other => panic!("unknown flag {other}; see crate docs"),
             }
         }
         out
+    }
+
+    /// A telemetry handle honoring `--telemetry`: enabled when a dump path
+    /// was given, disabled (all no-ops) otherwise.
+    pub fn obs(&self) -> graf_obs::Obs {
+        match &self.telemetry {
+            Some(path) => {
+                // Fail on an unwritable path now, not after the experiment ran.
+                std::fs::File::create(path)
+                    .unwrap_or_else(|e| panic!("cannot write telemetry to {path}: {e}"));
+                graf_obs::Obs::enabled()
+            }
+            None => graf_obs::Obs::disabled(),
+        }
+    }
+
+    /// Finishes a telemetry session: writes the JSONL dump to the
+    /// `--telemetry` path and prints the summary table. No-op when telemetry
+    /// is off.
+    pub fn finish_telemetry(&self, obs: &graf_obs::Obs) {
+        let Some(path) = &self.telemetry else { return };
+        obs.write_jsonl_path(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("writing telemetry to {path}: {e}"));
+        println!("\n{}", obs.summary());
+        println!("telemetry written to {path}");
     }
 
     /// Picks a value by scale: `quick` < default < `paper`.
@@ -95,6 +125,16 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_flag_takes_a_path_and_enables_obs() {
+        let off = parse(&[]);
+        assert_eq!(off.telemetry, None);
+        assert!(!off.obs().is_enabled());
+        let on = parse(&["--telemetry", "/tmp/t.jsonl"]);
+        assert_eq!(on.telemetry.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(on.obs().is_enabled());
+    }
+
+    #[test]
     fn scaled_picks_by_mode() {
         assert_eq!(parse(&["--quick"]).scaled(1, 2, 3), 1);
         assert_eq!(parse(&[]).scaled(1, 2, 3), 2);
@@ -105,5 +145,11 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn unknown_flag_panics() {
         parse(&["--frobnicate"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot write telemetry")]
+    fn unwritable_telemetry_path_fails_before_the_run() {
+        parse(&["--telemetry", "/nonexistent-dir/t.jsonl"]).obs();
     }
 }

@@ -58,21 +58,14 @@ fn run(
     let during = percentile_between(&comps, CONTENTION_FROM_S + 30.0, CONTENTION_TO_S, 0.99)
         .unwrap_or(f64::NAN);
     let violation_frac = {
-        let pts: Vec<_> = tl
-            .iter()
-            .filter(|p| p.t_s >= CONTENTION_FROM_S && p.t_s < CONTENTION_TO_S)
-            .collect();
-        pts.iter()
-            .filter(|p| p.p99_ms.is_some_and(|v| v > setup.slo_ms))
-            .count() as f64
+        let pts: Vec<_> =
+            tl.iter().filter(|p| p.t_s >= CONTENTION_FROM_S && p.t_s < CONTENTION_TO_S).collect();
+        pts.iter().filter(|p| p.p99_ms.is_some_and(|v| v > setup.slo_ms)).count() as f64
             / pts.len().max(1) as f64
     };
-    let mean_inst = tl
-        .iter()
-        .filter(|p| p.t_s >= 120.0)
-        .map(|p| p.total_instances as f64)
-        .sum::<f64>()
-        / tl.iter().filter(|p| p.t_s >= 120.0).count().max(1) as f64;
+    let mean_inst =
+        tl.iter().filter(|p| p.t_s >= 120.0).map(|p| p.total_instances as f64).sum::<f64>()
+            / tl.iter().filter(|p| p.t_s >= 120.0).count().max(1) as f64;
     (during, violation_frac, mean_inst)
 }
 
@@ -90,21 +83,27 @@ fn main() {
     let (p99_plain, viol_plain, inst_plain) = run(&setup, &mut plain, args.seed);
 
     let guarded_inner = graf.controller(setup.slo_ms);
-    let mut guarded = AnomalyGuard::new(
-        guarded_inner,
-        setup.topo.num_services(),
-        AnomalyGuardConfig::default(),
-    );
+    let mut guarded =
+        AnomalyGuard::new(guarded_inner, setup.topo.num_services(), AnomalyGuardConfig::default());
     let (p99_guard, viol_guard, inst_guard) = run(&setup, &mut guarded, args.seed);
 
-    println!("\n{:<16} {:>16} {:>18} {:>16}", "controller", "p99 during (ms)", "SLO-violating time", "mean instances");
     println!(
-        "{:<16} {:>16.0} {:>17.0}% {:>16.1}",
-        "GRAF", p99_plain, viol_plain * 100.0, inst_plain
+        "\n{:<16} {:>16} {:>18} {:>16}",
+        "controller", "p99 during (ms)", "SLO-violating time", "mean instances"
     );
     println!(
         "{:<16} {:>16.0} {:>17.0}% {:>16.1}",
-        "GRAF + guard", p99_guard, viol_guard * 100.0, inst_guard
+        "GRAF",
+        p99_plain,
+        viol_plain * 100.0,
+        inst_plain
+    );
+    println!(
+        "{:<16} {:>16.0} {:>17.0}% {:>16.1}",
+        "GRAF + guard",
+        p99_guard,
+        viol_guard * 100.0,
+        inst_guard
     );
     println!("guard triggers: {}", guarded.triggers);
     println!(

@@ -35,11 +35,16 @@ fn main() {
         let (quotas, res, workloads, _s) = ctrl.plan_detailed(&rates);
         let ceil_counts: Vec<usize> =
             quotas.iter().map(|q| (q / unit).ceil().max(1.0) as usize).collect();
-        let (refined, _pred) =
-            integer_refine(&graf.model, &workloads, &res.quotas_mc, &graf.bounds, unit, setup.slo_ms);
-        let deploy = |counts: &[usize]| -> Vec<f64> {
-            counts.iter().map(|&k| k as f64 * unit).collect()
-        };
+        let (refined, _pred) = integer_refine(
+            &graf.model,
+            &workloads,
+            &res.quotas_mc,
+            &graf.bounds,
+            unit,
+            setup.slo_ms,
+        );
+        let deploy =
+            |counts: &[usize]| -> Vec<f64> { counts.iter().map(|&k| k as f64 * unit).collect() };
         let (ceil_out, _) = validator.measure(
             &deploy(&ceil_counts),
             &rates,

@@ -55,11 +55,7 @@ fn main() {
             split.train.label_mean(),
             graf.build_cfg.split_seed ^ 0x6E7,
         );
-        let train = TrainConfig {
-            theta_l: tl,
-            theta_r: tr,
-            ..graf.build_cfg.train.clone()
-        };
+        let train = TrainConfig { theta_l: tl, theta_r: tr, ..graf.build_cfg.train.clone() };
         model.train(&split, &train);
         let table = model.error_table(&split.test);
 
@@ -70,7 +66,8 @@ fn main() {
             for mult in [0.7, 1.0] {
                 let rates: Vec<f64> = setup.probe_qps.iter().map(|q| q * mult).collect();
                 let workloads = graf.analyzer.service_workloads(&rates);
-                let res = solve(&mut model, &workloads, slo, &graf.bounds, &SolverConfig::default());
+                let res =
+                    solve(&mut model, &workloads, slo, &graf.bounds, &SolverConfig::default());
                 let (out, _) = validator.measure(
                     &res.quotas_mc,
                     &rates,

@@ -22,10 +22,7 @@ fn main() {
 
     // Reference: full model's error on its held-out test set.
     let table = graf.model.error_table(&graf.test_set);
-    println!(
-        "\n{:<14} {:>12} {:>16} {:>14}",
-        "model", "parts", "params", "MAPE (%)"
-    );
+    println!("\n{:<14} {:>12} {:>16} {:>14}", "model", "parts", "params", "MAPE (%)");
     println!(
         "{:<14} {:>12} {:>16} {:>14.1}",
         "full GNN",

@@ -29,8 +29,7 @@ fn train_on(
     );
     let ds = LatencyModel::dataset_from_samples(&scaler, samples);
     let split = ds.split(0.8, 0.1, 5);
-    let mut model =
-        LatencyModel::new(NetKind::Gnn, edges, n, scaler, split.train.label_mean(), 5);
+    let mut model = LatencyModel::new(NetKind::Gnn, edges, n, scaler, split.train.label_mean(), 5);
     model.train(&split, train);
     model
 }
@@ -65,10 +64,8 @@ fn main() {
     let smart = collector.collect(&bounds, &analyzer, budget);
 
     // Naive: same budget, quotas uniform over the full original range.
-    let naive_bounds = Bounds {
-        lower: vec![cfg.min_quota_mc; n],
-        upper: vec![cfg.abundant_quota_mc; n],
-    };
+    let naive_bounds =
+        Bounds { lower: vec![cfg.min_quota_mc; n], upper: vec![cfg.abundant_quota_mc; n] };
     let naive = collector.collect(&naive_bounds, &analyzer, budget);
 
     // Held-out evaluation set: fresh samples inside the operating box (where
@@ -89,10 +86,7 @@ fn main() {
     // Also show where naive samples were wasted.
     let mut rng = DetRng::new(1);
     let _ = rng.unit();
-    let starved = naive
-        .iter()
-        .filter(|s| s.p99_ms > cfg.slo_ms * 4.0)
-        .count();
+    let starved = naive.iter().filter(|s| s.p99_ms > cfg.slo_ms * 4.0).count();
     println!(
         "\nnaive samples with p99 > 4×SLO (wasted on starvation regions): {}/{}",
         starved,

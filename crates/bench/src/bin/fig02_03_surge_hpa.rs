@@ -51,20 +51,14 @@ fn targets_for(rate_qps: f64) -> Vec<(ServiceId, usize)> {
 fn cluster(seed: u64, initial: &[(ServiceId, usize)]) -> Cluster {
     let topo = online_boutique();
     let world = World::new(topo, SimConfig::default(), seed);
-    let deployments = initial
-        .iter()
-        .map(|&(s, n)| Deployment::new(s, CPU_UNIT, n))
-        .collect();
+    let deployments = initial.iter().map(|&(s, n)| Deployment::new(s, CPU_UNIT, n)).collect();
     Cluster::new(world, deployments, CreationModel::default())
 }
 
 fn load(seed: u64) -> OpenLoop {
     OpenLoop::new(seed ^ 0x5).poisson().schedule(
         ApiId(boutique::API_CART),
-        vec![
-            (SimTime::ZERO, BASE_QPS),
-            (SimTime::from_secs(SURGE_AT_S), SURGE_QPS),
-        ],
+        vec![(SimTime::ZERO, BASE_QPS), (SimTime::from_secs(SURGE_AT_S), SURGE_QPS)],
     )
 }
 
@@ -84,10 +78,8 @@ fn run(
         SimDuration::from_secs(5.0),
     );
     let p = |q: f64| percentile_between(&comps, SURGE_AT_S, END_S, q).unwrap_or(f64::NAN);
-    let timeouts = comps
-        .iter()
-        .filter(|c| c.timed_out && c.end.as_secs_f64() >= SURGE_AT_S)
-        .count();
+    let timeouts =
+        comps.iter().filter(|c| c.timed_out && c.end.as_secs_f64() >= SURGE_AT_S).count();
     println!(
         "{name}: p90 {:.2} s, p95 {:.2} s, p99 {:.2} s, timeouts {}, final instances {}",
         p(0.90) / 1000.0,

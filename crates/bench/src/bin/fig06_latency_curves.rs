@@ -45,9 +45,7 @@ fn p50_at(
         }
     }
     world.run_until(SimTime::from_secs(11.0));
-    world
-        .service_percentile(ServiceId(service as u16), 8, 0.5)
-        .map(|d| d.as_millis_f64())
+    world.service_percentile(ServiceId(service as u16), 8, 0.5).map(|d| d.as_millis_f64())
 }
 
 fn sweep(topo: &AppTopology, services: &[usize], rates: &[f64], seed: u64) {

@@ -45,10 +45,8 @@ fn targets_for(rate_qps: f64) -> Vec<(ServiceId, usize)> {
 fn run(scaler: &mut dyn Autoscaler, seed: u64) -> Vec<TimelinePoint> {
     let topo = online_boutique();
     let world = World::new(topo, SimConfig::default(), seed);
-    let deployments = targets_for(BASE_QPS)
-        .into_iter()
-        .map(|(s, n)| Deployment::new(s, CPU_UNIT, n))
-        .collect();
+    let deployments =
+        targets_for(BASE_QPS).into_iter().map(|(s, n)| Deployment::new(s, CPU_UNIT, n)).collect();
     let mut cluster = Cluster::new(world, deployments, CreationModel::default());
     let mut load = OpenLoop::new(seed ^ 0x7).poisson().schedule(
         ApiId(boutique::API_CART),

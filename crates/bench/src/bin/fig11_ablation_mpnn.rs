@@ -34,7 +34,10 @@ fn main() {
     let cfg = TrainConfig::default();
     let graf_test = graf.model.eval_loss(&graf.test_set, &cfg);
     let flat_test = flat_model.eval_loss(&graf.test_set, &cfg);
-    println!("\nbest validation loss — GRAF {:.4}, w/o MPNN {:.4}", graf.report.best_val, flat_report.best_val);
+    println!(
+        "\nbest validation loss — GRAF {:.4}, w/o MPNN {:.4}",
+        graf.report.best_val, flat_report.best_val
+    );
     println!("held-out test loss  — GRAF {:.4}, w/o MPNN {:.4}", graf_test, flat_test);
     println!(
         "\nGRAF generalizes {} on held-out data (paper: 'the trained model from GRAF \

@@ -18,7 +18,10 @@ fn evaluate(setup: &AppSetup, args: &Args) {
     let (min_q, max_q) = (cfg.min_quota_mc, cfg.abundant_quota_mc);
     let collector = SampleCollector::new(setup.topo.clone(), cfg);
     let bounds = collector.reduce_search_space();
-    println!("{:<20} {:>10} {:>10} {:>22}", "service", "lower_mc", "upper_mc", "original range (mc)");
+    println!(
+        "{:<20} {:>10} {:>10} {:>22}",
+        "service", "lower_mc", "upper_mc", "original range (mc)"
+    );
     for (i, svc) in setup.topo.services.iter().enumerate() {
         println!(
             "{:<20} {:>10.0} {:>10.0} {:>14.0}..{:.0}",

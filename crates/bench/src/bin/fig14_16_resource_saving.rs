@@ -27,8 +27,7 @@ fn evaluate(setup: &AppSetup, args: &Args) {
     );
 
     // Generous initial replicas avoid a cold-start backlog polluting warm-up.
-    let trial = SteadyTrial::new(setup.topo.clone(), setup.probe_qps.clone())
-        .initial_replicas(6);
+    let trial = SteadyTrial::new(setup.topo.clone(), setup.probe_qps.clone()).initial_replicas(6);
 
     let mut graf_ctrl = graf.controller(setup.slo_ms);
     let graf_out = run_steady(&trial, &mut graf_ctrl);

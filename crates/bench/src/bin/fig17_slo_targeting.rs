@@ -36,8 +36,12 @@ fn main() {
         for mult in [0.6, 0.8, 1.0] {
             let rates: Vec<f64> = setup.probe_qps.iter().map(|q| q * mult).collect();
             let (quotas, solve) = ctrl.plan(&rates);
-            let (out, _) =
-                validator.measure(&quotas, &rates, args.seed ^ (slo as u64) << 4 ^ (mult * 10.0) as u64, false);
+            let (out, _) = validator.measure(
+                &quotas,
+                &rates,
+                args.seed ^ (slo as u64) << 4 ^ (mult * 10.0) as u64,
+                false,
+            );
             let measured = out.e2e_tail_ms.unwrap_or(f64::NAN);
             let ok = measured <= slo;
             within += ok as usize;

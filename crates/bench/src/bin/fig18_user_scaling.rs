@@ -64,8 +64,7 @@ fn main() {
 
     // Tune the HPA once at the standard operating point (~1500 users worth
     // of open-loop traffic), as the paper tunes one global threshold.
-    let trial = SteadyTrial::new(setup.topo.clone(), setup.probe_qps.clone())
-        .initial_replicas(6);
+    let trial = SteadyTrial::new(setup.topo.clone(), setup.probe_qps.clone()).initial_replicas(6);
     // The paper hand-tunes the threshold; 10%-step granularity.
     let grid: Vec<f64> = (1..=9).map(|i| 0.05 + 0.1 * (9 - i) as f64).collect();
     let (thr, _) = tune_hpa_threshold(&trial, setup.slo_ms, &grid);
@@ -74,8 +73,7 @@ fn main() {
     println!("\nusers,graf_instances,k8s_instances,saved,graf_p99_ms,k8s_p99_ms");
     for users in [500usize, 1000, 1500, 2000, 2500, 3000] {
         let mut graf_ctrl = graf.controller(setup.slo_ms);
-        let (graf_inst, graf_p99) =
-            run_users(&mut graf_ctrl, users, setup.cpu_unit_mc, args.seed);
+        let (graf_inst, graf_p99) = run_users(&mut graf_ctrl, users, setup.cpu_unit_mc, args.seed);
         let mut hpa = hpa_with_threshold(thr, 6);
         let (hpa_inst, hpa_p99) = run_users(&mut hpa, users, setup.cpu_unit_mc, args.seed);
         println!(

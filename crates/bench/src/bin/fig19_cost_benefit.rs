@@ -31,10 +31,7 @@ fn main() {
     for qps in [250.0, 500.0, 1000.0, 2000.0, 4000.0, 6000.0] {
         let saved = saved_instances(qps, cpu_unit);
         let days = breakeven_days(one_time, saved, cpu_unit);
-        println!(
-            "{qps:.0},{saved:.1},{}",
-            days.map_or("never".into(), |d| format!("{d:.1}"))
-        );
+        println!("{qps:.0},{saved:.1},{}", days.map_or("never".into(), |d| format!("{d:.1}")));
     }
 
     println!("\n## Profit grid: rows = workload (qps), cols = update period (days)");
@@ -48,7 +45,10 @@ fn main() {
         print!("{qps:.0}");
         let saved = saved_instances(qps, cpu_unit);
         for p in periods {
-            print!(",{}", if is_profitable(p, saved, one_time, cpu_unit) { "profit" } else { "loss" });
+            print!(
+                ",{}",
+                if is_profitable(p, saved, one_time, cpu_unit) { "profit" } else { "loss" }
+            );
         }
         println!();
     }

@@ -75,8 +75,7 @@ fn main() {
 
     println!("training GRAF...");
     let graf = build_graf(&setup, &args);
-    let trial = SteadyTrial::new(setup.topo.clone(), setup.probe_qps.clone())
-        .initial_replicas(6);
+    let trial = SteadyTrial::new(setup.topo.clone(), setup.probe_qps.clone()).initial_replicas(6);
     // The paper hand-tunes the threshold; 10%-step granularity.
     let grid: Vec<f64> = (1..=9).map(|i| 0.05 + 0.1 * (9 - i) as f64).collect();
     let (thr, _) = tune_hpa_threshold(&trial, setup.slo_ms, &grid);

@@ -21,14 +21,27 @@ fn main() {
     for r in &table.regions {
         println!("err {}: {:.1}% (n={})", r.0, r.3, r.4);
     }
-    println!("overestimate: {:.1}% of points, mean {:.1}%", table.overestimate_fraction*100.0, table.mean_overestimate_pct);
+    println!(
+        "overestimate: {:.1}% of points, mean {:.1}%",
+        table.overestimate_fraction * 100.0,
+        table.mean_overestimate_pct
+    );
 
     // What does GRAF want at the probe workload?
     let mut ctrl = graf.controller(setup.slo_ms);
     let t1 = Instant::now();
     let (quotas, res) = ctrl.plan(&setup.probe_qps);
-    println!("solve: {:.1} ms wall, {} iters, pred {:.1} ms", t1.elapsed().as_secs_f64()*1000.0, res.iterations, res.predicted_ms);
-    println!("quotas: {:?} (total {:.0})", quotas.iter().map(|v| v.round()).collect::<Vec<_>>(), quotas.iter().sum::<f64>());
+    println!(
+        "solve: {:.1} ms wall, {} iters, pred {:.1} ms",
+        t1.elapsed().as_secs_f64() * 1000.0,
+        res.iterations,
+        res.predicted_ms
+    );
+    println!(
+        "quotas: {:?} (total {:.0})",
+        quotas.iter().map(|v| v.round()).collect::<Vec<_>>(),
+        quotas.iter().sum::<f64>()
+    );
 
     // Tune HPA once at the reference workload (as the paper does), then
     // compare GRAF vs that fixed threshold across workload multipliers.
@@ -59,7 +72,13 @@ fn main() {
             hpa_out.p99_ms.map(|v| v.round()), hpa_out.mean_quota_mc, hpa_out.mean_instances,
             saving * 100.0,
         );
-        println!("  graf per-svc: {:?}", graf_out.per_service_quota_mc.iter().map(|v| v.round()).collect::<Vec<_>>());
-        println!("  hpa  per-svc: {:?}", hpa_out.per_service_quota_mc.iter().map(|v| v.round()).collect::<Vec<_>>());
+        println!(
+            "  graf per-svc: {:?}",
+            graf_out.per_service_quota_mc.iter().map(|v| v.round()).collect::<Vec<_>>()
+        );
+        println!(
+            "  hpa  per-svc: {:?}",
+            hpa_out.per_service_quota_mc.iter().map(|v| v.round()).collect::<Vec<_>>()
+        );
     }
 }

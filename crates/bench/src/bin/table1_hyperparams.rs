@@ -29,6 +29,9 @@ fn main() {
     println!("# Architecture (§4)");
     println!("MPNN φ/γ: 2 hidden layers × {} units, ReLU", arch.hidden);
     println!("message dim {}, embedding dim {}", arch.msg_dim, arch.embed_dim);
-    println!("readout: 2 hidden layers × {} units, ReLU, dropout on all but last", arch.readout_hidden);
+    println!(
+        "readout: 2 hidden layers × {} units, ReLU, dropout on all but last",
+        arch.readout_hidden
+    );
     println!("node features: (workload, CPU quota) = {} per node", arch.feature_dim);
 }

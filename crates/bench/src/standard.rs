@@ -36,12 +36,7 @@ pub fn boutique_setup() -> AppSetup {
 
 /// Social Network under Vegeta post-compose load.
 pub fn social_setup() -> AppSetup {
-    AppSetup {
-        topo: social_network(),
-        probe_qps: vec![600.0],
-        slo_ms: 80.0,
-        cpu_unit_mc: 100.0,
-    }
+    AppSetup { topo: social_network(), probe_qps: vec![600.0], slo_ms: 80.0, cpu_unit_mc: 100.0 }
 }
 
 /// The standard sampling configuration for a setup, scaled by `args`.
@@ -61,17 +56,11 @@ pub fn sampling_config(setup: &AppSetup, args: &Args) -> SamplingConfig {
 
 /// The standard build configuration (samples + training scale) for a setup.
 pub fn build_config(setup: &AppSetup, args: &Args) -> GrafBuildConfig {
-    let num_samples = args
-        .samples
-        .unwrap_or_else(|| args.scaled(150, 1200, 8000));
+    let num_samples = args.samples.unwrap_or_else(|| args.scaled(150, 1200, 8000));
     let train = if args.paper_scale {
         TrainConfig { seed: args.seed, ..TrainConfig::paper() }
     } else {
-        TrainConfig {
-            epochs: args.scaled(15, 60, 450),
-            seed: args.seed,
-            ..TrainConfig::default()
-        }
+        TrainConfig { epochs: args.scaled(15, 60, 450), seed: args.seed, ..TrainConfig::default() }
     };
     GrafBuildConfig {
         sampling: sampling_config(setup, args),
@@ -85,6 +74,11 @@ pub fn build_config(setup: &AppSetup, args: &Args) -> GrafBuildConfig {
 /// Builds the standard GRAF pipeline for a setup.
 pub fn build_graf(setup: &AppSetup, args: &Args) -> Graf {
     Graf::build(setup.topo.clone(), build_config(setup, args))
+}
+
+/// [`build_graf`] with the build pipeline reporting through `obs`.
+pub fn build_graf_observed(setup: &AppSetup, args: &Args, obs: &graf_obs::Obs) -> Graf {
+    Graf::build_observed(setup.topo.clone(), build_config(setup, args), obs)
 }
 
 #[cfg(test)]
@@ -108,10 +102,7 @@ mod tests {
         assert!(quick.num_samples < normal.num_samples);
         assert!(normal.num_samples < paper.num_samples);
         assert!(quick.train.epochs < paper.train.epochs);
-        let explicit = build_config(
-            &setup,
-            &Args { samples: Some(42), ..Default::default() },
-        );
+        let explicit = build_config(&setup, &Args { samples: Some(42), ..Default::default() });
         assert_eq!(explicit.num_samples, 42);
     }
 }

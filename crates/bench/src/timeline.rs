@@ -50,10 +50,7 @@ pub fn run_with_timeline(
                 per_service_rate: (0..n)
                     .map(|s| cluster.world().service_arrival_rate(ServiceId(s as u16), 5))
                     .collect(),
-                p99_ms: cluster
-                    .world()
-                    .e2e_percentile(10, 0.99)
-                    .map(|d| d.as_millis_f64()),
+                p99_ms: cluster.world().e2e_percentile(10, 0.99).map(|d| d.as_millis_f64()),
             });
             next += every;
         }

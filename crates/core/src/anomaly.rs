@@ -73,12 +73,7 @@ impl<A: Autoscaler> AnomalyGuard<A> {
 
     /// Services currently under an anomaly boost.
     pub fn boosted(&self) -> Vec<usize> {
-        self.hold
-            .iter()
-            .enumerate()
-            .filter(|&(_, &h)| h > 0)
-            .map(|(i, _)| i)
-            .collect()
+        self.hold.iter().enumerate().filter(|&(_, &h)| h > 0).map(|(i, _)| i).collect()
     }
 }
 
@@ -89,14 +84,11 @@ impl<A: Autoscaler> Autoscaler for AnomalyGuard<A> {
 
     fn tick(&mut self, cluster: &mut Cluster) {
         self.inner.tick(cluster);
-        let k = (self.cfg.window.as_micros() / cluster.world().config().window_us).max(1)
-            as usize;
+        let k = (self.cfg.window.as_micros() / cluster.world().config().window_us).max(1) as usize;
         for svc in 0..self.baseline_p99_ms.len() {
             let service = ServiceId(svc as u16);
-            let Some(p99) = cluster
-                .world()
-                .service_percentile(service, k, 0.99)
-                .map(|d| d.as_millis_f64())
+            let Some(p99) =
+                cluster.world().service_percentile(service, k, 0.99).map(|d| d.as_millis_f64())
             else {
                 continue;
             };

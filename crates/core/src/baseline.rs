@@ -14,8 +14,8 @@
 use graf_loadgen::{LoadGen, OpenLoop};
 use graf_metrics::Summary;
 use graf_orchestrator::{
-    run_experiment, Autoscaler, Cluster, CreationModel, Deployment, ExperimentHooks,
-    KubernetesHpa, HpaConfig,
+    run_experiment, Autoscaler, Cluster, CreationModel, Deployment, ExperimentHooks, HpaConfig,
+    KubernetesHpa,
 };
 use graf_sim::time::SimDuration;
 use graf_sim::topology::{ApiId, AppTopology, ServiceId};
@@ -194,17 +194,13 @@ pub fn tune_hpa_threshold(
     validation.seed = trial.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     let mut last = None;
     for &threshold in &sorted {
-        let mut hpa = KubernetesHpa::new(
-            HpaConfig::with_threshold(threshold),
-            trial.topo.num_services(),
-        );
+        let mut hpa =
+            KubernetesHpa::new(HpaConfig::with_threshold(threshold), trial.topo.num_services());
         let outcome = run_steady(trial, &mut hpa);
         let ok = outcome.p99_ms.is_some_and(|p| p <= slo_ms);
         let ok = ok && {
-            let mut hpa2 = KubernetesHpa::new(
-                HpaConfig::with_threshold(threshold),
-                trial.topo.num_services(),
-            );
+            let mut hpa2 =
+                KubernetesHpa::new(HpaConfig::with_threshold(threshold), trial.topo.num_services());
             let v = run_steady(&validation, &mut hpa2);
             v.p99_ms.is_some_and(|p| p <= slo_ms)
         };

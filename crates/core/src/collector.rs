@@ -35,21 +35,15 @@ pub fn snapshot(world: &World, window: SimDuration) -> StateSnapshot {
     let n = world.topology().num_services();
     let napis = world.topology().num_apis();
     StateSnapshot {
-        api_rates: (0..napis)
-            .map(|a| world.api_arrival_rate(ApiId(a as u16), k))
-            .collect(),
+        api_rates: (0..napis).map(|a| world.api_arrival_rate(ApiId(a as u16), k)).collect(),
         utilization: (0..n)
             .map(|s| world.service_utilization(ServiceId(s as u16), window))
             .collect(),
-        used_mc: (0..n)
-            .map(|s| world.service_used_mc(ServiceId(s as u16), window))
-            .collect(),
+        used_mc: (0..n).map(|s| world.service_used_mc(ServiceId(s as u16), window)).collect(),
         ready_quota_mc: (0..n).map(|s| world.ready_quota_mc(ServiceId(s as u16))).collect(),
         service_p99_ms: (0..n)
             .map(|s| {
-                world
-                    .service_percentile(ServiceId(s as u16), k, 0.99)
-                    .map(|d| d.as_millis_f64())
+                world.service_percentile(ServiceId(s as u16), k, 0.99).map(|d| d.as_millis_f64())
             })
             .collect(),
         e2e_p99_ms: world.e2e_percentile(k, 0.99).map(|d| d.as_millis_f64()),

@@ -17,10 +17,12 @@ use graf_orchestrator::{Autoscaler, Cluster};
 use graf_sim::time::SimDuration;
 use graf_sim::topology::{ApiId, ServiceId};
 
+use graf_obs::Obs;
+
 use crate::analyzer::WorkloadAnalyzer;
 use crate::latency_model::LatencyModel;
 use crate::sample_collector::Bounds;
-use crate::solver::{solve, SolveResult, SolverConfig};
+use crate::solver::{solve_observed, SolveResult, SolverConfig};
 
 /// Control-loop configuration.
 #[derive(Clone, Debug)]
@@ -60,6 +62,26 @@ impl Default for GrafControllerConfig {
     }
 }
 
+/// Everything one §3.6 planning pass produces. All `plan*` entry points are
+/// wrappers over this, so `last_*` fields and telemetry populate in exactly
+/// one place.
+#[derive(Clone, Debug)]
+pub struct PlanOutcome {
+    /// Applied per-service quotas (after §3.6 rescaling), millicores.
+    pub quotas_mc: Vec<f64>,
+    /// Instance counts, when a CPU unit was supplied (eq. 7, possibly
+    /// tightened by the §6 integer refinement).
+    pub counts: Option<Vec<usize>>,
+    /// Per-service workloads the solver saw (scaled space).
+    pub workloads: Vec<f64>,
+    /// §3.6 scale factor `s = total/train_total_qps` (≥ 1).
+    pub scale: f64,
+    /// The solver's result at the scaled workload.
+    pub solve: SolveResult,
+    /// Instances reclaimed by the integer refinement versus plain `ceil`.
+    pub refine_saved: usize,
+}
+
 /// GRAF's end-to-end autoscaler.
 pub struct GrafController {
     model: LatencyModel,
@@ -72,6 +94,8 @@ pub struct GrafController {
     pub last_solve: Option<SolveResult>,
     /// Most recent applied per-service quotas (after workload rescaling), mc.
     pub last_quotas_mc: Vec<f64>,
+    /// Telemetry handle; disabled by default.
+    pub obs: Obs,
 }
 
 impl GrafController {
@@ -84,7 +108,21 @@ impl GrafController {
     ) -> Self {
         assert_eq!(model.num_services(), analyzer.num_services());
         assert!(cfg.train_total_qps > 0.0);
-        Self { model, analyzer, bounds, cfg, last_solve: None, last_quotas_mc: Vec::new() }
+        Self {
+            model,
+            analyzer,
+            bounds,
+            cfg,
+            last_solve: None,
+            last_quotas_mc: Vec::new(),
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle: ticks, solves and planning decisions are
+    /// recorded through it. Telemetry never alters any decision.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The controller configuration.
@@ -92,60 +130,81 @@ impl GrafController {
         &self.cfg
     }
 
-    /// Computes the target quotas for the given per-API rates (the §3.6
-    /// pipeline without touching a cluster) — also used by the benches.
-    pub fn plan(&mut self, api_rates: &[f64]) -> (Vec<f64>, SolveResult) {
-        let (quotas, res, _, _) = self.plan_detailed(api_rates);
-        (quotas, res)
-    }
-
-    /// [`GrafController::plan`] plus the intermediate quantities: the
-    /// per-service workloads the solver saw and the §3.6 scale factor.
-    pub fn plan_detailed(
-        &mut self,
-        api_rates: &[f64],
-    ) -> (Vec<f64>, SolveResult, Vec<f64>, f64) {
-        let rates: Vec<f64> =
-            api_rates.iter().map(|r| r * self.cfg.headroom).collect();
+    /// One full §3.6 planning pass. Every other `plan*` method delegates
+    /// here, so `last_solve`/`last_quotas_mc` and telemetry are maintained in
+    /// a single place.
+    ///
+    /// With `cpu_unit_mc = Some(unit)` the outcome also carries instance
+    /// counts: eq. 7's `ceil(quota/unit)`, tightened by the §6 integer
+    /// refinement when enabled and the workload is inside the trained region.
+    pub fn plan_outcome(&mut self, api_rates: &[f64], cpu_unit_mc: Option<f64>) -> PlanOutcome {
+        let rates: Vec<f64> = api_rates.iter().map(|r| r * self.cfg.headroom).collect();
         let total: f64 = rates.iter().sum();
         let s = (total / self.cfg.train_total_qps).max(1.0);
         let scaled: Vec<f64> = rates.iter().map(|r| r / s).collect();
         let workloads = self.analyzer.service_workloads(&scaled);
-        let res = solve(
+        let obs = self.obs.clone();
+        let res = solve_observed(
             &mut self.model,
             &workloads,
             self.cfg.slo_ms,
             &self.bounds,
             &self.cfg.solver,
+            &obs,
         );
         let quotas: Vec<f64> = res.quotas_mc.iter().map(|q| q * s).collect();
-        (quotas, res, workloads, s)
+
+        let mut refine_saved = 0usize;
+        let mut refined = false;
+        let counts = cpu_unit_mc.map(|unit| {
+            let ceil_counts: Vec<usize> =
+                quotas.iter().map(|q| (q / unit).ceil().max(1.0) as usize).collect();
+            if self.cfg.integer_refine && s <= 1.0 {
+                let (counts, _) = crate::solver::integer_refine(
+                    &self.model,
+                    &workloads,
+                    &res.quotas_mc,
+                    &self.bounds,
+                    unit,
+                    self.cfg.slo_ms,
+                );
+                let ceil_total: usize = ceil_counts.iter().sum();
+                let refined_total: usize = counts.iter().sum();
+                refine_saved = ceil_total.saturating_sub(refined_total);
+                refined = true;
+                counts
+            } else {
+                ceil_counts
+            }
+        });
+
+        self.last_solve = Some(res.clone());
+        self.last_quotas_mc = match (&counts, cpu_unit_mc) {
+            (Some(c), Some(unit)) if refined => c.iter().map(|&k| k as f64 * unit).collect(),
+            _ => quotas.clone(),
+        };
+        PlanOutcome { quotas_mc: quotas, counts, workloads, scale: s, solve: res, refine_saved }
+    }
+
+    /// Computes the target quotas for the given per-API rates (the §3.6
+    /// pipeline without touching a cluster) — also used by the benches.
+    pub fn plan(&mut self, api_rates: &[f64]) -> (Vec<f64>, SolveResult) {
+        let out = self.plan_outcome(api_rates, None);
+        (out.quotas_mc, out.solve)
+    }
+
+    /// [`GrafController::plan`] plus the intermediate quantities: the
+    /// per-service workloads the solver saw and the §3.6 scale factor.
+    pub fn plan_detailed(&mut self, api_rates: &[f64]) -> (Vec<f64>, SolveResult, Vec<f64>, f64) {
+        let out = self.plan_outcome(api_rates, None);
+        (out.quotas_mc, out.solve, out.workloads, out.scale)
     }
 
     /// Plans instance counts directly: eq. 7's `ceil`, optionally tightened by
     /// the §6 integer refinement when the workload is inside the trained
     /// region.
     pub fn plan_instances(&mut self, api_rates: &[f64], cpu_unit_mc: f64) -> Vec<usize> {
-        let (quotas, res, workloads, s) = self.plan_detailed(api_rates);
-        if self.cfg.integer_refine && s <= 1.0 {
-            let (counts, _) = crate::solver::integer_refine(
-                &self.model,
-                &workloads,
-                &res.quotas_mc,
-                &self.bounds,
-                cpu_unit_mc,
-                self.cfg.slo_ms,
-            );
-            self.last_solve = Some(res);
-            self.last_quotas_mc = counts.iter().map(|&k| k as f64 * cpu_unit_mc).collect();
-            return counts;
-        }
-        self.last_solve = Some(res);
-        self.last_quotas_mc = quotas.clone();
-        quotas
-            .iter()
-            .map(|q| (q / cpu_unit_mc).ceil().max(1.0) as usize)
-            .collect()
+        self.plan_outcome(api_rates, Some(cpu_unit_mc)).counts.expect("unit given")
     }
 }
 
@@ -155,16 +214,74 @@ impl Autoscaler for GrafController {
     }
 
     fn tick(&mut self, cluster: &mut Cluster) {
-        let k = (self.cfg.rate_window.as_micros() / cluster.world().config().window_us)
-            .max(1) as usize;
+        let k =
+            (self.cfg.rate_window.as_micros() / cluster.world().config().window_us).max(1) as usize;
         let napis = cluster.world().topology().num_apis();
-        let rates: Vec<f64> = (0..napis)
-            .map(|a| cluster.world().api_arrival_rate(ApiId(a as u16), k))
+        let rates: Vec<f64> =
+            (0..napis).map(|a| cluster.world().api_arrival_rate(ApiId(a as u16), k)).collect();
+        // Resolve the CPU unit per managed service (eq. 7). When every
+        // deployment agrees — the common case — the shared unit feeds the
+        // full planning path (including integer refinement); mixed units fall
+        // back to per-service ceil on the planned quotas, since the §6
+        // refinement is defined over a single unit.
+        let num_services = self.model.num_services();
+        let units: Vec<f64> = (0..num_services)
+            .map(|svc| {
+                cluster
+                    .deployments()
+                    .iter()
+                    .find(|d| d.service.0 as usize == svc)
+                    .map_or(100.0, |d| d.cpu_unit_mc)
+            })
             .collect();
-        // All deployments share the CPU unit in our experiments; use the
-        // first deployment's unit for the instance conversion (eq. 7).
-        let unit = cluster.deployments().first().map_or(100.0, |d| d.cpu_unit_mc);
-        let counts = self.plan_instances(&rates, unit);
+        let uniform = units.windows(2).all(|w| w[0] == w[1]);
+        if !uniform {
+            self.obs.counter_add("graf.controller.unit_mismatch", &[], 1);
+        }
+        let mut span = self.obs.span("graf.controller.tick");
+        let out = if uniform {
+            self.plan_outcome(&rates, units.first().copied())
+        } else {
+            self.plan_outcome(&rates, None)
+        };
+        let counts: Vec<usize> = match &out.counts {
+            Some(c) => c.clone(),
+            None => out
+                .quotas_mc
+                .iter()
+                .zip(&units)
+                .map(|(q, unit)| (q / unit).ceil().max(1.0) as usize)
+                .collect(),
+        };
+        if span.is_recording() {
+            let mut delta_total = 0i64;
+            let mut deltas = String::new();
+            for (svc, &n) in counts.iter().enumerate() {
+                let desired = cluster
+                    .deployments()
+                    .iter()
+                    .find(|d| d.service.0 as usize == svc)
+                    .map_or(0, |d| d.desired);
+                let delta = n.max(1) as i64 - desired as i64;
+                delta_total += delta.abs();
+                if !deltas.is_empty() {
+                    deltas.push(' ');
+                }
+                deltas.push_str(&format!("{svc}:{delta:+}"));
+            }
+            span.sim_time_s(cluster.world().now().as_secs_f64())
+                .attr("total_qps", rates.iter().sum::<f64>())
+                .attr("scale_s", out.scale)
+                .attr("solver_iterations", out.solve.iterations)
+                .attr("predicted_p99_ms", out.solve.predicted_ms)
+                .attr("quota_total_mc", out.quotas_mc.iter().sum::<f64>())
+                .attr("instances", counts.iter().sum::<usize>())
+                .attr("instance_delta_total", delta_total)
+                .attr("instance_deltas", deltas)
+                .attr("refine_saved", out.refine_saved)
+                .attr("uniform_units", uniform);
+        }
+        drop(span);
         // Proactive application: every microservice scaled in the same tick.
         for (svc, &n) in counts.iter().enumerate() {
             cluster.set_desired(ServiceId(svc as u16), n.max(1));
@@ -200,8 +317,7 @@ mod tests {
         let mut samples = Vec::new();
         for _ in 0..600 {
             let w = rng.uniform(20.0, 100.0);
-            let quotas: Vec<f64> =
-                ranges.iter().map(|&(lo, hi)| rng.uniform(lo, hi)).collect();
+            let quotas: Vec<f64> = ranges.iter().map(|&(lo, hi)| rng.uniform(lo, hi)).collect();
             let mut p99 = 2.0;
             for i in 0..2 {
                 let head = (quotas[i] - w * works[i]).max(15.0);
@@ -222,8 +338,7 @@ mod tests {
         let mut model =
             LatencyModel::new(NetKind::Gnn, &[(0, 1)], 2, scaler, split.train.label_mean(), 5);
         model.train(&split, &TrainConfig { epochs: 80, evals: 8, ..Default::default() });
-        let analyzer =
-            WorkloadAnalyzer::from_multiplicities(vec![vec![1.0, 1.0]], vec![(0, 1)]);
+        let analyzer = WorkloadAnalyzer::from_multiplicities(vec![vec![1.0, 1.0]], vec![(0, 1)]);
         let bounds = Bounds { lower: vec![150.0, 400.0], upper: vec![1500.0, 2800.0] };
         GrafController::new(
             model,
@@ -282,10 +397,7 @@ mod tests {
         let world = World::new(topo2(), SimConfig::default(), 31);
         let mut cluster = Cluster::new(
             world,
-            vec![
-                Deployment::new(ServiceId(0), 250.0, 1),
-                Deployment::new(ServiceId(1), 250.0, 1),
-            ],
+            vec![Deployment::new(ServiceId(0), 250.0, 1), Deployment::new(ServiceId(1), 250.0, 1)],
             CreationModel::instant(),
         );
         // Offer 80 qps for 10 s so the rate window sees the workload.
@@ -297,10 +409,7 @@ mod tests {
         let d0 = cluster.deployment(ServiceId(0)).desired;
         let d1 = cluster.deployment(ServiceId(1)).desired;
         assert!(d1 > 1, "the heavy service scaled in one tick: {d0}, {d1}");
-        assert!(
-            d1 > d0,
-            "the heavier service gets more instances: {d0} vs {d1}"
-        );
+        assert!(d1 > d0, "the heavier service gets more instances: {d0} vs {d1}");
         assert!(controller.last_solve.is_some());
     }
 }

@@ -66,7 +66,15 @@ impl Graf {
     /// space (Algorithm 1), collect samples in parallel, and train the
     /// latency prediction model with best-checkpoint selection.
     pub fn build(topo: AppTopology, cfg: GrafBuildConfig) -> Self {
-        let collector = SampleCollector::new(topo.clone(), cfg.sampling.clone());
+        Self::build_observed(topo, cfg, &graf_obs::Obs::disabled())
+    }
+
+    /// [`Graf::build`] with telemetry: the bound search, sample fan-out and
+    /// training run report through `obs`. The produced artifacts are
+    /// identical to the unobserved build.
+    pub fn build_observed(topo: AppTopology, cfg: GrafBuildConfig, obs: &graf_obs::Obs) -> Self {
+        let collector =
+            SampleCollector::new(topo.clone(), cfg.sampling.clone()).with_obs(obs.clone());
         let analyzer = collector.profile();
         let bounds = collector.reduce_search_space();
         let samples = collector.collect(&bounds, &analyzer, cfg.num_samples);
@@ -93,7 +101,7 @@ impl Graf {
             label_scale,
             cfg.split_seed ^ 0x6E7,
         );
-        let report = model.train(&split, &cfg.train);
+        let report = model.train_observed(&split, &cfg.train, obs);
 
         Self {
             topo,
@@ -151,12 +159,7 @@ impl Graf {
 
     /// Creates a controller with a custom configuration.
     pub fn controller_with(&self, cfg: GrafControllerConfig) -> GrafController {
-        GrafController::new(
-            self.model.clone(),
-            self.analyzer.clone(),
-            self.bounds.clone(),
-            cfg,
-        )
+        GrafController::new(self.model.clone(), self.analyzer.clone(), self.bounds.clone(), cfg)
     }
 }
 
@@ -200,10 +203,7 @@ mod tests {
         let l = graf.analyzer.service_workloads(&[45.0]);
         let p_small = graf.model.predict_ms(&l, &graf.bounds.lower);
         let p_big = graf.model.predict_ms(&l, &graf.bounds.upper);
-        assert!(
-            p_small > p_big,
-            "starved config predicts higher latency: {p_small} vs {p_big}"
-        );
+        assert!(p_small > p_big, "starved config predicts higher latency: {p_small} vs {p_big}");
     }
 
     #[test]

@@ -92,11 +92,7 @@ pub struct LatencyModel {
 
 impl Clone for LatencyModel {
     fn clone(&self) -> Self {
-        Self {
-            net: self.net.boxed_clone(),
-            scaler: self.scaler,
-            label_scale: self.label_scale,
-        }
+        Self { net: self.net.boxed_clone(), scaler: self.scaler, label_scale: self.label_scale }
     }
 }
 
@@ -157,7 +153,22 @@ impl LatencyModel {
     /// best-validation checkpoint (§3.4: "the validation set is used to
     /// prevent overfitting and save the best performance GNN").
     pub fn train(&mut self, split: &Split, cfg: &TrainConfig) -> TrainReport {
+        self.train_observed(split, cfg, &graf_obs::Obs::disabled())
+    }
+
+    /// [`LatencyModel::train`] with telemetry: emits one `graf.train.eval`
+    /// point per evaluation (optimizer iteration, train/val loss) and a
+    /// closing `graf.train` span (epochs, best checkpoint, epochs/sec).
+    /// Numerically identical to the unobserved path.
+    pub fn train_observed(
+        &mut self,
+        split: &Split,
+        cfg: &TrainConfig,
+        obs: &graf_obs::Obs,
+    ) -> TrainReport {
         assert!(!split.train.is_empty(), "training set is empty");
+        let mut train_span = obs.span("graf.train");
+        let train_start = train_span.is_recording().then(std::time::Instant::now);
         let loss = AsymmetricHuber { theta_l: cfg.theta_l, theta_r: cfg.theta_r };
         let mut opt = Adam::new(cfg.lr);
         let mut rng = DetRng::new(cfg.seed);
@@ -191,6 +202,11 @@ impl LatencyModel {
                 report.iters.push(iter);
                 report.train_loss.push(acc_loss / acc_n.max(1) as f64);
                 report.val_loss.push(vl);
+                obs.point("graf.train.eval")
+                    .attr("iter", iter)
+                    .attr("epoch", epoch + 1)
+                    .attr("train_loss", acc_loss / acc_n.max(1) as f64)
+                    .attr("val_loss", vl);
                 acc_loss = 0.0;
                 acc_n = 0;
                 if vl < report.best_val {
@@ -202,6 +218,15 @@ impl LatencyModel {
         }
         if let Some(b) = best {
             self.net = b;
+        }
+        if train_span.is_recording() {
+            let secs = train_start.map_or(0.0, |t| t.elapsed().as_secs_f64());
+            train_span
+                .attr("epochs", cfg.epochs)
+                .attr("iters", iter)
+                .attr("best_val", report.best_val)
+                .attr("best_iter", report.best_iter)
+                .attr("epochs_per_sec", if secs > 0.0 { cfg.epochs as f64 / secs } else { 0.0 });
         }
         report
     }
@@ -262,8 +287,12 @@ impl ErrorTable {
     /// Computes the table from predictions and labels (both ms).
     pub fn compute(preds: &[f64], labels: &[f64]) -> Self {
         assert_eq!(preds.len(), labels.len());
-        let ranges =
-            [("0-50ms", 0.0, 50.0), ("50-100ms", 50.0, 100.0), ("0-200ms", 0.0, 200.0), ("0-800ms", 0.0, 800.0)];
+        let ranges = [
+            ("0-50ms", 0.0, 50.0),
+            ("50-100ms", 50.0, 100.0),
+            ("0-200ms", 0.0, 200.0),
+            ("0-800ms", 0.0, 800.0),
+        ];
         let mut regions = Vec::new();
         for (name, lo, hi) in ranges {
             let mut sum = 0.0;
@@ -274,7 +303,13 @@ impl ErrorTable {
                     n += 1;
                 }
             }
-            regions.push((name.to_string(), lo, hi, if n > 0 { sum / n as f64 } else { f64::NAN }, n));
+            regions.push((
+                name.to_string(),
+                lo,
+                hi,
+                if n > 0 { sum / n as f64 } else { f64::NAN },
+                n,
+            ));
         }
         let mut signed = 0.0;
         let mut over = 0usize;
@@ -316,25 +351,23 @@ mod tests {
             }
             // Mild multiplicative noise like real p99 measurements.
             let noisy = p99 * rng.lognormal_mean_cv(1.0, 0.08);
-            out.push(Sample {
-                api_rates: vec![w],
-                workloads,
-                quotas_mc: quotas,
-                p99_ms: noisy,
-            });
+            out.push(Sample { api_rates: vec![w], workloads, quotas_mc: quotas, p99_ms: noisy });
         }
         out
     }
 
-    fn fit_model(kind: NetKind, samples: &[Sample], cfg: &TrainConfig) -> (LatencyModel, TrainReport, Dataset) {
+    fn fit_model(
+        kind: NetKind,
+        samples: &[Sample],
+        cfg: &TrainConfig,
+    ) -> (LatencyModel, TrainReport, Dataset) {
         let scaler = FeatureScaler::fit(
             samples.iter().map(|s| (s.workloads.as_slice(), s.quotas_mc.as_slice())),
         );
         let ds = LatencyModel::dataset_from_samples(&scaler, samples);
         let split = ds.split(0.7, 0.15, 3);
         let label_scale = split.train.label_mean().max(1e-9);
-        let mut model =
-            LatencyModel::new(kind, &[(0, 1), (1, 2)], 3, scaler, label_scale, 11);
+        let mut model = LatencyModel::new(kind, &[(0, 1), (1, 2)], 3, scaler, label_scale, 11);
         let report = model.train(&split, cfg);
         (model, report, split.test)
     }
@@ -348,11 +381,7 @@ mod tests {
         let table = model.error_table(&test);
         let region_0_800 = &table.regions[3];
         assert!(region_0_800.4 > 0, "test points exist");
-        assert!(
-            region_0_800.3 < 40.0,
-            "mean abs error under 40%: {:?}",
-            table.regions
-        );
+        assert!(region_0_800.3 < 40.0, "mean abs error under 40%: {:?}", table.regions);
     }
 
     #[test]

@@ -43,11 +43,11 @@ pub mod solver;
 
 pub use analyzer::WorkloadAnalyzer;
 pub use anomaly::{AnomalyGuard, AnomalyGuardConfig};
-pub use controller::{GrafController, GrafControllerConfig};
+pub use controller::{GrafController, GrafControllerConfig, PlanOutcome};
 pub use dataset::{Dataset, Split};
 pub use features::FeatureScaler;
 pub use framework::{Graf, GrafBuildConfig};
 pub use latency_model::{LatencyModel, NetKind, TrainConfig, TrainReport};
 pub use partition::{partition_graph, PartitionedLatencyModel};
 pub use sample_collector::{Bounds, Sample, SampleCollector, SamplingConfig};
-pub use solver::{integer_refine, solve, SolveResult, SolverConfig};
+pub use solver::{integer_refine, solve, solve_observed, SolveResult, SolverConfig};

@@ -96,17 +96,14 @@ impl PartitionedLatencyModel {
     ) -> (Self, Vec<TrainReport>) {
         assert!(!samples.is_empty());
         let parts_nodes = partition_graph(num_services, edges, k);
-        let base_ms =
-            samples.iter().map(|s| s.p99_ms).sum::<f64>() / samples.len() as f64;
+        let base_ms = samples.iter().map(|s| s.p99_ms).sum::<f64>() / samples.len() as f64;
         let mut parts = Vec::new();
         let mut reports = Vec::new();
         for nodes in parts_nodes {
             // Induced subgraph with remapped ids.
             let remap = |id: u16| nodes.iter().position(|&n| n == id).map(|i| i as u16);
-            let sub_edges: Vec<(u16, u16)> = edges
-                .iter()
-                .filter_map(|&(a, b)| Some((remap(a)?, remap(b)?)))
-                .collect();
+            let sub_edges: Vec<(u16, u16)> =
+                edges.iter().filter_map(|&(a, b)| Some((remap(a)?, remap(b)?))).collect();
             // Per-part dataset: the same e2e labels, features restricted to
             // the part's services.
             let mut ds = Dataset::new();
@@ -206,10 +203,8 @@ mod tests {
         let mut samples = Vec::new();
         for _ in 0..800 {
             let w = rng.uniform(20.0, 100.0);
-            let quotas: Vec<f64> = works
-                .iter()
-                .map(|wk| rng.uniform(120.0 + wk * 110.0, 2000.0))
-                .collect();
+            let quotas: Vec<f64> =
+                works.iter().map(|wk| rng.uniform(120.0 + wk * 110.0, 2000.0)).collect();
             let mut p99 = 3.0;
             for i in 0..n {
                 let head = (quotas[i] - w * works[i]).max(12.0);

@@ -133,6 +133,7 @@ pub struct MeasureOutcome {
 pub struct SampleCollector {
     topo: AppTopology,
     cfg: SamplingConfig,
+    obs: graf_obs::Obs,
 }
 
 impl SampleCollector {
@@ -141,13 +142,16 @@ impl SampleCollector {
     /// # Panics
     /// Panics unless `probe_qps` has one rate per API of the topology.
     pub fn new(topo: AppTopology, cfg: SamplingConfig) -> Self {
-        assert_eq!(
-            cfg.probe_qps.len(),
-            topo.num_apis(),
-            "probe_qps must have one rate per API"
-        );
+        assert_eq!(cfg.probe_qps.len(), topo.num_apis(), "probe_qps must have one rate per API");
         assert!(cfg.reduce_factor > 0.0 && cfg.reduce_factor < 1.0);
-        Self { topo, cfg }
+        Self { topo, cfg, obs: graf_obs::Obs::disabled() }
+    }
+
+    /// Attaches a telemetry handle: the Algorithm-1 bound search and the
+    /// sample fan-out report progress through it.
+    pub fn with_obs(mut self, obs: graf_obs::Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The sampling configuration.
@@ -171,14 +175,8 @@ impl SampleCollector {
     /// workload with full tracing and fits the workload analyzer (§3.3).
     pub fn profile(&self) -> WorkloadAnalyzer {
         let abundant = vec![self.cfg.abundant_quota_mc; self.topo.num_services()];
-        let (_, traces) =
-            self.measure(&abundant, &self.cfg.probe_qps.clone(), self.cfg.seed, true);
-        WorkloadAnalyzer::from_traces(
-            &traces,
-            self.topo.num_apis(),
-            self.topo.num_services(),
-            0.9,
-        )
+        let (_, traces) = self.measure(&abundant, &self.cfg.probe_qps.clone(), self.cfg.seed, true);
+        WorkloadAnalyzer::from_traces(&traces, self.topo.num_apis(), self.topo.num_services(), 0.9)
     }
 
     /// Algorithm 1: per-service quota bounds.
@@ -189,6 +187,8 @@ impl SampleCollector {
     /// bounds require **two consecutive** violating steps before triggering
     /// (a single noisy window cannot set a bound).
     pub fn reduce_search_space(&self) -> Bounds {
+        let mut span = self.obs.span("graf.sample.bounds");
+        let mut probes = 2u64; // the two baseline runs below
         let n = self.topo.num_services();
         let abundant = vec![self.cfg.abundant_quota_mc; n];
         // Bounds must support the most demanding workload the sampler will
@@ -220,6 +220,7 @@ impl SampleCollector {
                 q = (q * self.cfg.reduce_factor).max(self.cfg.min_quota_mc);
                 quotas[i] = q;
                 step += 1;
+                probes += 1;
                 let (out, _) =
                     self.measure(&quotas, &rates, self.cfg.seed ^ ((i as u64) << 8) ^ step, false);
                 let p90 = out.service_p90_ms[i].unwrap_or(f64::INFINITY);
@@ -255,13 +256,28 @@ impl SampleCollector {
             }
             upper[i] = upper_i.max(lower_i);
             lower[i] = lower_i.min(upper[i]);
+            self.obs
+                .point("graf.sample.bound")
+                .attr("service", i)
+                .attr("lower_mc", lower[i])
+                .attr("upper_mc", upper[i]);
         }
-        Bounds { lower, upper }
+        let bounds = Bounds { lower, upper };
+        if span.is_recording() {
+            span.attr("probes", probes).attr("services", n).attr(
+                "volume_reduction",
+                bounds.volume_reduction(self.cfg.min_quota_mc, self.cfg.abundant_quota_mc),
+            );
+            self.obs.counter_add("graf.sample.probes", &[], probes);
+        }
+        bounds
     }
 
     /// Collects `n` samples inside `bounds`, fanning out over worker threads.
     /// `analyzer` converts offered rates into per-service workload features.
     pub fn collect(&self, bounds: &Bounds, analyzer: &WorkloadAnalyzer, n: usize) -> Vec<Sample> {
+        let mut span = self.obs.span("graf.sample.collect");
+        let start = span.is_recording().then(std::time::Instant::now);
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<Option<Sample>>> = Mutex::new(vec![None; n]);
         let threads = self.cfg.threads.max(1);
@@ -277,12 +293,17 @@ impl SampleCollector {
                 });
             }
         });
-        results
-            .into_inner()
-            .expect("collector mutex")
-            .into_iter()
-            .flatten()
-            .collect()
+        let samples: Vec<Sample> =
+            results.into_inner().expect("collector mutex").into_iter().flatten().collect();
+        if span.is_recording() {
+            let secs = start.map_or(0.0, |t| t.elapsed().as_secs_f64());
+            span.attr("requested", n).attr("collected", samples.len()).attr(
+                "samples_per_sec",
+                if secs > 0.0 { samples.len() as f64 / secs } else { 0.0 },
+            );
+            self.obs.counter_add("graf.sample.collected", &[], samples.len() as u64);
+        }
+        samples
     }
 
     fn collect_one(
@@ -326,19 +347,12 @@ fn measure_run(
 ) -> (MeasureOutcome, Vec<Trace>) {
     assert_eq!(quotas_mc.len(), topo.num_services(), "one quota per service");
     assert_eq!(rates.len(), topo.num_apis(), "one rate per API");
-    let sim_cfg = SimConfig {
-        trace_sample: if keep_traces { 1.0 } else { 0.0 },
-        ..SimConfig::default()
-    };
+    let sim_cfg =
+        SimConfig { trace_sample: if keep_traces { 1.0 } else { 0.0 }, ..SimConfig::default() };
     let mut world = World::new(topo.clone(), sim_cfg, seed);
     for (s, &q) in quotas_mc.iter().enumerate() {
         let replicas = (q / cfg.cpu_unit_mc).ceil().max(1.0) as usize;
-        world.add_instances(
-            ServiceId(s as u16),
-            replicas,
-            q / replicas as f64,
-            SimTime::ZERO,
-        );
+        world.add_instances(ServiceId(s as u16), replicas, q / replicas as f64, SimTime::ZERO);
     }
     let total = SimTime::from_secs(cfg.warmup_secs + cfg.measure_secs);
     let mut gen = DetRng::new(seed ^ 0x10AD);
@@ -369,11 +383,7 @@ fn measure_run(
     let k = cfg.measure_secs.ceil() as usize;
     let svc_pct = |q: f64| -> Vec<Option<f64>> {
         (0..topo.num_services())
-            .map(|s| {
-                world
-                    .service_percentile(ServiceId(s as u16), k, q)
-                    .map(|d| d.as_millis_f64())
-            })
+            .map(|s| world.service_percentile(ServiceId(s as u16), k, q).map(|d| d.as_millis_f64()))
             .collect()
     };
     let outcome = MeasureOutcome {
@@ -443,8 +453,7 @@ mod tests {
         // than a (40 mc offered): its lower bound must be higher.
         assert!(b.lower[1] > b.lower[0], "heavier service has higher floor: {b:?}");
         // The reduced box is a genuine reduction.
-        let reduction =
-            b.volume_reduction(c.config().min_quota_mc, c.config().abundant_quota_mc);
+        let reduction = b.volume_reduction(c.config().min_quota_mc, c.config().abundant_quota_mc);
         assert!(reduction < 0.5, "volume reduced: {reduction}");
     }
 

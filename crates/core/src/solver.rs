@@ -63,6 +63,22 @@ pub fn solve(
     bounds: &Bounds,
     cfg: &SolverConfig,
 ) -> SolveResult {
+    solve_observed(model, workloads, slo_ms, bounds, cfg, &graf_obs::Obs::disabled())
+}
+
+/// [`solve`] with telemetry: records a `graf.solver.solve` span (iterations,
+/// final loss, SLO violation, predicted latency; wall-clock duration) and the
+/// `graf.solver.iterations` counter. Identical numerics — telemetry never
+/// feeds back into the descent.
+pub fn solve_observed(
+    model: &mut LatencyModel,
+    workloads: &[f64],
+    slo_ms: f64,
+    bounds: &Bounds,
+    cfg: &SolverConfig,
+    obs: &graf_obs::Obs,
+) -> SolveResult {
+    let mut span = obs.span("graf.solver.solve");
     let n = workloads.len();
     assert_eq!(n, model.num_services(), "one workload per service");
     assert_eq!(n, bounds.lower.len());
@@ -116,6 +132,14 @@ pub fn solve(
     let quotas_mc: Vec<f64> =
         r.value.data().iter().map(|&v| model.scaler.unscale_quota(v)).collect();
     let predicted_ms = model.predict_ms(workloads, &quotas_mc);
+    if span.is_recording() {
+        span.attr("iterations", iterations)
+            .attr("loss", last_loss)
+            .attr("predicted_ms", predicted_ms)
+            .attr("violation", (predicted_ms - slo_ms).max(0.0) / slo_ms)
+            .attr("quota_total_mc", quotas_mc.iter().sum::<f64>());
+        obs.counter_add("graf.solver.iterations", &[], iterations as u64);
+    }
     SolveResult { quotas_mc, predicted_ms, iterations, loss: last_loss }
 }
 
@@ -147,18 +171,14 @@ pub fn integer_refine(
 ) -> (Vec<usize>, f64) {
     assert!(cpu_unit_mc > 0.0);
     let n = continuous_mc.len();
-    let floor: Vec<usize> = bounds
-        .lower
-        .iter()
-        .map(|&l| (l / cpu_unit_mc).ceil().max(1.0) as usize)
-        .collect();
+    let floor: Vec<usize> =
+        bounds.lower.iter().map(|&l| (l / cpu_unit_mc).ceil().max(1.0) as usize).collect();
     let mut counts: Vec<usize> = continuous_mc
         .iter()
         .zip(&floor)
         .map(|(&q, &f)| ((q / cpu_unit_mc).ceil() as usize).max(f))
         .collect();
-    let quotas =
-        |c: &[usize]| c.iter().map(|&k| k as f64 * cpu_unit_mc).collect::<Vec<f64>>();
+    let quotas = |c: &[usize]| c.iter().map(|&k| k as f64 * cpu_unit_mc).collect::<Vec<f64>>();
     let mut pred = model.predict_ms(workloads, &quotas(&counts));
     loop {
         let mut best: Option<(usize, f64)> = None;
@@ -194,8 +214,7 @@ pub fn loss_at(
     rho: f64,
 ) -> f64 {
     let pred = model.predict_ms(workloads, quotas_mc);
-    let total: f64 =
-        quotas_mc.iter().map(|&q| model.scaler.scale_quota(q)).sum();
+    let total: f64 = quotas_mc.iter().map(|&q| model.scaler.scale_quota(q)).sum();
     total + rho * (pred - slo_ms).max(0.0) / slo_ms
 }
 
@@ -220,8 +239,7 @@ mod tests {
         let mut samples = Vec::new();
         for _ in 0..700 {
             let w = rng.uniform(20.0, 100.0);
-            let quotas: Vec<f64> =
-                ranges.iter().map(|&(lo, hi)| rng.uniform(lo, hi)).collect();
+            let quotas: Vec<f64> = ranges.iter().map(|&(lo, hi)| rng.uniform(lo, hi)).collect();
             let mut p99 = 2.0;
             for i in 0..2 {
                 let offered = w * works[i];
@@ -240,14 +258,8 @@ mod tests {
         );
         let ds = LatencyModel::dataset_from_samples(&scaler, &samples);
         let split = ds.split(0.8, 0.1, 2);
-        let mut model = LatencyModel::new(
-            NetKind::Gnn,
-            &[(0, 1)],
-            2,
-            scaler,
-            split.train.label_mean(),
-            seed,
-        );
+        let mut model =
+            LatencyModel::new(NetKind::Gnn, &[(0, 1)], 2, scaler, split.train.label_mean(), seed);
         let cfg = TrainConfig { epochs: 80, evals: 10, ..Default::default() };
         model.train(&split, &cfg);
         let bounds = Bounds { lower: vec![150.0, 400.0], upper: vec![1500.0, 2800.0] };
@@ -342,7 +354,10 @@ mod tests {
             );
             assert!(counts[i] >= floor, "never below the Algorithm-1 floor");
         }
-        assert!(pred <= 16.0 * 1.0001 || counts == ceil_counts, "refined config predicted in SLO: {pred}");
+        assert!(
+            pred <= 16.0 * 1.0001 || counts == ceil_counts,
+            "refined config predicted in SLO: {pred}"
+        );
     }
 
     #[test]

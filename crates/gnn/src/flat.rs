@@ -102,8 +102,7 @@ mod tests {
         let mut rng = DetRng::new(2);
         let mut m = FlatMlp::new(2, 2, 24, 0.0, &mut rng);
         let x = Matrix::from_fn(128, 4, |r, c| ((r * 7 + c * 3) % 13) as f64 / 13.0);
-        let y: Vec<f64> =
-            (0..128).map(|r| 1.0 + x.get(r, 0) * 2.0 + x.get(r, 3)).collect();
+        let y: Vec<f64> = (0..128).map(|r| 1.0 + x.get(r, 0) * 2.0 + x.get(r, 3)).collect();
         let loss = AsymmetricHuber::default();
         let mut opt = Adam::new(3e-3);
         let mut train_rng = DetRng::new(3);

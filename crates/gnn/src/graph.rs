@@ -51,9 +51,7 @@ impl GraphSpec {
 
     /// Nodes with no parents (front ends).
     pub fn roots(&self) -> Vec<u16> {
-        (0..self.parents.len() as u16)
-            .filter(|&i| self.parents[i as usize].is_empty())
-            .collect()
+        (0..self.parents.len() as u16).filter(|&i| self.parents[i as usize].is_empty()).collect()
     }
 }
 

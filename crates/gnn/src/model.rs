@@ -68,11 +68,9 @@ impl MicroserviceGnn {
         assert!(n > 0, "graph must have nodes");
         let f = cfg.feature_dim;
         let phi1 = Mlp::new(&[f, cfg.hidden, cfg.hidden, cfg.msg_dim], 0.0, rng);
-        let gamma1 =
-            Mlp::new(&[f + cfg.msg_dim, cfg.hidden, cfg.hidden, cfg.embed_dim], 0.0, rng);
+        let gamma1 = Mlp::new(&[f + cfg.msg_dim, cfg.hidden, cfg.hidden, cfg.embed_dim], 0.0, rng);
         let phi2 = Mlp::new(&[cfg.embed_dim, cfg.hidden, cfg.hidden, cfg.msg_dim], 0.0, rng);
-        let gamma2 =
-            Mlp::new(&[f + cfg.msg_dim, cfg.hidden, cfg.hidden, cfg.embed_dim], 0.0, rng);
+        let gamma2 = Mlp::new(&[f + cfg.msg_dim, cfg.hidden, cfg.hidden, cfg.embed_dim], 0.0, rng);
         let readout = Mlp::new(
             &[n * cfg.embed_dim, cfg.readout_hidden, cfg.readout_hidden, 1],
             cfg.dropout,
@@ -372,20 +370,14 @@ mod tests {
             gnn.train_step(&x, &ys, &loss, &mut opt, &mut train_rng);
         }
         let last = gnn.eval_loss(&x, &ys, &loss);
-        assert!(
-            last < first * 0.35,
-            "training must cut loss substantially: {first} → {last}"
-        );
+        assert!(last < first * 0.35, "training must cut loss substantially: {first} → {last}");
     }
 
     /// Gradient check on a Social-Network-shaped graph (fan-out + rejoin).
     #[test]
     fn input_gradient_matches_fd_on_fanout_graph() {
         let mut rng = DetRng::new(12);
-        let graph = GraphSpec::from_edges(
-            6,
-            &[(0, 1), (1, 2), (1, 3), (1, 4), (4, 5), (3, 5)],
-        );
+        let graph = GraphSpec::from_edges(6, &[(0, 1), (1, 2), (1, 3), (1, 4), (4, 5), (3, 5)]);
         let mut gnn = MicroserviceGnn::new(graph, small_cfg(), &mut rng);
         let x = Matrix::from_fn(1, 12, |_, c| 0.07 * (c as f64) - 0.3);
         let ana = gnn.grad_input(&x);

@@ -97,7 +97,8 @@ mod tests {
 
     #[test]
     fn swing_produces_variation() {
-        let p = AzureParams { noise: 0.0, burst_prob: 0.0, drop_at_min: None, ..Default::default() };
+        let p =
+            AzureParams { noise: 0.0, burst_prob: 0.0, drop_at_min: None, ..Default::default() };
         let s = azure_series(&p, 36, 4);
         let max = *s.iter().max().unwrap() as f64;
         let min = *s.iter().min().unwrap() as f64;

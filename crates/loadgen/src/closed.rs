@@ -82,15 +82,16 @@ impl ClosedLoop {
 
     /// Number of currently active (non-retiring) users.
     pub fn active_users(&self) -> usize {
-        self.users
-            .iter()
-            .filter(|u| !matches!(u, UserState::Retiring))
-            .count()
+        self.users.iter().filter(|u| !matches!(u, UserState::Retiring)).count()
     }
 
     fn target_users(&self, t: SimTime) -> usize {
         let idx = self.schedule.partition_point(|&(from, _)| from <= t);
-        if idx == 0 { 0 } else { self.schedule[idx - 1].1 }
+        if idx == 0 {
+            0
+        } else {
+            self.schedule[idx - 1].1
+        }
     }
 
     fn pick_api(&mut self) -> ApiId {
@@ -192,7 +193,13 @@ mod tests {
     use graf_sim::frame::RequestId;
 
     fn completion(end: SimTime) -> Completion {
-        Completion { request: RequestId(0), api: ApiId(0), start: SimTime::ZERO, end, timed_out: false }
+        Completion {
+            request: RequestId(0),
+            api: ApiId(0),
+            start: SimTime::ZERO,
+            end,
+            timed_out: false,
+        }
     }
 
     #[test]
@@ -259,8 +266,7 @@ mod tests {
             let arrivals = g.arrivals(t, seg_end);
             sent += arrivals.len();
             // Pretend every request takes 100 ms: complete at segment end.
-            let comps: Vec<Completion> =
-                arrivals.iter().map(|_| completion(seg_end)).collect();
+            let comps: Vec<Completion> = arrivals.iter().map(|_| completion(seg_end)).collect();
             g.on_completions(&comps);
             t = seg_end;
         }

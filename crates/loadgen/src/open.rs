@@ -19,7 +19,11 @@ struct Stream {
 impl Stream {
     fn rate_at(&self, t_us: u64) -> f64 {
         let idx = self.schedule.partition_point(|&(from, _)| from <= t_us);
-        if idx == 0 { 0.0 } else { self.schedule[idx - 1].1 }
+        if idx == 0 {
+            0.0
+        } else {
+            self.schedule[idx - 1].1
+        }
     }
 }
 
@@ -100,11 +104,7 @@ impl LoadGen for OpenLoop {
                     }
                 }
                 out.push((SimTime(t as u64), s.api));
-                let gap_us = if self.poisson {
-                    self.rng.exp(1e6 / rate)
-                } else {
-                    1e6 / rate
-                };
+                let gap_us = if self.poisson { self.rng.exp(1e6 / rate) } else { 1e6 / rate };
                 s.next_at = t + gap_us.max(1.0);
             }
         }
@@ -144,10 +144,8 @@ mod tests {
 
     #[test]
     fn schedule_steps_change_rate() {
-        let mut g = OpenLoop::new(1).schedule(
-            ApiId(0),
-            vec![(SimTime::ZERO, 10.0), (SimTime::from_secs(1.0), 100.0)],
-        );
+        let mut g = OpenLoop::new(1)
+            .schedule(ApiId(0), vec![(SimTime::ZERO, 10.0), (SimTime::from_secs(1.0), 100.0)]);
         let first = g.arrivals(SimTime::ZERO, SimTime::from_secs(1.0));
         let second = g.arrivals(SimTime::from_secs(1.0), SimTime::from_secs(2.0));
         assert_eq!(first.len(), 10);
@@ -156,10 +154,8 @@ mod tests {
 
     #[test]
     fn zero_rate_periods_emit_nothing() {
-        let mut g = OpenLoop::new(1).schedule(
-            ApiId(0),
-            vec![(SimTime::ZERO, 0.0), (SimTime::from_secs(1.0), 50.0)],
-        );
+        let mut g = OpenLoop::new(1)
+            .schedule(ApiId(0), vec![(SimTime::ZERO, 0.0), (SimTime::from_secs(1.0), 50.0)]);
         assert!(g.arrivals(SimTime::ZERO, SimTime::from_secs(1.0)).is_empty());
         let a = g.arrivals(SimTime::from_secs(1.0), SimTime::from_secs(2.0));
         assert_eq!(a.len(), 50);

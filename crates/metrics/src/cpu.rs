@@ -66,7 +66,11 @@ impl CpuAccount {
 
     fn cum_at(series: &[(u64, f64)], t_us: u64) -> f64 {
         let idx = series.partition_point(|&(t, _)| t <= t_us);
-        if idx == 0 { 0.0 } else { series[idx - 1].1 }
+        if idx == 0 {
+            0.0
+        } else {
+            series[idx - 1].1
+        }
     }
 
     /// CPU used in `[from_us, to_us)`, in millicore·µs.
@@ -103,7 +107,11 @@ impl CpuAccount {
     /// Mean used millicores over `[from_us, to_us)`.
     pub fn used_millicores(&self, from_us: u64, to_us: u64) -> f64 {
         let dt = to_us.saturating_sub(from_us) as f64;
-        if dt <= 0.0 { 0.0 } else { self.used_in(from_us, to_us) / dt }
+        if dt <= 0.0 {
+            0.0
+        } else {
+            self.used_in(from_us, to_us) / dt
+        }
     }
 }
 

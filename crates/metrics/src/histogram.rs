@@ -83,17 +83,29 @@ impl Histogram {
 
     /// Largest recorded value, or 0 if empty.
     pub fn max(&self) -> u64 {
-        if self.total == 0 { 0 } else { self.max }
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
     }
 
     /// Smallest recorded value, or 0 if empty.
     pub fn min(&self) -> u64 {
-        if self.total == 0 { 0 } else { self.min }
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
     }
 
     /// Mean of recorded values, or 0.0 if empty.
     pub fn mean(&self) -> f64 {
-        if self.total == 0 { 0.0 } else { self.sum as f64 / self.total as f64 }
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
     }
 
     /// Returns the value at quantile `q` in `[0, 1]`.
@@ -121,6 +133,32 @@ impl Histogram {
             }
         }
         Some(self.max)
+    }
+
+    /// Sum of all recorded values (exact).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Inclusive upper bound of a bucket, for cumulative-bucket exposition.
+    fn bucket_upper(bucket: usize) -> f64 {
+        if bucket < LINEAR_CUTOFF as usize {
+            bucket as f64
+        } else {
+            let lo = (LINEAR_CUTOFF as f64) * GROWTH.powi((bucket - LINEAR_CUTOFF as usize) as i32);
+            lo * GROWTH
+        }
+    }
+
+    /// Iterates the non-empty buckets as `(upper_bound, count)` pairs in
+    /// ascending bound order — the shape Prometheus-style cumulative
+    /// histogram exposition needs.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| (Self::bucket_upper(b), c))
     }
 
     /// Merges another histogram into this one.
@@ -225,6 +263,26 @@ mod tests {
         h.clear();
         assert!(h.is_empty());
         assert_eq!(h.percentile(0.5), None);
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_all_counts_in_order() {
+        let mut h = Histogram::new();
+        for v in [3u64, 3, 500, 90_000, 90_000, 90_001] {
+            h.record(v);
+        }
+        let buckets: Vec<(f64, u64)> = h.nonzero_buckets().collect();
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, h.count());
+        let mut prev = f64::NEG_INFINITY;
+        for &(ub, c) in &buckets {
+            assert!(ub > prev, "bounds ascend: {buckets:?}");
+            assert!(c > 0);
+            prev = ub;
+        }
+        // The first bucket is the exact linear one for value 3.
+        assert_eq!(buckets[0], (3.0, 2));
+        assert_eq!(h.sum(), 3 + 3 + 500 + 90_000 + 90_000 + 90_001);
     }
 
     #[test]

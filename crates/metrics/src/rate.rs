@@ -63,7 +63,11 @@ impl RateCounter {
     pub fn rate_trailing(&self, now_us: u64, k: usize) -> f64 {
         let n = self.count_trailing(now_us, k);
         let secs = (self.window_us as f64 * k as f64) / 1e6;
-        if secs <= 0.0 { 0.0 } else { n as f64 / secs }
+        if secs <= 0.0 {
+            0.0
+        } else {
+            n as f64 / secs
+        }
     }
 
     /// Window width in microseconds.

@@ -52,7 +52,11 @@ impl TimeSeries {
     /// Value at or immediately before `t_us` (step interpolation).
     pub fn at(&self, t_us: u64) -> Option<f64> {
         let idx = self.t.partition_point(|&t| t <= t_us);
-        if idx == 0 { None } else { Some(self.v[idx - 1]) }
+        if idx == 0 {
+            None
+        } else {
+            Some(self.v[idx - 1])
+        }
     }
 
     /// Time-weighted mean over `[from_us, to_us)` using step interpolation.
@@ -88,7 +92,11 @@ impl TimeSeries {
                 covered += to_us - cur_t;
             }
         }
-        if covered == 0 { None } else { Some(acc / covered as f64) }
+        if covered == 0 {
+            None
+        } else {
+            Some(acc / covered as f64)
+        }
     }
 
     /// Maximum value over points with `from_us <= t < to_us`, including the

@@ -56,7 +56,8 @@ impl WindowedLatency {
         // New window. Insert in order (usually at the back).
         let mut h = Histogram::new();
         h.record(latency_us);
-        let insert_at = self.windows.iter().position(|(i, _)| *i > idx).unwrap_or(self.windows.len());
+        let insert_at =
+            self.windows.iter().position(|(i, _)| *i > idx).unwrap_or(self.windows.len());
         self.windows.insert(insert_at, (idx, h));
         while self.windows.len() > self.retain {
             self.windows.pop_front();
@@ -66,10 +67,7 @@ impl WindowedLatency {
     /// Percentile over the single window containing `t_us`, if any data exists.
     pub fn percentile_at(&self, t_us: u64, q: f64) -> Option<u64> {
         let idx = t_us / self.window_us;
-        self.windows
-            .iter()
-            .find(|(i, _)| *i == idx)
-            .and_then(|(_, h)| h.percentile(q))
+        self.windows.iter().find(|(i, _)| *i == idx).and_then(|(_, h)| h.percentile(q))
     }
 
     /// Percentile over the trailing `k` windows ending at the window that
@@ -90,11 +88,7 @@ impl WindowedLatency {
     pub fn count_trailing(&self, now_us: u64, k: usize) -> u64 {
         let hi = now_us / self.window_us;
         let lo = hi.saturating_sub(k.saturating_sub(1) as u64);
-        self.windows
-            .iter()
-            .filter(|(i, _)| *i >= lo && *i <= hi)
-            .map(|(_, h)| h.count())
-            .sum()
+        self.windows.iter().filter(|(i, _)| *i >= lo && *i <= hi).map(|(_, h)| h.count()).sum()
     }
 
     /// Mean over the trailing `k` windows ending at `now_us`.
@@ -107,7 +101,11 @@ impl WindowedLatency {
                 merged.merge(h);
             }
         }
-        if merged.is_empty() { None } else { Some(merged.mean()) }
+        if merged.is_empty() {
+            None
+        } else {
+            Some(merged.mean())
+        }
     }
 
     /// Removes all stored windows.

@@ -57,8 +57,7 @@ impl Mlp {
         for w in widths.windows(2) {
             let (fan_in, fan_out) = (w[0], w[1]);
             let std = (2.0 / fan_in as f64).sqrt();
-            let weight =
-                Matrix::from_fn(fan_in, fan_out, |_, _| rng.std_normal() * std);
+            let weight = Matrix::from_fn(fan_in, fan_out, |_, _| rng.std_normal() * std);
             weights.push(Param::new(weight));
             biases.push(Param::new(Matrix::zeros(1, fan_out)));
         }
@@ -102,7 +101,11 @@ impl Mlp {
                     Mode::Train(rng) => {
                         let keep = 1.0 - self.dropout_p;
                         let mask = Matrix::from_fn(out.rows(), out.cols(), |_, _| {
-                            if rng.unit() < keep { 1.0 / keep } else { 0.0 }
+                            if rng.unit() < keep {
+                                1.0 / keep
+                            } else {
+                                0.0
+                            }
                         });
                         out = out.hadamard(&mask);
                         Some(mask)
@@ -176,8 +179,8 @@ mod tests {
                 xm.set(r, c, x.get(r, c) - eps);
                 let (yp, _) = mlp.forward(&xp, &mut Mode::Eval);
                 let (ym, _) = mlp.forward(&xm, &mut Mode::Eval);
-                let num = (yp.data().iter().sum::<f64>() - ym.data().iter().sum::<f64>())
-                    / (2.0 * eps);
+                let num =
+                    (yp.data().iter().sum::<f64>() - ym.data().iter().sum::<f64>()) / (2.0 * eps);
                 let ana = gx.get(r, c);
                 assert!(
                     (num - ana).abs() < 1e-5 * (1.0 + num.abs()),
@@ -199,8 +202,7 @@ mod tests {
             mm.weights[0].value.set(r, c, orig - eps);
             let (yp, _) = mp.forward(&x, &mut Mode::Eval);
             let (ym, _) = mm.forward(&x, &mut Mode::Eval);
-            let num =
-                (yp.data().iter().sum::<f64>() - ym.data().iter().sum::<f64>()) / (2.0 * eps);
+            let num = (yp.data().iter().sum::<f64>() - ym.data().iter().sum::<f64>()) / (2.0 * eps);
             let ana = ana_w.get(r, c);
             assert!(
                 (num - ana).abs() < 1e-5 * (1.0 + num.abs()),
@@ -223,11 +225,13 @@ mod tests {
         // y = 3a - 2b + 1
         let xs = Matrix::from_fn(64, 2, |r, c| {
             let t = r as f64 / 64.0;
-            if c == 0 { t } else { 1.0 - 2.0 * t }
+            if c == 0 {
+                t
+            } else {
+                1.0 - 2.0 * t
+            }
         });
-        let ys = Matrix::from_fn(64, 1, |r, _| {
-            3.0 * xs.get(r, 0) - 2.0 * xs.get(r, 1) + 1.0
-        });
+        let ys = Matrix::from_fn(64, 1, |r, _| 3.0 * xs.get(r, 0) - 2.0 * xs.get(r, 1) + 1.0);
         let mut last_loss = f64::INFINITY;
         for _ in 0..800 {
             let (pred, trace) = mlp.forward(&xs, &mut Mode::Eval);

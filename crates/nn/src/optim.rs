@@ -95,10 +95,7 @@ mod tests {
             p.grad.set(0, 0, g);
             Adam::new(0.05).step(&mut [&mut p]);
             let moved = -p.value.get(0, 0);
-            assert!(
-                (moved - 0.05).abs() < 1e-3,
-                "grad {g}: first Adam step ≈ lr, moved {moved}"
-            );
+            assert!((moved - 0.05).abs() < 1e-3, "grad {g}: first Adam step ≈ lr, moved {moved}");
         }
     }
 

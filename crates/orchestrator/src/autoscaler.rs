@@ -82,8 +82,7 @@ impl Autoscaler for KubernetesHpa {
 
     fn tick(&mut self, cluster: &mut Cluster) {
         let now = cluster.world().now();
-        let services: Vec<ServiceId> =
-            cluster.deployments().iter().map(|d| d.service).collect();
+        let services: Vec<ServiceId> = cluster.deployments().iter().map(|d| d.service).collect();
         for service in services {
             let (starting, ready, _) = cluster.world().instance_counts(service);
             let live = starting + ready;
@@ -108,7 +107,9 @@ impl Autoscaler for KubernetesHpa {
             // trailing window.
             let recs = &mut self.recommendations[service.0 as usize];
             recs.push_back((now, desired));
-            let horizon = now.since(SimTime::ZERO).as_micros()
+            let horizon = now
+                .since(SimTime::ZERO)
+                .as_micros()
                 .saturating_sub(self.cfg.stabilization.as_micros());
             while let Some(&(t, _)) = recs.front() {
                 if t.as_micros() < horizon {
@@ -118,7 +119,8 @@ impl Autoscaler for KubernetesHpa {
                 }
             }
             let stabilized = recs.iter().map(|&(_, d)| d).max().unwrap_or(desired);
-            let target = if stabilized > desired { stabilized.max(live.min(stabilized)) } else { desired };
+            let target =
+                if stabilized > desired { stabilized.max(live.min(stabilized)) } else { desired };
             if target != live {
                 cluster.set_desired(service, target);
             }
@@ -165,8 +167,7 @@ impl Autoscaler for FirmLike {
 
     fn tick(&mut self, cluster: &mut Cluster) {
         let k = (self.interval.as_micros() / cluster.world().config().window_us).max(1) as usize;
-        let services: Vec<ServiceId> =
-            cluster.deployments().iter().map(|d| d.service).collect();
+        let services: Vec<ServiceId> = cluster.deployments().iter().map(|d| d.service).collect();
         for service in services {
             let (starting, ready, _) = cluster.world().instance_counts(service);
             let live = starting + ready;
@@ -273,7 +274,7 @@ mod tests {
             cluster.world_mut().run_until(seg_end);
             if seg_end >= next_tick {
                 scaler.tick(cluster);
-                next_tick = next_tick + scaler.interval();
+                next_tick += scaler.interval();
             }
             t = seg_end;
         }
@@ -311,10 +312,7 @@ mod tests {
         // not scale below the recent max recommendation.
         drive(&mut c, &mut hpa, 1.0, 120.0);
         let during_window = c.live_instances(ServiceId(0));
-        assert!(
-            during_window >= peak.min(3),
-            "no fast scale-down: {during_window} vs peak {peak}"
-        );
+        assert!(during_window >= peak.min(3), "no fast scale-down: {during_window} vs peak {peak}");
         // After the stabilization window passes, it may shrink.
         drive(&mut c, &mut hpa, 1.0, 400.0);
         let after = c.live_instances(ServiceId(0));

@@ -47,6 +47,7 @@ pub struct Cluster {
     creation: CreationModel,
     /// Ready times of in-flight creations (pruned lazily).
     inflight_creations: Vec<SimTime>,
+    obs: graf_obs::Obs,
 }
 
 impl Cluster {
@@ -64,7 +65,33 @@ impl Cluster {
         // Make the initial instances ready by processing their events "now".
         let now = world.now();
         world.run_until(now);
-        Self { world, deployments, creation, inflight_creations: Vec::new() }
+        Self {
+            world,
+            deployments,
+            creation,
+            inflight_creations: Vec::new(),
+            obs: graf_obs::Obs::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle to the cluster and its world. The cluster
+    /// reports instance-creation lifecycle metrics
+    /// (`graf.cluster.creations_started` / `creations_completed`, the
+    /// `creation_batch` size histogram and the `pending_creations` gauge).
+    pub fn set_obs(&mut self, obs: graf_obs::Obs) {
+        self.world.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// Drops inflight entries whose ready time has passed, crediting them to
+    /// the completion counter.
+    fn prune_inflight(&mut self, now: SimTime) {
+        let before = self.inflight_creations.len();
+        self.inflight_creations.retain(|&t| t > now);
+        let completed = before - self.inflight_creations.len();
+        if completed > 0 {
+            self.obs.counter_add("graf.cluster.creations_completed", &[], completed as u64);
+        }
     }
 
     /// The simulated world.
@@ -84,16 +111,13 @@ impl Cluster {
 
     /// The deployment managing `service`.
     pub fn deployment(&self, service: ServiceId) -> &Deployment {
-        self.deployments
-            .iter()
-            .find(|d| d.service == service)
-            .expect("service has a deployment")
+        self.deployments.iter().find(|d| d.service == service).expect("service has a deployment")
     }
 
     /// Number of creations currently in flight cluster-wide.
     pub fn inflight_creations(&mut self) -> usize {
         let now = self.world.now();
-        self.inflight_creations.retain(|&t| t > now);
+        self.prune_inflight(now);
         self.inflight_creations.len()
     }
 
@@ -116,12 +140,21 @@ impl Cluster {
         let current = starting + ready;
         if target > current {
             let add = target - current;
-            self.inflight_creations.retain(|&t| t > now);
+            self.prune_inflight(now);
             let concurrent = self.inflight_creations.len() + add;
             let ready_at = now + self.creation.delay(concurrent);
             self.world.add_instances(service, add, unit, ready_at);
             for _ in 0..add {
                 self.inflight_creations.push(ready_at);
+            }
+            if self.obs.is_enabled() {
+                self.obs.counter_add("graf.cluster.creations_started", &[], add as u64);
+                self.obs.hist_record("graf.cluster.creation_batch", &[], add as u64);
+                self.obs.gauge_set(
+                    "graf.cluster.pending_creations",
+                    &[],
+                    self.inflight_creations.len() as f64,
+                );
             }
         } else if target < current {
             self.world.remove_instances(service, current - target);
@@ -168,7 +201,10 @@ mod tests {
         AppTopology::new(
             "t",
             vec![ServiceSpec::new("a", 1.0, 100).cv(0.0), ServiceSpec::new("b", 2.0, 100).cv(0.0)],
-            vec![ApiSpec::new("get", CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1)]))],
+            vec![ApiSpec::new(
+                "get",
+                CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1)]),
+            )],
         )
     }
 
@@ -176,10 +212,7 @@ mod tests {
         let world = World::new(topo(), SimConfig::default(), 11);
         Cluster::new(
             world,
-            vec![
-                Deployment::new(ServiceId(0), 500.0, 2),
-                Deployment::new(ServiceId(1), 500.0, 1),
-            ],
+            vec![Deployment::new(ServiceId(0), 500.0, 2), Deployment::new(ServiceId(1), 500.0, 1)],
             CreationModel::default(),
         )
     }
@@ -231,8 +264,10 @@ mod tests {
         let world = World::new(topo(), SimConfig::default(), 1);
         let mut c = Cluster::new(
             world,
-            vec![Deployment::new(ServiceId(0), 500.0, 2).bounds(2, 4),
-                 Deployment::new(ServiceId(1), 500.0, 1)],
+            vec![
+                Deployment::new(ServiceId(0), 500.0, 2).bounds(2, 4),
+                Deployment::new(ServiceId(1), 500.0, 1),
+            ],
             CreationModel::instant(),
         );
         assert_eq!(c.set_desired(ServiceId(0), 0), 2);
@@ -255,5 +290,20 @@ mod tests {
         assert_eq!(c.inflight_creations(), 1);
         c.world_mut().run_until(SimTime::from_secs(10.0));
         assert_eq!(c.inflight_creations(), 0);
+    }
+
+    #[test]
+    fn telemetry_tracks_creation_lifecycle() {
+        let obs = graf_obs::Obs::enabled();
+        let mut c = cluster();
+        c.set_obs(obs.clone());
+        c.set_desired(ServiceId(0), 5); // 3 new instances in one batch
+        c.world_mut().run_until(SimTime::from_secs(30.0));
+        assert_eq!(c.inflight_creations(), 0);
+        let prom = obs.render_prometheus();
+        assert!(prom.contains("graf_cluster_creations_started 3"), "{prom}");
+        assert!(prom.contains("graf_cluster_creations_completed 3"), "{prom}");
+        assert!(prom.contains("graf_cluster_creation_batch_count 1"), "{prom}");
+        assert!(prom.contains("graf_sim_events"), "world shares the handle: {prom}");
     }
 }

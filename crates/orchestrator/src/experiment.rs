@@ -91,8 +91,7 @@ mod tests {
         let mut on_segment = |_c: &mut Cluster, comps: &[Completion]| {
             total += comps.len();
         };
-        let mut hooks =
-            ExperimentHooks { on_segment: Some(&mut on_segment), on_control: None };
+        let mut hooks = ExperimentHooks { on_segment: Some(&mut on_segment), on_control: None };
         run_experiment(&mut c, &mut lg, &mut scaler, SimTime::from_secs(10.0), &mut hooks);
         // 100 qps for 10 s ≈ 1000 completions (a handful still in flight).
         assert!((980..=1000).contains(&total), "completed {total}");

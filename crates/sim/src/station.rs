@@ -161,11 +161,8 @@ impl Instance {
         if rate <= 0.0 {
             return None;
         }
-        let min_rem = self
-            .jobs
-            .iter()
-            .map(|j| j.remaining_mc_us.max(0.0))
-            .fold(f64::INFINITY, f64::min);
+        let min_rem =
+            self.jobs.iter().map(|j| j.remaining_mc_us.max(0.0)).fold(f64::INFINITY, f64::min);
         if !min_rem.is_finite() {
             return None;
         }
@@ -224,7 +221,7 @@ mod tests {
     fn single_job_runs_at_capped_rate() {
         let mut i = inst(2000.0);
         i.push_job(FrameId(1), 1000.0 * 1000.0); // 1000 mc·ms = 1 core-second... in µs: 1e6 mc·µs
-        // Rate capped at 1000 mc although quota is 2000.
+                                                 // Rate capped at 1000 mc although quota is 2000.
         let t = i.next_completion(SimTime::ZERO).unwrap();
         assert_eq!(t.0, 1000, "1e6 mc·µs at 1000 mc = 1000 µs");
     }

@@ -307,7 +307,11 @@ mod tests {
             ],
             vec![ApiSpec::new(
                 "get",
-                CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1).children_mode(ChildMode::Sequential, vec![CallNode::new(2)])]),
+                CallNode::new(0).children_mode(
+                    ChildMode::Sequential,
+                    vec![CallNode::new(1)
+                        .children_mode(ChildMode::Sequential, vec![CallNode::new(2)])],
+                ),
             )],
         )
     }
@@ -332,9 +336,12 @@ mod tests {
             ],
             vec![ApiSpec::new(
                 "get",
-                CallNode::new(0).children_mode(ChildMode::Sequential, vec![
-                    CallNode::new(1).repeat(2).children_mode(ChildMode::Sequential, vec![CallNode::new(2).repeat(3)]),
-                ]),
+                CallNode::new(0).children_mode(
+                    ChildMode::Sequential,
+                    vec![CallNode::new(1)
+                        .repeat(2)
+                        .children_mode(ChildMode::Sequential, vec![CallNode::new(2).repeat(3)])],
+                ),
             )],
         );
         assert_eq!(t.multiplicity(ApiId(0), ServiceId(1)), 2.0);
@@ -348,8 +355,14 @@ mod tests {
             "two-apis",
             vec![ServiceSpec::new("a", 1.0, 0), ServiceSpec::new("b", 1.0, 0)],
             vec![
-                ApiSpec::new("x", CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1)])),
-                ApiSpec::new("y", CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1)])),
+                ApiSpec::new(
+                    "x",
+                    CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1)]),
+                ),
+                ApiSpec::new(
+                    "y",
+                    CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1)]),
+                ),
             ],
         );
         assert_eq!(t.edges(), vec![(ServiceId(0), ServiceId(1))]);
@@ -365,8 +378,14 @@ mod tests {
                 ServiceSpec::new("c", 1.0, 0),
             ],
             vec![
-                ApiSpec::new("x", CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1)])),
-                ApiSpec::new("y", CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(2)])),
+                ApiSpec::new(
+                    "x",
+                    CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1)]),
+                ),
+                ApiSpec::new(
+                    "y",
+                    CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(2)]),
+                ),
             ],
         );
         assert_eq!(t.services_in_api(ApiId(0)), vec![ServiceId(0), ServiceId(1)]);

@@ -177,6 +177,7 @@ pub struct World {
     api_arrivals: Vec<RateCounter>,
     next_request: u64,
     stats: WorldStats,
+    obs: graf_obs::Obs,
 }
 
 impl World {
@@ -190,11 +191,8 @@ impl World {
             .map(|s| ServiceRuntime::new(s.clone(), cfg.window_us, cfg.retain_windows))
             .collect();
         let e2e = WindowedLatency::new(cfg.window_us, cfg.retain_windows);
-        let api_arrivals = topo
-            .apis
-            .iter()
-            .map(|_| RateCounter::new(cfg.window_us, cfg.retain_windows))
-            .collect();
+        let api_arrivals =
+            topo.apis.iter().map(|_| RateCounter::new(cfg.window_us, cfg.retain_windows)).collect();
         Self {
             plans,
             services,
@@ -212,9 +210,17 @@ impl World {
             api_arrivals,
             next_request: 0,
             stats: WorldStats::default(),
+            obs: graf_obs::Obs::disabled(),
             cfg,
             topo,
         }
+    }
+
+    /// Attaches a telemetry handle. The world reports processed-event counts
+    /// (`graf.sim.events`) and queue depth (`graf.sim.queue_depth`); telemetry
+    /// never influences simulation behaviour.
+    pub fn set_obs(&mut self, obs: graf_obs::Obs) {
+        self.obs = obs;
     }
 
     /// Current simulated time.
@@ -429,6 +435,7 @@ impl World {
     /// Processes all events up to and including `t`, then sets now = `t`.
     pub fn run_until(&mut self, t: SimTime) {
         assert!(t >= self.now, "cannot run backwards");
+        let events_before = self.stats.events;
         while let Some((et, ev)) = self.queue.pop_due(t) {
             debug_assert!(et >= self.now);
             self.now = et;
@@ -436,6 +443,13 @@ impl World {
             self.dispatch(ev);
         }
         self.now = t;
+        if self.obs.is_enabled() {
+            let delta = self.stats.events - events_before;
+            if delta > 0 {
+                self.obs.counter_add("graf.sim.events", &[], delta);
+            }
+            self.obs.gauge_set("graf.sim.queue_depth", &[], self.queue.len() as f64);
+        }
     }
 
     /// Runs until the event queue is empty or `limit` is reached.
@@ -510,11 +524,7 @@ impl World {
             FrameId((self.frames.len() - 1) as u32)
         };
         let generation = self.frames[fid.0 as usize].generation;
-        self.requests
-            .get_mut(&request)
-            .expect("request meta")
-            .frames
-            .push((fid, generation));
+        self.requests.get_mut(&request).expect("request meta").frames.push((fid, generation));
         fid
     }
 
@@ -522,8 +532,10 @@ impl World {
         let f = &self.frames[fid.0 as usize];
         let base = self.services[f.service.0 as usize].spec.base_us;
         let gen = f.generation;
-        self.queue
-            .schedule(SimTime(self.now.0 + base), Event::StartFrame { frame: fid, generation: gen });
+        self.queue.schedule(
+            SimTime(self.now.0 + base),
+            Event::StartFrame { frame: fid, generation: gen },
+        );
     }
 
     fn on_start_frame(&mut self, fid: FrameId, generation: u32) {
@@ -711,13 +723,10 @@ impl World {
             let api = self.requests.get(&f.request).expect("live request").api;
             (api, f.plan_node, f.request)
         };
-        let calls = self.plans[api.0 as usize].nodes[plan_node as usize].stages
-            [stage as usize]
-            .clone();
-        let total: u32 = calls
-            .iter()
-            .map(|&c| self.plans[api.0 as usize].nodes[c as usize].repeat)
-            .sum();
+        let calls =
+            self.plans[api.0 as usize].nodes[plan_node as usize].stages[stage as usize].clone();
+        let total: u32 =
+            calls.iter().map(|&c| self.plans[api.0 as usize].nodes[c as usize].repeat).sum();
         debug_assert!(total > 0, "stages are non-empty by construction");
         self.frames[fid.0 as usize].state = FrameState::Children { stage, outstanding: total };
         for c in calls {
@@ -730,8 +739,7 @@ impl World {
     }
 
     fn child_completed(&mut self, fid: FrameId) {
-        let FrameState::Children { stage, outstanding } = self.frames[fid.0 as usize].state
-        else {
+        let FrameState::Children { stage, outstanding } = self.frames[fid.0 as usize].state else {
             unreachable!("child completion outside Children state")
         };
         let outstanding = outstanding - 1;
@@ -783,13 +791,8 @@ impl World {
             Some(p) => self.child_completed(p),
             None => {
                 let meta = self.requests.remove(&request).expect("live request");
-                let completion = Completion {
-                    request,
-                    api,
-                    start: meta.start,
-                    end: self.now,
-                    timed_out: false,
-                };
+                let completion =
+                    Completion { request, api, start: meta.start, end: self.now, timed_out: false };
                 self.e2e.record(self.now.as_micros(), completion.latency_us());
                 self.completions.push(completion);
                 self.stats.completed += 1;
@@ -826,9 +829,7 @@ impl World {
 
     /// End-to-end latency percentile over the trailing `k` metric windows.
     pub fn e2e_percentile(&self, k: usize, q: f64) -> Option<SimDuration> {
-        self.e2e
-            .percentile_trailing(self.now.as_micros(), k, q)
-            .map(SimDuration::from_micros)
+        self.e2e.percentile_trailing(self.now.as_micros(), k, q).map(SimDuration::from_micros)
     }
 
     /// Per-service latency percentile over the trailing `k` windows.
@@ -871,9 +872,11 @@ impl World {
     ) {
         assert!(factor >= 1.0, "contention can only slow work down");
         assert!(until > from);
-        self.services[service.0 as usize]
-            .slowdowns
-            .push((from.as_micros(), until.as_micros(), factor));
+        self.services[service.0 as usize].slowdowns.push((
+            from.as_micros(),
+            until.as_micros(),
+            factor,
+        ));
     }
 
     /// Front-end arrival rate (req/s) of `api` over the trailing `k` windows.
@@ -1009,7 +1012,11 @@ mod tests {
         let topo = AppTopology::new(
             "rep",
             vec![ServiceSpec::new("root", 1.0, 0).cv(0.0), ServiceSpec::new("b", 5.0, 0).cv(0.0)],
-            vec![ApiSpec::new("get", CallNode::new(0).children_mode(ChildMode::Sequential, vec![CallNode::new(1).repeat(3)]))],
+            vec![ApiSpec::new(
+                "get",
+                CallNode::new(0)
+                    .children_mode(ChildMode::Sequential, vec![CallNode::new(1).repeat(3)]),
+            )],
         );
         let mut w = ready_world(topo, 1000.0);
         let cfg = SimConfig { trace_sample: 1.0, ..SimConfig::default() };
@@ -1041,8 +1048,7 @@ mod tests {
                 w.inject(ApiId(0), SimTime(i * 5_000)); // 200 qps for 10 s
             }
             w.run_until(SimTime::from_secs(20.0));
-            let mut lats: Vec<u64> =
-                w.drain_completions().iter().map(|c| c.latency_us()).collect();
+            let mut lats: Vec<u64> = w.drain_completions().iter().map(|c| c.latency_us()).collect();
             lats.sort_unstable();
             lats[(lats.len() as f64 * 0.99) as usize - 1]
         }
@@ -1093,7 +1099,7 @@ mod tests {
             let mut rng = DetRng::new(77);
             let mut t = SimTime::ZERO;
             for _ in 0..200 {
-                t = t + SimDuration::from_micros((rng.exp(5_000.0)) as u64 + 1);
+                t += SimDuration::from_micros((rng.exp(5_000.0)) as u64 + 1);
                 w.inject(ApiId(0), t);
             }
             w.run_until(SimTime::from_secs(10.0));
@@ -1238,10 +1244,7 @@ mod tests {
         }
         w.run_until(SimTime::from_secs(5.0));
         let traces = w.traces_mut().drain_finished().len() as f64;
-        assert!(
-            (traces / 1000.0 - 0.3).abs() < 0.06,
-            "≈30% of requests traced, got {traces}"
-        );
+        assert!((traces / 1000.0 - 0.3).abs() < 0.06, "≈30% of requests traced, got {traces}");
         assert_eq!(w.stats().completed, 1000, "sampling never drops requests");
     }
 

@@ -29,8 +29,6 @@ proptest! {
                         prop_assert!(idx > prev);
                     }
                 }
-            } else {
-                last_seq_at_time = None;
             }
             last_time = t.0;
             last_seq_at_time = Some(idx);

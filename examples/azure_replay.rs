@@ -47,7 +47,7 @@ fn replay(name: &str, series: &[u32], scaler: &mut dyn Autoscaler) -> Vec<(f64, 
         let now = cluster.world().now();
         if now >= next {
             timeline.push((now.as_secs_f64(), cluster.total_instances()));
-            next = next + SimDuration::from_secs(30.0);
+            next += SimDuration::from_secs(30.0);
         }
     };
     let mut hooks = ExperimentHooks { on_segment: Some(&mut on_segment), on_control: None };
@@ -58,10 +58,10 @@ fn replay(name: &str, series: &[u32], scaler: &mut dyn Autoscaler) -> Vec<(f64, 
         SimTime::from_secs(60.0 * MINUTES as f64),
         &mut hooks,
     );
-    println!("{name}: final p99 = {:?} ms", cluster
-        .world()
-        .e2e_percentile(30, 0.99)
-        .map(|d| d.as_millis_f64().round()));
+    println!(
+        "{name}: final p99 = {:?} ms",
+        cluster.world().e2e_percentile(30, 0.99).map(|d| d.as_millis_f64().round())
+    );
     timeline
 }
 

@@ -48,10 +48,7 @@ fn main() {
     // For each SLO: solve, then *deploy the solved configuration* in a fresh
     // simulation and measure the真 p99 — the Figure-17 loop.
     let validator = SampleCollector::new(app(), sampling);
-    println!(
-        "{:>9} {:>12} {:>14} {:>14}",
-        "SLO(ms)", "quota(mc)", "predicted", "measured p99"
-    );
+    println!("{:>9} {:>12} {:>14} {:>14}", "SLO(ms)", "quota(mc)", "predicted", "measured p99");
     for slo in [20.0, 30.0, 40.0, 60.0, 80.0, 120.0] {
         let mut ctrl = graf.controller(slo);
         let (quotas, solve) = ctrl.plan(&[80.0]);

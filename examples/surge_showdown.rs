@@ -49,12 +49,10 @@ fn run(name: &str, scaler: &mut dyn Autoscaler) {
     let mut on_segment = |cluster: &mut Cluster, _: &[_]| {
         let now = cluster.world().now();
         if now >= next_report {
-            let p99 = cluster
-                .world()
-                .e2e_percentile(10, 0.99)
-                .map_or(f64::NAN, |d| d.as_millis_f64());
+            let p99 =
+                cluster.world().e2e_percentile(10, 0.99).map_or(f64::NAN, |d| d.as_millis_f64());
             println!("{:>6.0} {:>10} {:>12.1}", now.as_secs_f64(), cluster.total_instances(), p99);
-            next_report = next_report + SimDuration::from_secs(20.0);
+            next_report += SimDuration::from_secs(20.0);
         }
     };
     let mut hooks = ExperimentHooks { on_segment: Some(&mut on_segment), on_control: None };

@@ -24,16 +24,15 @@ fn perceive_times(scaler: &mut dyn Autoscaler, seed: u64) -> Vec<f64> {
     let api = ApiId(boutique::API_CART);
     let deployments = (0..topo.num_services() as u16)
         .map(|s| {
-            let offered = BASE_QPS * topo.multiplicity(api, ServiceId(s))
-                * topo.services[s as usize].work_ms;
+            let offered =
+                BASE_QPS * topo.multiplicity(api, ServiceId(s)) * topo.services[s as usize].work_ms;
             Deployment::new(ServiceId(s), 100.0, ((offered * 1.8 + 60.0) / 100.0).ceil() as usize)
         })
         .collect();
     let mut cluster = Cluster::new(world, deployments, CreationModel::default());
-    let mut load = OpenLoop::new(seed).poisson().schedule(
-        api,
-        vec![(SimTime::ZERO, BASE_QPS), (SimTime::from_secs(WARMUP_S), SURGE_QPS)],
-    );
+    let mut load = OpenLoop::new(seed)
+        .poisson()
+        .schedule(api, vec![(SimTime::ZERO, BASE_QPS), (SimTime::from_secs(WARMUP_S), SURGE_QPS)]);
 
     let n = topo.num_services();
     let mut first_peak = vec![f64::NAN; n];
@@ -71,7 +70,8 @@ fn proactive_targets() -> Vec<(ServiceId, usize)> {
     let api = ApiId(boutique::API_CART);
     (0..topo.num_services() as u16)
         .map(|s| {
-            let offered = SURGE_QPS * topo.multiplicity(api, ServiceId(s))
+            let offered = SURGE_QPS
+                * topo.multiplicity(api, ServiceId(s))
                 * topo.services[s as usize].work_ms;
             (ServiceId(s), ((offered * 1.8 + 60.0) / 100.0).ceil() as usize)
         })
@@ -103,8 +103,5 @@ fn hpa_staggers_perception_proactive_does_not() {
         "cascading: HPA spread {hpa_spread:.0}s >= proactive spread {pro_spread:.0}s \
          (hpa {hpa_peaks:?}, proactive {pro_peaks:?})"
     );
-    assert!(
-        hpa_spread >= 20.0,
-        "HPA perception is staggered down the chain: {hpa_peaks:?}"
-    );
+    assert!(hpa_spread >= 20.0, "HPA perception is staggered down the chain: {hpa_peaks:?}");
 }

@@ -14,9 +14,8 @@ use graf::sim::world::{SimConfig, World};
 fn run_once(seed: u64) -> (u64, u64, Vec<u64>, usize) {
     let topo = online_boutique();
     let world = World::new(topo.clone(), SimConfig::default(), seed);
-    let deployments = (0..topo.num_services())
-        .map(|s| Deployment::new(ServiceId(s as u16), 100.0, 3))
-        .collect();
+    let deployments =
+        (0..topo.num_services()).map(|s| Deployment::new(ServiceId(s as u16), 100.0, 3)).collect();
     let mut cluster = Cluster::new(world, deployments, CreationModel::default());
     let mut users = ClosedLoop::with_mix(
         vec![(ApiId(0), 3.0), (ApiId(1), 3.0), (ApiId(2), 4.0)],
@@ -29,13 +28,7 @@ fn run_once(seed: u64) -> (u64, u64, Vec<u64>, usize) {
         latencies.extend(comps.iter().map(|c| c.latency_us()));
     };
     let mut hooks = ExperimentHooks { on_segment: Some(&mut on_segment), on_control: None };
-    run_experiment(
-        &mut cluster,
-        &mut users,
-        &mut hpa,
-        SimTime::from_secs(120.0),
-        &mut hooks,
-    );
+    run_experiment(&mut cluster, &mut users, &mut hpa, SimTime::from_secs(120.0), &mut hooks);
     let stats = cluster.world().stats();
     (stats.completed, stats.events, latencies, cluster.total_instances())
 }
@@ -56,4 +49,78 @@ fn different_seed_different_trajectory() {
     let a = run_once(77);
     let c = run_once(78);
     assert_ne!(a.2, c.2, "different seeds explore different randomness");
+}
+
+/// End-to-end GRAF pipeline (build → controller-driven experiment) with
+/// telemetry enabled vs disabled: decisions and measurements must be
+/// bit-identical — the obs layer observes, it never perturbs.
+#[test]
+fn telemetry_does_not_perturb_the_pipeline() {
+    use graf::core::{Graf, GrafBuildConfig, SamplingConfig, TrainConfig};
+    use graf::obs::Obs;
+    use graf::sim::topology::{ApiSpec, AppTopology, CallNode, ServiceSpec};
+
+    fn tiny_topo() -> AppTopology {
+        AppTopology::new(
+            "tiny",
+            vec![ServiceSpec::new("a", 1.0, 300), ServiceSpec::new("b", 2.5, 300)],
+            vec![ApiSpec::new("get", CallNode::new(0).call(CallNode::new(1)))],
+        )
+    }
+
+    fn run_pipeline(obs: &Obs) -> (Vec<f64>, Vec<usize>, Vec<u64>, u64) {
+        let cfg = GrafBuildConfig {
+            sampling: SamplingConfig {
+                probe_qps: vec![40.0],
+                measure_secs: 3.0,
+                warmup_secs: 1.5,
+                abundant_quota_mc: 2500.0,
+                threads: 4,
+                ..SamplingConfig::default()
+            },
+            train: TrainConfig { epochs: 10, evals: 3, ..Default::default() },
+            num_samples: 60,
+            ..Default::default()
+        };
+        let graf = Graf::build_observed(tiny_topo(), cfg, obs);
+        let mut ctrl = graf.controller(80.0);
+        ctrl.set_obs(obs.clone());
+
+        let world = World::new(tiny_topo(), SimConfig::default(), 5);
+        let mut cluster = Cluster::new(
+            world,
+            vec![Deployment::new(ServiceId(0), 100.0, 2), Deployment::new(ServiceId(1), 100.0, 2)],
+            CreationModel::default(),
+        );
+        cluster.set_obs(obs.clone());
+        let mut users = ClosedLoop::with_mix(vec![(ApiId(0), 1.0)], 60, 9);
+        let mut latencies = Vec::new();
+        let mut on_segment = |_: &mut Cluster, comps: &[graf::sim::world::Completion]| {
+            latencies.extend(comps.iter().map(|c| c.latency_us()));
+        };
+        let mut hooks = ExperimentHooks { on_segment: Some(&mut on_segment), on_control: None };
+        run_experiment(&mut cluster, &mut users, &mut ctrl, SimTime::from_secs(60.0), &mut hooks);
+        let desired: Vec<usize> = cluster.deployments().iter().map(|d| d.desired).collect();
+        (ctrl.last_quotas_mc.clone(), desired, latencies, cluster.world().stats().events)
+    }
+
+    let enabled = Obs::enabled();
+    let on = run_pipeline(&enabled);
+    let off = run_pipeline(&Obs::disabled());
+    assert_eq!(on.0, off.0, "planned quotas are bit-identical");
+    assert_eq!(on.1, off.1, "instance decisions are bit-identical");
+    assert_eq!(on.2, off.2, "every latency is bit-identical");
+    assert_eq!(on.3, off.3, "event counts are bit-identical");
+
+    // The enabled run actually captured the pipeline.
+    let names: Vec<&str> = enabled.events().iter().map(|e| e.name).collect();
+    assert!(names.contains(&"graf.sample.bounds"), "bound-search span recorded");
+    assert!(names.contains(&"graf.sample.collect"), "sample fan-out span recorded");
+    assert!(names.contains(&"graf.train"), "training span recorded");
+    assert!(names.contains(&"graf.train.eval"), "training eval points recorded");
+    assert!(names.contains(&"graf.controller.tick"), "controller tick spans recorded");
+    assert!(names.contains(&"graf.solver.solve"), "solver spans recorded");
+    let prom = enabled.render_prometheus();
+    assert!(prom.contains("graf_sim_events"), "world events counted:\n{prom}");
+    assert!(prom.contains("graf_cluster_creations_started"), "creations counted:\n{prom}");
 }

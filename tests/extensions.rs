@@ -20,10 +20,7 @@ fn app() -> AppTopology {
             ServiceSpec::new("mid", 0.8, 250),
             ServiceSpec::new("leaf", 0.5, 250),
         ],
-        vec![ApiSpec::new(
-            "req",
-            CallNode::new(0).call(CallNode::new(1).call(CallNode::new(2))),
-        )],
+        vec![ApiSpec::new("req", CallNode::new(0).call(CallNode::new(1).call(CallNode::new(2))))],
     )
 }
 
@@ -62,8 +59,7 @@ fn integer_refinement_is_leaner_and_still_meets_slo_live() {
             ..Default::default()
         });
         let world = World::new(app(), SimConfig::default(), 91);
-        let deployments =
-            (0..3).map(|s| Deployment::new(ServiceId(s as u16), 100.0, 4)).collect();
+        let deployments = (0..3).map(|s| Deployment::new(ServiceId(s as u16), 100.0, 4)).collect();
         let mut cluster = Cluster::new(world, deployments, CreationModel::instant());
         let mut rng = graf::sim::rng::DetRng::new(6);
         let mut t = 0.0f64;
@@ -112,8 +108,7 @@ fn anomaly_guard_wraps_graf_and_reacts_to_injected_contention() {
         SimTime::from_secs(120.0),
         SimTime::from_secs(200.0),
     );
-    let deployments =
-        (0..3).map(|s| Deployment::new(ServiceId(s as u16), 100.0, 4)).collect();
+    let deployments = (0..3).map(|s| Deployment::new(ServiceId(s as u16), 100.0, 4)).collect();
     let mut cluster = Cluster::new(world, deployments, CreationModel::instant());
     let mut rng = graf::sim::rng::DetRng::new(8);
     let mut t = 0.0f64;

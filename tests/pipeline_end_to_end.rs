@@ -17,10 +17,7 @@ fn app() -> AppTopology {
             ServiceSpec::new("mid", 0.8, 250),
             ServiceSpec::new("leaf", 0.5, 250),
         ],
-        vec![ApiSpec::new(
-            "req",
-            CallNode::new(0).call(CallNode::new(1).call(CallNode::new(2))),
-        )],
+        vec![ApiSpec::new("req", CallNode::new(0).call(CallNode::new(1).call(CallNode::new(2))))],
     )
 }
 
@@ -69,13 +66,8 @@ fn pipeline_learns_structure_and_solves() {
     let p_hi = graf.model.predict_ms(&l_heavy, &graf.bounds.upper);
     assert!(p_lo > p_hi, "starved {p_lo} must predict slower than abundant {p_hi}");
     // Workload direction at mid-quota.
-    let mid: Vec<f64> = graf
-        .bounds
-        .lower
-        .iter()
-        .zip(&graf.bounds.upper)
-        .map(|(&a, &b)| 0.5 * (a + b))
-        .collect();
+    let mid: Vec<f64> =
+        graf.bounds.lower.iter().zip(&graf.bounds.upper).map(|(&a, &b)| 0.5 * (a + b)).collect();
     let light = graf.model.predict_ms(&graf.analyzer.service_workloads(&[40.0]), &mid);
     let heavy = graf.model.predict_ms(&l_heavy, &mid);
     assert!(heavy > light, "more workload predicts slower: {light} vs {heavy}");
@@ -86,8 +78,8 @@ fn pipeline_learns_structure_and_solves() {
     let (q_high, res_high) = ctrl.plan(&[120.0]);
     assert!(q_high.iter().sum::<f64>() >= q_low.iter().sum::<f64>());
     assert!(res_high.iterations > 0);
-    for i in 0..3 {
-        assert!(q_high[i] >= graf.bounds.lower[i] - 1e-6);
+    for (q, lo) in q_high.iter().zip(&graf.bounds.lower) {
+        assert!(*q >= lo - 1e-6);
     }
 }
 
@@ -98,9 +90,7 @@ fn controller_drives_a_live_cluster_to_meet_slo() {
     let mut ctrl = graf.controller(slo_ms);
 
     let world = World::new(app(), SimConfig::default(), 99);
-    let deployments = (0..3)
-        .map(|s| Deployment::new(ServiceId(s as u16), 100.0, 4))
-        .collect();
+    let deployments = (0..3).map(|s| Deployment::new(ServiceId(s as u16), 100.0, 4)).collect();
     let mut cluster = Cluster::new(world, deployments, CreationModel::instant());
 
     // 120 qps steady; tick the controller every 15 s like the paper.
@@ -131,15 +121,8 @@ fn controller_drives_a_live_cluster_to_meet_slo() {
 
     // Over the last minute the measured p99 tracks the SLO with the usual
     // model-error band.
-    let p99 = cluster
-        .world()
-        .e2e_percentile(60, 0.99)
-        .expect("traffic flowed")
-        .as_millis_f64();
-    assert!(
-        p99 <= slo_ms * 1.6,
-        "GRAF keeps p99 ({p99:.1} ms) in the SLO band ({slo_ms} ms)"
-    );
+    let p99 = cluster.world().e2e_percentile(60, 0.99).expect("traffic flowed").as_millis_f64();
+    assert!(p99 <= slo_ms * 1.6, "GRAF keeps p99 ({p99:.1} ms) in the SLO band ({slo_ms} ms)");
     // And it did not trivially max out capacity to get there.
     let quota = cluster.total_ready_quota_mc();
     let upper: f64 = graf.bounds.upper.iter().sum();
