@@ -9,6 +9,8 @@
 /// * `--quick` — shrink everything for a fast smoke run.
 /// * `--telemetry <path>` — enable the graf-obs telemetry layer: dump the
 ///   JSONL event log to `path` and print the summary table at exit.
+/// * `--threads <n>` — worker threads for data-parallel training (results
+///   are bit-identical for any value; default 1).
 #[derive(Clone, Debug)]
 pub struct Args {
     /// Base RNG seed.
@@ -21,11 +23,20 @@ pub struct Args {
     pub quick: bool,
     /// JSONL telemetry dump path (telemetry stays disabled when unset).
     pub telemetry: Option<String>,
+    /// Training worker threads (deterministic for any value; 1 = serial).
+    pub threads: Option<usize>,
 }
 
 impl Default for Args {
     fn default() -> Self {
-        Self { seed: 7, paper_scale: false, samples: None, quick: false, telemetry: None }
+        Self {
+            seed: 7,
+            paper_scale: false,
+            samples: None,
+            quick: false,
+            telemetry: None,
+            threads: None,
+        }
     }
 }
 
@@ -56,6 +67,14 @@ impl Args {
                 }
                 "--telemetry" => {
                     out.telemetry = Some(it.next().expect("--telemetry needs a file path"));
+                }
+                "--threads" => {
+                    out.threads = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n >= 1)
+                            .expect("--threads needs a positive integer"),
+                    );
                 }
                 other => panic!("unknown flag {other}; see crate docs"),
             }
@@ -132,6 +151,14 @@ mod tests {
         let on = parse(&["--telemetry", "/tmp/t.jsonl"]);
         assert_eq!(on.telemetry.as_deref(), Some("/tmp/t.jsonl"));
         assert!(on.obs().is_enabled());
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_zero() {
+        assert_eq!(parse(&[]).threads, None);
+        assert_eq!(parse(&["--threads", "3"]).threads, Some(3));
+        let caught = std::panic::catch_unwind(|| parse(&["--threads", "0"]));
+        assert!(caught.is_err(), "--threads 0 must be rejected");
     }
 
     #[test]

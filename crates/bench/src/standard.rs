@@ -57,10 +57,16 @@ pub fn sampling_config(setup: &AppSetup, args: &Args) -> SamplingConfig {
 /// The standard build configuration (samples + training scale) for a setup.
 pub fn build_config(setup: &AppSetup, args: &Args) -> GrafBuildConfig {
     let num_samples = args.samples.unwrap_or_else(|| args.scaled(150, 1200, 8000));
+    let threads = args.threads.unwrap_or(1);
     let train = if args.paper_scale {
-        TrainConfig { seed: args.seed, ..TrainConfig::paper() }
+        TrainConfig { seed: args.seed, threads, ..TrainConfig::paper() }
     } else {
-        TrainConfig { epochs: args.scaled(15, 60, 450), seed: args.seed, ..TrainConfig::default() }
+        TrainConfig {
+            epochs: args.scaled(15, 60, 450),
+            seed: args.seed,
+            threads,
+            ..TrainConfig::default()
+        }
     };
     GrafBuildConfig {
         sampling: sampling_config(setup, args),

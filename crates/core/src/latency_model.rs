@@ -41,6 +41,10 @@ pub struct TrainConfig {
     pub evals: usize,
     /// Shuffle/dropout seed.
     pub seed: u64,
+    /// Worker threads for data-parallel training (mini-batches are sharded
+    /// over fixed chunks with an index-ordered gradient reduction, so any
+    /// value produces bit-identical results; 1 = serial).
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -53,6 +57,7 @@ impl Default for TrainConfig {
             theta_r: 0.3,
             evals: 20,
             seed: 7,
+            threads: 1,
         }
     }
 }
@@ -169,6 +174,8 @@ impl LatencyModel {
         assert!(!split.train.is_empty(), "training set is empty");
         let mut train_span = obs.span("graf.train");
         let train_start = train_span.is_recording().then(std::time::Instant::now);
+        let scratch_before = self.net.scratch_stats();
+        self.net.set_threads(cfg.threads.max(1));
         let loss = AsymmetricHuber { theta_l: cfg.theta_l, theta_r: cfg.theta_r };
         let mut opt = Adam::new(cfg.lr);
         let mut rng = DetRng::new(cfg.seed);
@@ -185,10 +192,13 @@ impl LatencyModel {
         let mut iter = 0usize;
         let mut acc_loss = 0.0;
         let mut acc_n = 0usize;
+        // One scaled-label buffer for the whole run, refilled per batch.
+        let mut y_buf: Vec<f64> = Vec::with_capacity(cfg.batch_size);
         for epoch in 0..cfg.epochs {
             for (x, y_raw) in split.train.batches(cfg.batch_size, &mut rng) {
-                let y = self.scaled_labels(&y_raw);
-                let l = self.net.train_step(&x, &y, &loss, &mut opt, &mut drop_rng);
+                y_buf.clear();
+                y_buf.extend(y_raw.iter().map(|y| y / self.label_scale));
+                let l = self.net.train_step(&x, &y_buf, &loss, &mut opt, &mut drop_rng);
                 acc_loss += l;
                 acc_n += 1;
                 iter += 1;
@@ -228,6 +238,17 @@ impl LatencyModel {
                 .attr("best_iter", report.best_iter)
                 .attr("epochs_per_sec", if secs > 0.0 { cfg.epochs as f64 / secs } else { 0.0 });
         }
+        if obs.is_enabled() {
+            // Allocation-avoidance accounting for this run: scratch-pool
+            // buffer reuses vs fresh allocations inside the net's kernels.
+            let (reused, allocated) = self.net.scratch_stats();
+            obs.counter_add("graf.nn.scratch.reused", &[], reused.saturating_sub(scratch_before.0));
+            obs.counter_add(
+                "graf.nn.scratch.allocated",
+                &[],
+                allocated.saturating_sub(scratch_before.1),
+            );
+        }
         report
     }
 
@@ -249,6 +270,38 @@ impl LatencyModel {
     /// Predicts p99 latency (ms) for already-scaled feature rows.
     pub fn predict_rows_ms(&self, x: &Matrix) -> Vec<f64> {
         self.net.predict(x).iter().map(|p| p * self.label_scale).collect()
+    }
+
+    /// Fused prediction + conditional gradient — the solver fast path.
+    ///
+    /// Runs one forward pass whose activations are retained; only when the
+    /// predicted latency exceeds `grad_if_above_ms` is the backward pass run,
+    /// reusing the retained trace (one forward + at most one backward per
+    /// solver iteration, versus the two forwards + one backward of calling
+    /// [`LatencyModel::predict_ms`] then [`LatencyModel::grad_quota`]).
+    ///
+    /// Returns `(predicted_ms, grad_written)`; `grad_out` holds the per-quota
+    /// gradient (ms per mc) only when `grad_written` is true.
+    pub fn predict_ms_with_grad(
+        &mut self,
+        workloads: &[f64],
+        quotas_mc: &[f64],
+        grad_if_above_ms: f64,
+        grad_out: &mut Vec<f64>,
+    ) -> (f64, bool) {
+        let row = self.scaler.features(workloads, quotas_mc);
+        let x = Matrix::row_vector(row);
+        let pred = self.net.predict_keep(&x)[0] * self.label_scale;
+        if pred <= grad_if_above_ms {
+            return (pred, false);
+        }
+        let g = self.net.grad_from_kept(&x);
+        grad_out.clear();
+        grad_out.extend(
+            (0..workloads.len())
+                .map(|i| self.label_scale * g.get(0, 2 * i + 1) / self.scaler.quota_div),
+        );
+        (pred, true)
     }
 
     /// Gradient of predicted latency (ms) with respect to each quota (mc).

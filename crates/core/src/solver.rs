@@ -94,27 +94,32 @@ pub fn solve_observed(
     let mut prev_loss = f64::INFINITY;
     let mut iterations = 0;
     let mut last_loss = 0.0;
+    // Per-iteration buffers hoisted out of the descent loop; each pass is one
+    // fused forward through the model, plus a backward only when the SLO
+    // penalty is active (reusing the retained forward trace).
+    let mut quotas_mc = vec![0.0; n];
+    let mut g_ms: Vec<f64> = Vec::with_capacity(n);
     for it in 0..cfg.max_iters {
         iterations = it + 1;
-        let quotas_mc: Vec<f64> =
-            r.value.data().iter().map(|&v| model.scaler.unscale_quota(v)).collect();
-        let pred = model.predict_ms(workloads, &quotas_mc);
+        for (q, &v) in quotas_mc.iter_mut().zip(r.value.data()) {
+            *q = model.scaler.unscale_quota(v);
+        }
+        let (pred, has_grad) = model.predict_ms_with_grad(workloads, &quotas_mc, slo_ms, &mut g_ms);
         let violation = (pred - slo_ms).max(0.0) / slo_ms;
         let total: f64 = r.value.data().iter().sum();
         last_loss = total + cfg.rho * violation;
 
         // Gradient: d/dr_scaled [Σ r_scaled] = 1; the penalty term chains
-        // through the network when active.
-        let mut grad = vec![1.0; n];
-        if pred > slo_ms {
-            let g_ms = model.grad_quota(workloads, &quotas_mc); // d pred_ms / d r_mc
-            for i in 0..n {
+        // through the network when active (`g_ms` = d pred_ms / d r_mc).
+        if has_grad {
+            for (i, &gm) in g_ms.iter().enumerate() {
                 // d r_mc / d r_scaled = quota_div.
-                grad[i] += cfg.rho / slo_ms * g_ms[i] * model.scaler.quota_div;
+                r.grad.set(0, i, 1.0 + cfg.rho / slo_ms * gm * model.scaler.quota_div);
             }
-        }
-        for (i, g) in grad.iter().enumerate() {
-            r.grad.set(0, i, *g);
+        } else {
+            for i in 0..n {
+                r.grad.set(0, i, 1.0);
+            }
         }
         opt.step(&mut [&mut r]);
         // Project into the Algorithm-1 box.

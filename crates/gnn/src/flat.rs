@@ -5,17 +5,43 @@
 //! trains faster but generalizes worse; [`crate::MicroserviceGnn`] should
 //! beat it on held-out data.
 
-use graf_nn::{Adam, AsymmetricHuber, Matrix, Mlp, Mode};
+use std::cell::RefCell;
+
+use graf_nn::{Adam, AsymmetricHuber, Matrix, Mlp, MlpGrads, MlpTrace, Mode, Workspace};
 use graf_sim::rng::DetRng;
 
 use crate::net::LatencyNet;
 
+/// Reusable forward/backward buffers (trace, scratch pool, gradient sink).
+#[derive(Default)]
+struct FlatScratch {
+    trace: MlpTrace,
+    out: Matrix,
+    dy: Matrix,
+    dx: Matrix,
+    ws: Workspace,
+    grads: MlpGrads,
+    /// Row count of the retained eval forward (0 = no valid trace).
+    kept_rows: usize,
+}
+
 /// A plain MLP over concatenated node features.
-#[derive(Clone)]
 pub struct FlatMlp {
     num_nodes: usize,
     feature_dim: usize,
     mlp: Mlp,
+    scratch: RefCell<FlatScratch>,
+}
+
+impl Clone for FlatMlp {
+    fn clone(&self) -> Self {
+        Self {
+            num_nodes: self.num_nodes,
+            feature_dim: self.feature_dim,
+            mlp: self.mlp.clone(),
+            scratch: RefCell::new(FlatScratch::default()),
+        }
+    }
 }
 
 impl FlatMlp {
@@ -29,7 +55,7 @@ impl FlatMlp {
         rng: &mut DetRng,
     ) -> Self {
         let mlp = Mlp::new(&[num_nodes * feature_dim, hidden, hidden, 1], dropout, rng);
-        Self { num_nodes, feature_dim, mlp }
+        Self { num_nodes, feature_dim, mlp, scratch: RefCell::new(FlatScratch::default()) }
     }
 }
 
@@ -43,8 +69,11 @@ impl LatencyNet for FlatMlp {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        let (y, _) = self.mlp.forward(x, &mut Mode::Eval);
-        y.data().to_vec()
+        let mut sc = self.scratch.borrow_mut();
+        let sc = &mut *sc;
+        self.mlp.forward_into(x, &mut Mode::Eval, &mut sc.trace, &mut sc.out);
+        sc.kept_rows = x.rows();
+        sc.out.data().to_vec()
     }
 
     fn train_step(
@@ -56,22 +85,42 @@ impl LatencyNet for FlatMlp {
         rng: &mut DetRng,
     ) -> f64 {
         assert_eq!(x.rows(), y.len(), "batch size mismatch");
-        let (pred, trace) = self.mlp.forward(x, &mut Mode::Train(rng));
-        let (l, grad) = loss.batch(pred.data(), y);
-        let dy = Matrix::from_vec(x.rows(), 1, grad);
-        self.mlp.backward(&trace, &dy);
+        let sc = self.scratch.get_mut();
+        sc.kept_rows = 0; // parameters change below: kept trace is stale
+        self.mlp.forward_into(x, &mut Mode::Train(rng), &mut sc.trace, &mut sc.out);
+        sc.dy.reshape_zeroed(x.rows(), 1);
+        let l = loss.batch_into(sc.out.data(), y, sc.dy.data_mut());
+        sc.grads.prepare(&self.mlp);
+        self.mlp.backward_with(&sc.trace, &sc.dy, &mut sc.grads, &mut sc.ws, &mut sc.dx);
+        self.mlp.accumulate_grads(&sc.grads);
         opt.step(&mut self.mlp.params_mut());
         l
     }
 
     fn grad_input(&mut self, x: &Matrix) -> Matrix {
-        let (y, trace) = self.mlp.forward(x, &mut Mode::Eval);
-        let ones = Matrix::from_fn(y.rows(), 1, |_, _| 1.0);
-        let dx = self.mlp.backward(&trace, &ones);
-        for p in self.mlp.params_mut() {
-            p.zero_grad();
+        {
+            let sc = self.scratch.get_mut();
+            self.mlp.forward_into(x, &mut Mode::Eval, &mut sc.trace, &mut sc.out);
+            sc.kept_rows = x.rows();
         }
-        dx
+        self.grad_from_kept(x)
+    }
+
+    fn grad_from_kept(&mut self, x: &Matrix) -> Matrix {
+        if self.scratch.get_mut().kept_rows != x.rows() {
+            return self.grad_input(x);
+        }
+        let sc = self.scratch.get_mut();
+        sc.dy.reshape_zeroed(x.rows(), 1);
+        sc.dy.data_mut().fill(1.0);
+        sc.grads.prepare(&self.mlp);
+        // Gradients land in the scratch sink, never the parameters.
+        self.mlp.backward_with(&sc.trace, &sc.dy, &mut sc.grads, &mut sc.ws, &mut sc.dx);
+        sc.dx.clone()
+    }
+
+    fn scratch_stats(&self) -> (u64, u64) {
+        self.scratch.borrow().ws.stats()
     }
 
     fn num_params(&self) -> usize {
@@ -121,5 +170,16 @@ mod tests {
         let x = Matrix::from_fn(3, 4, |_, c| c as f64);
         let g = m.grad_input(&x);
         assert_eq!((g.rows(), g.cols()), (3, 4));
+    }
+
+    #[test]
+    fn kept_trace_gradient_matches_fresh_gradient() {
+        let mut rng = DetRng::new(5);
+        let mut m = FlatMlp::new(2, 2, 8, 0.0, &mut rng);
+        let x = Matrix::from_fn(2, 4, |r, c| (r * 4 + c) as f64 * 0.1);
+        let slow = m.grad_input(&x);
+        let _ = m.predict(&x);
+        let fast = m.grad_from_kept(&x);
+        assert_eq!(slow.data(), fast.data());
     }
 }

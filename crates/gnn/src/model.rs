@@ -1,10 +1,40 @@
 //! The MPNN + readout latency prediction model (§3.4, Figure 9).
+//!
+//! ## Stacked-node compute layout
+//!
+//! φ and γ share weights across nodes, so instead of applying them once per
+//! node as n small `B × F` matmuls, the forward pass vertically stacks the
+//! per-node batches into one `(n·B) × F` matrix (node `i`'s batch occupying
+//! rows `i·B .. (i+1)·B`) and runs each network **once** per layer. Message
+//! aggregation, the `[x ‖ msg]` concatenation, and the gradient scatter all
+//! become contiguous row-block copies/adds on the stacked matrices. Because
+//! every kernel processes rows independently with a fixed reduction order,
+//! stacked predictions and input gradients are bit-identical to the
+//! per-node formulation (the equivalence tests below assert this).
+//!
+//! ## Deterministic data-parallel training
+//!
+//! `train_step` shards the mini-batch into fixed [`CHUNK_ROWS`]-row chunks
+//! — a partition that does **not** depend on the worker count — draws each
+//! chunk's dropout seed from the training RNG in chunk order on the calling
+//! thread, fans the chunks out over `std::thread::scope` workers
+//! (round-robin by chunk index), and then reduces the per-chunk gradient
+//! sinks into the parameters in ascending chunk order. Every float is
+//! therefore produced by the same operation sequence regardless of thread
+//! count: training is bit-for-bit run-to-run *and* thread-count invariant.
 
-use graf_nn::{Adam, AsymmetricHuber, Matrix, Mlp, MlpTrace, Mode};
+use std::cell::RefCell;
+
+use graf_nn::{Adam, AsymmetricHuber, Matrix, Mlp, MlpGrads, MlpTrace, Mode, Workspace};
 use graf_sim::rng::DetRng;
 
 use crate::graph::GraphSpec;
 use crate::net::LatencyNet;
+
+/// Rows per training shard. Fixed (never derived from the thread count) so
+/// the chunk partition — and with it every floating-point reduction order —
+/// is identical for any number of workers.
+const CHUNK_ROWS: usize = 64;
 
 /// Architecture hyper-parameters (§4 defaults).
 #[derive(Clone, Debug)]
@@ -38,27 +68,359 @@ impl Default for GnnConfig {
     }
 }
 
-/// Captured forward state of one GNN application.
-pub struct GnnTrace {
-    phi1: Vec<MlpTrace>,
-    gamma1: Vec<MlpTrace>,
-    phi2: Vec<MlpTrace>,
-    gamma2: Vec<MlpTrace>,
-    readout: MlpTrace,
-}
-
-/// The paper's latency prediction model: two message-passing steps over the
-/// microservice graph, then a fully connected readout over the flattened node
-/// embeddings.
+/// The five shared-weight networks. Split out of [`MicroserviceGnn`] so the
+/// training fan-out can share them immutably (`&GnnNets` is `Sync`) while
+/// each worker owns its mutable scratch.
 #[derive(Clone)]
-pub struct MicroserviceGnn {
-    graph: GraphSpec,
-    cfg: GnnConfig,
+struct GnnNets {
     phi1: Mlp,
     gamma1: Mlp,
     phi2: Mlp,
     gamma2: Mlp,
     readout: Mlp,
+}
+
+/// Per-shard gradient sinks, one [`MlpGrads`] per network.
+#[derive(Default)]
+struct GnnGrads {
+    phi1: MlpGrads,
+    gamma1: MlpGrads,
+    phi2: MlpGrads,
+    gamma2: MlpGrads,
+    readout: MlpGrads,
+}
+
+impl GnnGrads {
+    /// Shapes every sink for `nets` (reusing allocations) and zeroes them.
+    fn prepare(&mut self, nets: &GnnNets) {
+        self.phi1.prepare(&nets.phi1);
+        self.gamma1.prepare(&nets.gamma1);
+        self.phi2.prepare(&nets.phi2);
+        self.gamma2.prepare(&nets.gamma2);
+        self.readout.prepare(&nets.readout);
+    }
+}
+
+/// Reusable forward/backward state for one batch shard: traces, stacked
+/// activations, a scratch-buffer pool, and the gradient sinks. Steady-state
+/// passes through a warm `GnnPass` do not touch the heap.
+#[derive(Default)]
+struct GnnPass {
+    ws: Workspace,
+    t_phi1: MlpTrace,
+    t_gamma1: MlpTrace,
+    t_phi2: MlpTrace,
+    t_gamma2: MlpTrace,
+    t_read: MlpTrace,
+    /// Node-stacked input features, `(n·B) × F`.
+    xs: Matrix,
+    /// Readout input, `B × (n·embed)`.
+    read_in: Matrix,
+    /// Predictions, `B × 1`.
+    y: Matrix,
+    /// Output gradient fed to backward, `B × 1`.
+    dy: Matrix,
+    /// Node-stacked input gradient, `(n·B) × F`.
+    dx_stacked: Matrix,
+    /// Input gradient in batch layout, `B × (n·F)`.
+    dx: Matrix,
+    grads: GnnGrads,
+    /// This shard's (already batch-weighted) loss contribution.
+    loss: f64,
+}
+
+/// Cached per-layer weight transposes for every net. One refresh serves
+/// every backward pass until the next parameter update — all shards of a
+/// training step, and every gradient call of a solver run — instead of each
+/// backward re-materialising the transposes itself.
+#[derive(Default)]
+struct NetWts {
+    phi1: Vec<Matrix>,
+    gamma1: Vec<Matrix>,
+    phi2: Vec<Matrix>,
+    gamma2: Vec<Matrix>,
+    readout: Vec<Matrix>,
+    /// False whenever the parameters may have changed since the last refresh.
+    valid: bool,
+}
+
+impl NetWts {
+    fn refresh(&mut self, nets: &GnnNets) {
+        if self.valid {
+            return;
+        }
+        nets.phi1.transpose_weights_into(&mut self.phi1);
+        nets.gamma1.transpose_weights_into(&mut self.gamma1);
+        nets.phi2.transpose_weights_into(&mut self.phi2);
+        nets.gamma2.transpose_weights_into(&mut self.gamma2);
+        nets.readout.transpose_weights_into(&mut self.readout);
+        self.valid = true;
+    }
+}
+
+/// Mutable per-model scratch, behind a `RefCell` so eval-mode entry points
+/// (`predict` takes `&self`) can reuse buffers too. Never shared across
+/// threads: workers each get their own [`GnnPass`] out of `chunks`.
+#[derive(Default)]
+struct GnnScratch {
+    /// Pass used by predict / grad_input / the solver's kept-trace path.
+    eval: GnnPass,
+    /// Row count of the retained eval forward (0 = no valid trace).
+    kept_rows: usize,
+    /// One pass per training shard.
+    chunks: Vec<GnnPass>,
+    /// Per-chunk dropout seeds, drawn in chunk order on the calling thread.
+    seeds: Vec<u64>,
+    /// Weight transposes shared by every backward between parameter updates.
+    wts: NetWts,
+}
+
+/// The paper's latency prediction model: two message-passing steps over the
+/// microservice graph, then a fully connected readout over the flattened node
+/// embeddings.
+pub struct MicroserviceGnn {
+    graph: GraphSpec,
+    cfg: GnnConfig,
+    nets: GnnNets,
+    threads: usize,
+    scratch: RefCell<GnnScratch>,
+}
+
+impl Clone for MicroserviceGnn {
+    fn clone(&self) -> Self {
+        Self {
+            graph: self.graph.clone(),
+            cfg: self.cfg.clone(),
+            nets: self.nets.clone(),
+            threads: self.threads,
+            scratch: RefCell::new(GnnScratch::default()),
+        }
+    }
+}
+
+/// Copies rows `r0..r1` of the batch-layout `x` (`B × (n·f)`) into the
+/// node-stacked layout (`(n·(r1-r0)) × f`, node `i`'s rows contiguous).
+fn stack_nodes(x: &Matrix, r0: usize, r1: usize, n: usize, f: usize, out: &mut Matrix) {
+    let b = r1 - r0;
+    debug_assert_eq!(x.cols(), n * f);
+    out.reshape_for_overwrite(n * b, f);
+    for i in 0..n {
+        for r in 0..b {
+            let src = &x.row(r0 + r)[i * f..(i + 1) * f];
+            out.row_mut(i * b + r).copy_from_slice(src);
+        }
+    }
+}
+
+/// Inverse of [`stack_nodes`]: `(n·B) × d` stacked → `B × (n·d)` batch layout.
+fn unstack_nodes(s: &Matrix, n: usize, out: &mut Matrix) {
+    let d = s.cols();
+    let b = s.rows() / n;
+    debug_assert_eq!(s.rows(), n * b);
+    out.reshape_for_overwrite(b, n * d);
+    for i in 0..n {
+        for r in 0..b {
+            let src = s.row(i * b + r);
+            out.row_mut(r)[i * d..(i + 1) * d].copy_from_slice(src);
+        }
+    }
+}
+
+/// Message aggregation on the stacked layout: node `i`'s message rows are
+/// the sum of its parents' φ-output row blocks, added in parent order.
+fn gather_messages(graph: &GraphSpec, b: usize, phi_out: &Matrix, msg: &mut Matrix) {
+    msg.reshape_zeroed(phi_out.rows(), phi_out.cols());
+    for i in 0..graph.num_nodes() {
+        for &p in graph.parents(i) {
+            for r in 0..b {
+                let src = phi_out.row(p as usize * b + r);
+                for (v, &s) in msg.row_mut(i * b + r).iter_mut().zip(src) {
+                    *v += s;
+                }
+            }
+        }
+    }
+}
+
+/// Gradient scatter adjoint to [`gather_messages`]: child `i`'s message
+/// gradient (columns `f..` of `d_gin`) accumulates into each parent's
+/// φ-output gradient rows, iterated in the same child-then-parent order as
+/// the per-node formulation.
+fn scatter_msg_grads(
+    graph: &GraphSpec,
+    b: usize,
+    f: usize,
+    d_gin: &Matrix,
+    d_phi_out: &mut Matrix,
+) {
+    let m = d_phi_out.cols();
+    for i in 0..graph.num_nodes() {
+        for &p in graph.parents(i) {
+            for r in 0..b {
+                let src = &d_gin.row(i * b + r)[f..f + m];
+                for (v, &s) in d_phi_out.row_mut(p as usize * b + r).iter_mut().zip(src) {
+                    *v += s;
+                }
+            }
+        }
+    }
+}
+
+/// `out = src[:, from..from+width]` (reshaped in place).
+fn copy_cols_window(src: &Matrix, from: usize, width: usize, out: &mut Matrix) {
+    out.reshape_for_overwrite(src.rows(), width);
+    for r in 0..src.rows() {
+        out.row_mut(r).copy_from_slice(&src.row(r)[from..from + width]);
+    }
+}
+
+/// `dst += src[:, from..from+dst.cols()]`.
+fn add_cols_window(src: &Matrix, from: usize, dst: &mut Matrix) {
+    let w = dst.cols();
+    for r in 0..dst.rows() {
+        let s = &src.row(r)[from..from + w];
+        for (v, &x) in dst.row_mut(r).iter_mut().zip(s) {
+            *v += x;
+        }
+    }
+}
+
+/// Stacked forward pass over rows `r0..r1` of `x`, leaving predictions in
+/// `pass.y` and the traces needed by [`backward_stacked`] in `pass`.
+#[allow(clippy::too_many_arguments)]
+fn forward_stacked(
+    nets: &GnnNets,
+    graph: &GraphSpec,
+    cfg: &GnnConfig,
+    x: &Matrix,
+    r0: usize,
+    r1: usize,
+    mode: &mut Mode<'_>,
+    pass: &mut GnnPass,
+) {
+    let n = graph.num_nodes();
+    let (f, m, e) = (cfg.feature_dim, cfg.msg_dim, cfg.embed_dim);
+    let b = r1 - r0;
+    assert_eq!(x.cols(), n * f, "input width must be num_nodes × feature_dim");
+    stack_nodes(x, r0, r1, n, f, &mut pass.xs);
+
+    // Step 1: φ₁ over the raw features, aggregate, γ₁ on [x ‖ msg].
+    let mut phi_out = pass.ws.take(n * b, m);
+    nets.phi1.forward_into(&pass.xs, mode, &mut pass.t_phi1, &mut phi_out);
+    let mut msg = pass.ws.take(n * b, m);
+    gather_messages(graph, b, &phi_out, &mut msg);
+    pass.ws.give(phi_out);
+    let mut gin = pass.ws.take(n * b, f + m);
+    Matrix::hcat_into(&[&pass.xs, &msg], &mut gin);
+    pass.ws.give(msg);
+    let mut e1 = pass.ws.take(n * b, e);
+    nets.gamma1.forward_into(&gin, mode, &mut pass.t_gamma1, &mut e1);
+    pass.ws.give(gin);
+
+    // Step 2: φ₂ over the step-1 embeddings, aggregate, γ₂ on [x ‖ msg].
+    let mut phi2_out = pass.ws.take(n * b, m);
+    nets.phi2.forward_into(&e1, mode, &mut pass.t_phi2, &mut phi2_out);
+    pass.ws.give(e1);
+    let mut msg2 = pass.ws.take(n * b, m);
+    gather_messages(graph, b, &phi2_out, &mut msg2);
+    pass.ws.give(phi2_out);
+    let mut gin2 = pass.ws.take(n * b, f + m);
+    Matrix::hcat_into(&[&pass.xs, &msg2], &mut gin2);
+    pass.ws.give(msg2);
+    let mut e2 = pass.ws.take(n * b, e);
+    nets.gamma2.forward_into(&gin2, mode, &mut pass.t_gamma2, &mut e2);
+    pass.ws.give(gin2);
+
+    // Readout over the flattened embeddings.
+    unstack_nodes(&e2, n, &mut pass.read_in);
+    pass.ws.give(e2);
+    nets.readout.forward_into(&pass.read_in, mode, &mut pass.t_read, &mut pass.y);
+}
+
+/// Stacked backward pass for the forward recorded in `pass` (output gradient
+/// in `pass.dy`). Parameter gradients accumulate into `pass.grads` (prepare
+/// them first); the input gradient lands in `pass.dx` (`B × (n·F)`). The
+/// networks are untouched.
+fn backward_stacked(
+    nets: &GnnNets,
+    graph: &GraphSpec,
+    cfg: &GnnConfig,
+    wts: &NetWts,
+    pass: &mut GnnPass,
+) {
+    let n = graph.num_nodes();
+    let (f, m, e) = (cfg.feature_dim, cfg.msg_dim, cfg.embed_dim);
+    let b = pass.dy.rows();
+
+    // Readout.
+    let mut d_read_in = pass.ws.take(b, n * e);
+    nets.readout.backward_with_wt(
+        &pass.t_read,
+        &pass.dy,
+        &mut pass.grads.readout,
+        &mut pass.ws,
+        &mut d_read_in,
+        &wts.readout,
+    );
+    let mut d_e2 = pass.ws.take(n * b, e);
+    stack_nodes(&d_read_in, 0, b, n, e, &mut d_e2);
+    pass.ws.give(d_read_in);
+
+    // Step 2 backward.
+    let mut d_gin2 = pass.ws.take(n * b, f + m);
+    nets.gamma2.backward_with_wt(
+        &pass.t_gamma2,
+        &d_e2,
+        &mut pass.grads.gamma2,
+        &mut pass.ws,
+        &mut d_gin2,
+        &wts.gamma2,
+    );
+    pass.ws.give(d_e2);
+    copy_cols_window(&d_gin2, 0, f, &mut pass.dx_stacked);
+    let mut d_phi2_out = pass.ws.take(n * b, m);
+    scatter_msg_grads(graph, b, f, &d_gin2, &mut d_phi2_out);
+    pass.ws.give(d_gin2);
+    let mut d_e1 = pass.ws.take(n * b, e);
+    nets.phi2.backward_with_wt(
+        &pass.t_phi2,
+        &d_phi2_out,
+        &mut pass.grads.phi2,
+        &mut pass.ws,
+        &mut d_e1,
+        &wts.phi2,
+    );
+    pass.ws.give(d_phi2_out);
+
+    // Step 1 backward.
+    let mut d_gin1 = pass.ws.take(n * b, f + m);
+    nets.gamma1.backward_with_wt(
+        &pass.t_gamma1,
+        &d_e1,
+        &mut pass.grads.gamma1,
+        &mut pass.ws,
+        &mut d_gin1,
+        &wts.gamma1,
+    );
+    pass.ws.give(d_e1);
+    add_cols_window(&d_gin1, 0, &mut pass.dx_stacked);
+    let mut d_phi1_out = pass.ws.take(n * b, m);
+    scatter_msg_grads(graph, b, f, &d_gin1, &mut d_phi1_out);
+    pass.ws.give(d_gin1);
+    let mut d_x_phi = pass.ws.take(n * b, f);
+    nets.phi1.backward_with_wt(
+        &pass.t_phi1,
+        &d_phi1_out,
+        &mut pass.grads.phi1,
+        &mut pass.ws,
+        &mut d_x_phi,
+        &wts.phi1,
+    );
+    pass.ws.give(d_phi1_out);
+    pass.dx_stacked.add_assign(&d_x_phi);
+    pass.ws.give(d_x_phi);
+
+    unstack_nodes(&pass.dx_stacked, n, &mut pass.dx);
 }
 
 impl MicroserviceGnn {
@@ -76,7 +438,13 @@ impl MicroserviceGnn {
             cfg.dropout,
             rng,
         );
-        Self { graph, cfg, phi1, gamma1, phi2, gamma2, readout }
+        Self {
+            graph,
+            cfg,
+            nets: GnnNets { phi1, gamma1, phi2, gamma2, readout },
+            threads: 1,
+            scratch: RefCell::new(GnnScratch::default()),
+        }
     }
 
     /// The message-passing graph.
@@ -84,139 +452,14 @@ impl MicroserviceGnn {
         &self.graph
     }
 
-    /// Splits a `B × (n·F)` batch into per-node `B × F` matrices.
-    fn split_nodes(&self, x: &Matrix) -> Vec<Matrix> {
-        let n = self.graph.num_nodes();
-        let f = self.cfg.feature_dim;
-        assert_eq!(x.cols(), n * f, "input width must be num_nodes × feature_dim");
-        (0..n).map(|i| x.slice_cols(i * f, (i + 1) * f)).collect()
-    }
-
-    /// One message-passing step: for every node, sum φ(state of parents) and
-    /// run γ on `[x_i ‖ message_i]`.
-    #[allow(clippy::type_complexity)]
-    fn mp_step(
-        &self,
-        phi: &Mlp,
-        gamma: &Mlp,
-        x: &[Matrix],
-        state: &[Matrix],
-        mode: &mut Mode<'_>,
-    ) -> (Vec<Matrix>, Vec<MlpTrace>, Vec<MlpTrace>) {
-        let n = self.graph.num_nodes();
-        let batch = x[0].rows();
-        // φ applied to every node's state once (shared weights).
-        let mut phi_out = Vec::with_capacity(n);
-        let mut phi_traces = Vec::with_capacity(n);
-        for s in state {
-            let (o, t) = phi.forward(s, mode);
-            phi_out.push(o);
-            phi_traces.push(t);
-        }
-        let mut embeds = Vec::with_capacity(n);
-        let mut gamma_traces = Vec::with_capacity(n);
-        for (i, xi) in x.iter().enumerate() {
-            let mut msg = Matrix::zeros(batch, self.cfg.msg_dim);
-            for &p in self.graph.parents(i) {
-                msg.add_assign(&phi_out[p as usize]);
-            }
-            let gin = Matrix::hcat(&[xi, &msg]);
-            let (e, t) = gamma.forward(&gin, mode);
-            embeds.push(e);
-            gamma_traces.push(t);
-        }
-        (embeds, phi_traces, gamma_traces)
-    }
-
-    /// Full forward pass. Returns predictions (`B × 1`) and the trace.
-    pub fn forward(&self, x: &Matrix, mode: &mut Mode<'_>) -> (Matrix, GnnTrace) {
-        let xs = self.split_nodes(x);
-        let (e1, phi1_t, gamma1_t) = self.mp_step(&self.phi1, &self.gamma1, &xs, &xs, mode);
-        let (e2, phi2_t, gamma2_t) = self.mp_step(&self.phi2, &self.gamma2, &xs, &e1, mode);
-        let flat: Vec<&Matrix> = e2.iter().collect();
-        let read_in = Matrix::hcat(&flat);
-        let (y, read_t) = self.readout.forward(&read_in, mode);
-        (
-            y,
-            GnnTrace {
-                phi1: phi1_t,
-                gamma1: gamma1_t,
-                phi2: phi2_t,
-                gamma2: gamma2_t,
-                readout: read_t,
-            },
-        )
-    }
-
-    /// Backward pass: accumulates parameter gradients and returns the
-    /// gradient with respect to the input batch (`B × (n·F)`).
-    pub fn backward(&mut self, trace: &GnnTrace, dy: &Matrix) -> Matrix {
-        let n = self.graph.num_nodes();
-        let f = self.cfg.feature_dim;
-        let e = self.cfg.embed_dim;
-        let batch = dy.rows();
-
-        // Readout.
-        let d_read_in = self.readout.backward(&trace.readout, dy);
-        let mut d_e2: Vec<Matrix> =
-            (0..n).map(|i| d_read_in.slice_cols(i * e, (i + 1) * e)).collect();
-
-        let mut dx: Vec<Matrix> = (0..n).map(|_| Matrix::zeros(batch, f)).collect();
-
-        // Step 2 backward.
-        let mut d_phi2_out: Vec<Matrix> =
-            (0..n).map(|_| Matrix::zeros(batch, self.cfg.msg_dim)).collect();
-        for i in 0..n {
-            let d_gin = self.gamma2.backward(&trace.gamma2[i], &d_e2[i]);
-            dx[i].add_assign(&d_gin.slice_cols(0, f));
-            let d_msg = d_gin.slice_cols(f, f + self.cfg.msg_dim);
-            for &p in self.graph.parents(i) {
-                d_phi2_out[p as usize].add_assign(&d_msg);
-            }
-        }
-        let mut d_e1: Vec<Matrix> = (0..n).map(|_| Matrix::zeros(batch, e)).collect();
-        for j in 0..n {
-            let g = self.phi2.backward(&trace.phi2[j], &d_phi2_out[j]);
-            d_e1[j].add_assign(&g);
-        }
-        // e2 gradients fully consumed.
-        d_e2.clear();
-
-        // Step 1 backward.
-        let mut d_phi1_out: Vec<Matrix> =
-            (0..n).map(|_| Matrix::zeros(batch, self.cfg.msg_dim)).collect();
-        for i in 0..n {
-            let d_gin = self.gamma1.backward(&trace.gamma1[i], &d_e1[i]);
-            dx[i].add_assign(&d_gin.slice_cols(0, f));
-            let d_msg = d_gin.slice_cols(f, f + self.cfg.msg_dim);
-            for &p in self.graph.parents(i) {
-                d_phi1_out[p as usize].add_assign(&d_msg);
-            }
-        }
-        for j in 0..n {
-            // φ1 was applied to the raw features.
-            let g = self.phi1.backward(&trace.phi1[j], &d_phi1_out[j]);
-            dx[j].add_assign(&g);
-        }
-
-        let refs: Vec<&Matrix> = dx.iter().collect();
-        Matrix::hcat(&refs)
-    }
-
     fn all_params(&mut self) -> Vec<&mut graf_nn::Param> {
         let mut v = Vec::new();
-        v.extend(self.phi1.params_mut());
-        v.extend(self.gamma1.params_mut());
-        v.extend(self.phi2.params_mut());
-        v.extend(self.gamma2.params_mut());
-        v.extend(self.readout.params_mut());
+        v.extend(self.nets.phi1.params_mut());
+        v.extend(self.nets.gamma1.params_mut());
+        v.extend(self.nets.phi2.params_mut());
+        v.extend(self.nets.gamma2.params_mut());
+        v.extend(self.nets.readout.params_mut());
         v
-    }
-
-    fn zero_grads(&mut self) {
-        for p in self.all_params() {
-            p.zero_grad();
-        }
     }
 }
 
@@ -230,8 +473,20 @@ impl LatencyNet for MicroserviceGnn {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        let (y, _) = self.forward(x, &mut Mode::Eval);
-        y.data().to_vec()
+        let mut sc = self.scratch.borrow_mut();
+        let sc = &mut *sc;
+        forward_stacked(
+            &self.nets,
+            &self.graph,
+            &self.cfg,
+            x,
+            0,
+            x.rows(),
+            &mut Mode::Eval,
+            &mut sc.eval,
+        );
+        sc.kept_rows = x.rows();
+        sc.eval.y.data().to_vec()
     }
 
     fn train_step(
@@ -243,29 +498,136 @@ impl LatencyNet for MicroserviceGnn {
         rng: &mut DetRng,
     ) -> f64 {
         assert_eq!(x.rows(), y.len(), "batch size mismatch");
-        let (pred, trace) = self.forward(x, &mut Mode::Train(rng));
-        let (l, grad) = loss.batch(pred.data(), y);
-        let dy = Matrix::from_vec(x.rows(), 1, grad);
-        self.backward(&trace, &dy);
+        let b = x.rows();
+        let n_chunks = b.div_ceil(CHUNK_ROWS).max(1);
+        let mut scratch = std::mem::take(self.scratch.get_mut());
+        scratch.kept_rows = 0; // parameters are about to change: kept trace is stale
+        scratch.seeds.clear();
+        for _ in 0..n_chunks {
+            scratch.seeds.push(rng.uniform_u64(0, u64::MAX));
+        }
+        if scratch.chunks.len() < n_chunks {
+            scratch.chunks.resize_with(n_chunks, GnnPass::default);
+        }
+        {
+            let (nets, graph, cfg) = (&self.nets, &self.graph, &self.cfg);
+            let threads = self.threads.clamp(1, n_chunks);
+            let GnnScratch { seeds, chunks, wts, .. } = &mut scratch;
+            wts.refresh(nets);
+            let seeds = &*seeds;
+            let wts = &*wts;
+            let run = |pass: &mut GnnPass, ci: usize| {
+                let r0 = ci * CHUNK_ROWS;
+                let r1 = (r0 + CHUNK_ROWS).min(b);
+                let mut drop_rng = DetRng::new(seeds[ci]);
+                forward_stacked(nets, graph, cfg, x, r0, r1, &mut Mode::Train(&mut drop_rng), pass);
+                // The chunk loss/gradient are means over the chunk; weight by
+                // chunk_size/batch_size so the reduced step equals one full-
+                // batch step.
+                let frac = (r1 - r0) as f64 / b as f64;
+                pass.dy.reshape_zeroed(r1 - r0, 1);
+                let chunk_loss = loss.batch_into(pass.y.data(), &y[r0..r1], pass.dy.data_mut());
+                for g in pass.dy.data_mut() {
+                    *g *= frac;
+                }
+                pass.loss = chunk_loss * frac;
+                pass.grads.prepare(nets);
+                backward_stacked(nets, graph, cfg, wts, pass);
+            };
+            if threads <= 1 {
+                for (ci, pass) in chunks[..n_chunks].iter_mut().enumerate() {
+                    run(pass, ci);
+                }
+            } else {
+                let mut buckets: Vec<Vec<(usize, &mut GnnPass)>> =
+                    (0..threads).map(|_| Vec::new()).collect();
+                for (ci, pass) in chunks[..n_chunks].iter_mut().enumerate() {
+                    buckets[ci % threads].push((ci, pass));
+                }
+                let run = &run;
+                std::thread::scope(|s| {
+                    for bucket in buckets {
+                        s.spawn(move || {
+                            for (ci, pass) in bucket {
+                                run(pass, ci);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        // Ordered reduction: chunk gradients fold into the parameters in
+        // ascending chunk index, so the sum is identical for any thread count.
+        let mut total = 0.0;
+        for pass in &scratch.chunks[..n_chunks] {
+            total += pass.loss;
+            self.nets.phi1.accumulate_grads(&pass.grads.phi1);
+            self.nets.gamma1.accumulate_grads(&pass.grads.gamma1);
+            self.nets.phi2.accumulate_grads(&pass.grads.phi2);
+            self.nets.gamma2.accumulate_grads(&pass.grads.gamma2);
+            self.nets.readout.accumulate_grads(&pass.grads.readout);
+        }
         opt.step(&mut self.all_params());
-        l
+        // Parameters just changed: the transpose cache is stale.
+        scratch.wts.valid = false;
+        *self.scratch.get_mut() = scratch;
+        total
     }
 
     fn grad_input(&mut self, x: &Matrix) -> Matrix {
-        let (y, trace) = self.forward(x, &mut Mode::Eval);
-        let ones = Matrix::from_fn(y.rows(), 1, |_, _| 1.0);
-        let dx = self.backward(&trace, &ones);
-        // grad_input must not perturb training state.
-        self.zero_grads();
-        dx
+        {
+            let sc = self.scratch.get_mut();
+            forward_stacked(
+                &self.nets,
+                &self.graph,
+                &self.cfg,
+                x,
+                0,
+                x.rows(),
+                &mut Mode::Eval,
+                &mut sc.eval,
+            );
+            sc.kept_rows = x.rows();
+        }
+        self.grad_from_kept(x)
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    fn grad_from_kept(&mut self, x: &Matrix) -> Matrix {
+        if self.scratch.get_mut().kept_rows != x.rows() {
+            return self.grad_input(x);
+        }
+        let sc = self.scratch.get_mut();
+        sc.eval.dy.reshape_zeroed(x.rows(), 1);
+        sc.eval.dy.data_mut().fill(1.0);
+        sc.eval.grads.prepare(&self.nets);
+        sc.wts.refresh(&self.nets);
+        // Gradients land in the scratch sinks, never the parameters, so
+        // training state is untouched by construction.
+        backward_stacked(&self.nets, &self.graph, &self.cfg, &sc.wts, &mut sc.eval);
+        sc.eval.dx.clone()
+    }
+
+    fn scratch_stats(&self) -> (u64, u64) {
+        let sc = self.scratch.borrow();
+        let (mut reused, mut allocated) = sc.eval.ws.stats();
+        for c in &sc.chunks {
+            let (r, a) = c.ws.stats();
+            reused += r;
+            allocated += a;
+        }
+        (reused, allocated)
     }
 
     fn num_params(&self) -> usize {
-        self.phi1.num_params()
-            + self.gamma1.num_params()
-            + self.phi2.num_params()
-            + self.gamma2.num_params()
-            + self.readout.num_params()
+        self.nets.phi1.num_params()
+            + self.nets.gamma1.num_params()
+            + self.nets.phi2.num_params()
+            + self.nets.gamma2.num_params()
+            + self.nets.readout.num_params()
     }
 
     fn boxed_clone(&self) -> Box<dyn LatencyNet + Send> {
@@ -287,15 +649,152 @@ mod tests {
         GnnConfig { msg_dim: 6, embed_dim: 6, hidden: 8, readout_hidden: 16, ..Default::default() }
     }
 
+    /// The original per-node formulation, reimplemented over the same MLP
+    /// kernels: φ/γ applied once per node on `B × F` slices, messages summed
+    /// per node, readout on the horizontal concatenation. The stacked path
+    /// must reproduce it bit-for-bit.
+    fn per_node_forward(gnn: &MicroserviceGnn, x: &Matrix) -> (Matrix, Vec<f64>) {
+        let n = gnn.graph.num_nodes();
+        let f = gnn.cfg.feature_dim;
+        let xs: Vec<Matrix> = (0..n).map(|i| x.slice_cols(i * f, (i + 1) * f)).collect();
+        let batch = x.rows();
+        let mp = |phi: &Mlp, gamma: &Mlp, state: &[Matrix]| -> Vec<Matrix> {
+            let phi_out: Vec<Matrix> =
+                state.iter().map(|s| phi.forward(s, &mut Mode::Eval).0).collect();
+            (0..n)
+                .map(|i| {
+                    let mut msg = Matrix::zeros(batch, gnn.cfg.msg_dim);
+                    for &p in gnn.graph.parents(i) {
+                        msg.add_assign(&phi_out[p as usize]);
+                    }
+                    gamma.forward(&Matrix::hcat(&[&xs[i], &msg]), &mut Mode::Eval).0
+                })
+                .collect()
+        };
+        let e1 = mp(&gnn.nets.phi1, &gnn.nets.gamma1, &xs);
+        let e2 = mp(&gnn.nets.phi2, &gnn.nets.gamma2, &e1);
+        let flat: Vec<&Matrix> = e2.iter().collect();
+        let read_in = Matrix::hcat(&flat);
+        let (y, _) = gnn.nets.readout.forward(&read_in, &mut Mode::Eval);
+        let preds = y.data().to_vec();
+        (read_in, preds)
+    }
+
+    /// Per-node backward (the original node-loop), returning the input
+    /// gradient for `dy = 1`.
+    fn per_node_grad_input(gnn: &MicroserviceGnn, x: &Matrix) -> Matrix {
+        let n = gnn.graph.num_nodes();
+        let f = gnn.cfg.feature_dim;
+        let e = gnn.cfg.embed_dim;
+        let m = gnn.cfg.msg_dim;
+        let batch = x.rows();
+        let mut nets = gnn.nets.clone();
+        let xs: Vec<Matrix> = (0..n).map(|i| x.slice_cols(i * f, (i + 1) * f)).collect();
+
+        // Forward with traces.
+        let mut phi1_out = Vec::new();
+        let mut phi1_t = Vec::new();
+        for s in &xs {
+            let (o, t) = nets.phi1.forward(s, &mut Mode::Eval);
+            phi1_out.push(o);
+            phi1_t.push(t);
+        }
+        let mut e1 = Vec::new();
+        let mut gamma1_t = Vec::new();
+        for (i, x) in xs.iter().enumerate() {
+            let mut msg = Matrix::zeros(batch, m);
+            for &p in gnn.graph.parents(i) {
+                msg.add_assign(&phi1_out[p as usize]);
+            }
+            let (o, t) = nets.gamma1.forward(&Matrix::hcat(&[x, &msg]), &mut Mode::Eval);
+            e1.push(o);
+            gamma1_t.push(t);
+        }
+        let mut phi2_out = Vec::new();
+        let mut phi2_t = Vec::new();
+        for s in &e1 {
+            let (o, t) = nets.phi2.forward(s, &mut Mode::Eval);
+            phi2_out.push(o);
+            phi2_t.push(t);
+        }
+        let mut e2 = Vec::new();
+        let mut gamma2_t = Vec::new();
+        for (i, x) in xs.iter().enumerate() {
+            let mut msg = Matrix::zeros(batch, m);
+            for &p in gnn.graph.parents(i) {
+                msg.add_assign(&phi2_out[p as usize]);
+            }
+            let (o, t) = nets.gamma2.forward(&Matrix::hcat(&[x, &msg]), &mut Mode::Eval);
+            e2.push(o);
+            gamma2_t.push(t);
+        }
+        let flat: Vec<&Matrix> = e2.iter().collect();
+        let (_, read_t) = nets.readout.forward(&Matrix::hcat(&flat), &mut Mode::Eval);
+
+        // Backward, mirroring the original node loops.
+        let ones = Matrix::from_fn(batch, 1, |_, _| 1.0);
+        let d_read_in = nets.readout.backward(&read_t, &ones);
+        let d_e2: Vec<Matrix> = (0..n).map(|i| d_read_in.slice_cols(i * e, (i + 1) * e)).collect();
+        let mut dx: Vec<Matrix> = (0..n).map(|_| Matrix::zeros(batch, f)).collect();
+        let mut d_phi2_out: Vec<Matrix> = (0..n).map(|_| Matrix::zeros(batch, m)).collect();
+        for i in 0..n {
+            let d_gin = nets.gamma2.backward(&gamma2_t[i], &d_e2[i]);
+            dx[i].add_assign(&d_gin.slice_cols(0, f));
+            let d_msg = d_gin.slice_cols(f, f + m);
+            for &p in gnn.graph.parents(i) {
+                d_phi2_out[p as usize].add_assign(&d_msg);
+            }
+        }
+        let d_e1: Vec<Matrix> =
+            (0..n).map(|j| nets.phi2.backward(&phi2_t[j], &d_phi2_out[j])).collect();
+        let mut d_phi1_out: Vec<Matrix> = (0..n).map(|_| Matrix::zeros(batch, m)).collect();
+        for i in 0..n {
+            let d_gin = nets.gamma1.backward(&gamma1_t[i], &d_e1[i]);
+            dx[i].add_assign(&d_gin.slice_cols(0, f));
+            let d_msg = d_gin.slice_cols(f, f + m);
+            for &p in gnn.graph.parents(i) {
+                d_phi1_out[p as usize].add_assign(&d_msg);
+            }
+        }
+        for j in 0..n {
+            let g = nets.phi1.backward(&phi1_t[j], &d_phi1_out[j]);
+            dx[j].add_assign(&g);
+        }
+        let refs: Vec<&Matrix> = dx.iter().collect();
+        Matrix::hcat(&refs)
+    }
+
     #[test]
     fn forward_shapes() {
         let mut rng = DetRng::new(1);
         let gnn = MicroserviceGnn::new(chain_graph(4), small_cfg(), &mut rng);
         let x = Matrix::from_fn(5, 8, |r, c| (r + c) as f64 * 0.1);
-        let (y, _) = gnn.forward(&x, &mut Mode::Eval);
-        assert_eq!((y.rows(), y.cols()), (5, 1));
+        let y = gnn.predict(&x);
+        assert_eq!(y.len(), 5);
         assert_eq!(gnn.num_nodes(), 4);
         assert!(gnn.num_params() > 0);
+    }
+
+    #[test]
+    fn stacked_forward_is_bit_identical_to_per_node() {
+        let mut rng = DetRng::new(21);
+        let graph = GraphSpec::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let gnn = MicroserviceGnn::new(graph, small_cfg(), &mut rng);
+        let x = Matrix::from_fn(7, 10, |r, c| 0.13 * (r as f64) - 0.07 * (c as f64) + 0.05);
+        let (_, reference) = per_node_forward(&gnn, &x);
+        let stacked = gnn.predict(&x);
+        assert_eq!(stacked, reference, "stacked predictions are bit-identical");
+    }
+
+    #[test]
+    fn stacked_backward_is_bit_identical_to_per_node() {
+        let mut rng = DetRng::new(22);
+        let graph = GraphSpec::from_edges(6, &[(0, 1), (1, 2), (1, 3), (1, 4), (4, 5), (3, 5)]);
+        let mut gnn = MicroserviceGnn::new(graph, small_cfg(), &mut rng);
+        let x = Matrix::from_fn(4, 12, |r, c| 0.05 * (c as f64) - 0.11 * (r as f64) + 0.02);
+        let reference = per_node_grad_input(&gnn, &x);
+        let stacked = gnn.grad_input(&x);
+        assert_eq!(stacked.data(), reference.data(), "input gradients are bit-identical");
     }
 
     #[test]
@@ -415,6 +914,39 @@ mod tests {
     }
 
     #[test]
+    fn parallel_training_is_thread_count_invariant() {
+        // 160 rows → 3 fixed 64-row chunks (64/64/32), regardless of the
+        // worker count: results must be bit-identical for 1 vs 4 threads.
+        let train = |threads: usize| {
+            let mut rng = DetRng::new(50);
+            let mut gnn = MicroserviceGnn::new(chain_graph(3), small_cfg(), &mut rng);
+            gnn.set_threads(threads);
+            let x = Matrix::from_fn(160, 6, |r, c| ((r * 5 + c) % 11) as f64 * 0.07 - 0.2);
+            let y: Vec<f64> = (0..160).map(|r| 1.0 + (r % 7) as f64 * 0.5).collect();
+            let loss = AsymmetricHuber::default();
+            let mut opt = Adam::new(1e-3);
+            let mut tr = DetRng::new(51);
+            for _ in 0..10 {
+                gnn.train_step(&x, &y, &loss, &mut opt, &mut tr);
+            }
+            gnn.predict(&x)
+        };
+        assert_eq!(train(1), train(4), "serial and parallel training are bit-identical");
+    }
+
+    #[test]
+    fn solver_fast_path_matches_grad_input() {
+        let mut rng = DetRng::new(60);
+        let mut gnn = MicroserviceGnn::new(chain_graph(3), small_cfg(), &mut rng);
+        let x = Matrix::from_fn(1, 6, |_, c| 0.1 * (c as f64) + 0.05);
+        let slow = gnn.grad_input(&x);
+        let pred = gnn.predict(&x); // retains the trace
+        let fast = gnn.grad_from_kept(&x);
+        assert_eq!(slow.data(), fast.data(), "kept-trace gradient matches the fresh one");
+        assert_eq!(pred, gnn.predict(&x), "gradient extraction leaves predictions unchanged");
+    }
+
+    #[test]
     fn grad_input_leaves_params_clean() {
         let mut rng = DetRng::new(7);
         let mut gnn = MicroserviceGnn::new(chain_graph(2), small_cfg(), &mut rng);
@@ -425,5 +957,26 @@ mod tests {
         // run a no-op-ish check that predictions are unchanged by grad_input.
         let after = gnn.predict(&x);
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn scratch_stats_report_reuse_after_warmup() {
+        let mut rng = DetRng::new(70);
+        let mut gnn = MicroserviceGnn::new(chain_graph(3), small_cfg(), &mut rng);
+        let x = Matrix::from_fn(32, 6, |r, c| (r + c) as f64 * 0.03);
+        let y: Vec<f64> = (0..32).map(|r| 1.0 + r as f64 * 0.1).collect();
+        let loss = AsymmetricHuber::default();
+        let mut opt = Adam::new(1e-3);
+        let mut tr = DetRng::new(71);
+        for _ in 0..3 {
+            gnn.train_step(&x, &y, &loss, &mut opt, &mut tr);
+        }
+        let (_, allocated_warm) = gnn.scratch_stats();
+        for _ in 0..5 {
+            gnn.train_step(&x, &y, &loss, &mut opt, &mut tr);
+        }
+        let (reused, allocated) = gnn.scratch_stats();
+        assert_eq!(allocated, allocated_warm, "steady-state training allocates no scratch");
+        assert!(reused > 0, "warm buffers are reused");
     }
 }

@@ -40,6 +40,32 @@ pub trait LatencyNet {
     /// chains with its own loss to walk quotas downhill (§3.5).
     fn grad_input(&mut self, x: &Matrix) -> Matrix;
 
+    /// Sets the worker-thread count used by [`LatencyNet::train_step`].
+    /// Implementations without a parallel path ignore it.
+    fn set_threads(&mut self, _threads: usize) {}
+
+    /// Eval-mode prediction that retains the forward trace so a following
+    /// [`LatencyNet::grad_from_kept`] can reuse it (the solver's fused
+    /// forward+backward fast path, §3.5). Default: plain [`predict`].
+    ///
+    /// [`predict`]: LatencyNet::predict
+    fn predict_keep(&mut self, x: &Matrix) -> Vec<f64> {
+        self.predict(x)
+    }
+
+    /// Input gradient reusing the trace retained by the immediately preceding
+    /// [`LatencyNet::predict_keep`] call on the same batch `x`. Default: a
+    /// fresh [`LatencyNet::grad_input`] (correct but re-runs the forward).
+    fn grad_from_kept(&mut self, x: &Matrix) -> Matrix {
+        self.grad_input(x)
+    }
+
+    /// `(reused, allocated)` scratch-buffer counts since construction, for
+    /// telemetry (allocation-avoidance counters). Default: zeros.
+    fn scratch_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
     /// Total scalar parameter count.
     fn num_params(&self) -> usize;
 

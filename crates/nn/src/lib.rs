@@ -20,6 +20,11 @@
 //! Backward passes also expose gradients **with respect to inputs**, which is
 //! the mechanism the configuration solver uses to differentiate predicted
 //! latency with respect to CPU quotas.
+//!
+//! The training/solver hot loops run on the allocation-free kernel layer:
+//! `Matrix`'s `*_into`/`*_acc` kernels, the [`Workspace`] scratch pool, and
+//! the [`mlp::MlpGrads`] external gradient sink (see `Mlp::forward_into` /
+//! `Mlp::backward_with`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,9 +34,11 @@ pub mod matrix;
 pub mod mlp;
 pub mod optim;
 pub mod param;
+pub mod workspace;
 
 pub use loss::AsymmetricHuber;
 pub use matrix::Matrix;
-pub use mlp::{Mlp, MlpTrace, Mode};
+pub use mlp::{Mlp, MlpGrads, MlpTrace, Mode};
 pub use optim::Adam;
 pub use param::Param;
+pub use workspace::Workspace;

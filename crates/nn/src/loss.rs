@@ -62,21 +62,27 @@ impl AsymmetricHuber {
     ///
     /// Labels must be positive (latencies are).
     pub fn batch(&self, pred: &[f64], label: &[f64]) -> (f64, Vec<f64>) {
+        let mut grad = vec![0.0; pred.len()];
+        let loss = self.batch_into(pred, label, &mut grad);
+        (loss, grad)
+    }
+
+    /// Like [`AsymmetricHuber::batch`], but writes the gradient into a
+    /// caller-provided buffer (same length as `pred`) instead of
+    /// allocating — the hot-loop variant.
+    pub fn batch_into(&self, pred: &[f64], label: &[f64], grad: &mut [f64]) -> f64 {
         assert_eq!(pred.len(), label.len());
+        assert_eq!(pred.len(), grad.len());
         let n = pred.len().max(1) as f64;
         let mut total = 0.0;
-        let grad = pred
-            .iter()
-            .zip(label)
-            .map(|(&p, &y)| {
-                let y = y.max(1e-9);
-                let x = (y - p) / y;
-                let (l, dldx) = self.at(x);
-                total += l;
-                dldx * (-1.0 / y) / n
-            })
-            .collect();
-        (total / n, grad)
+        for ((g, &p), &y) in grad.iter_mut().zip(pred).zip(label) {
+            let y = y.max(1e-9);
+            let x = (y - p) / y;
+            let (l, dldx) = self.at(x);
+            total += l;
+            *g = dldx * (-1.0 / y) / n;
+        }
+        total / n
     }
 }
 

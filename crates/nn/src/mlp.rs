@@ -5,11 +5,20 @@
 //! This lets the GNN apply the same network to every node of a graph (message
 //! passing shares φ/γ across nodes) and back-propagate each application,
 //! accumulating parameter gradients.
+//!
+//! The hot-loop entry points are the allocation-free pair
+//! [`Mlp::forward_into`] / [`Mlp::backward_with`]: the trace stores only the
+//! per-layer *inputs* (layer `i`'s post-activation output doubles as layer
+//! `i+1`'s input, and the ReLU gate is recovered from the sign of that
+//! output) plus the dropout masks, every buffer is reshaped in place, and
+//! gradients land in an external [`MlpGrads`] sink so the network itself can
+//! be shared immutably across training workers.
 
 use graf_sim::rng::DetRng;
 
 use crate::matrix::Matrix;
 use crate::param::Param;
+use crate::workspace::Workspace;
 
 /// Forward-pass mode.
 pub enum Mode<'a> {
@@ -19,21 +28,50 @@ pub enum Mode<'a> {
     Eval,
 }
 
-/// One hidden/output layer's cached forward state.
-#[derive(Debug)]
-struct LayerTrace {
-    /// Layer input.
-    input: Matrix,
-    /// Pre-activation output (after affine, before ReLU).
-    pre: Matrix,
-    /// Dropout keep-mask scaled by 1/keep (inverted dropout), if applied.
-    dropout: Option<Matrix>,
+/// Captured forward state of one MLP application.
+///
+/// `inputs[i]` is the input to layer `i`; for `i ≥ 1` it is also layer
+/// `i-1`'s post-activation (post-dropout) output, which is all `backward`
+/// needs: the ReLU gate is `inputs[i+1] > 0` (dropout-zeroed positions get a
+/// zero gate, but their gradient is already zeroed by the mask). No
+/// pre-activation copy is stored.
+#[derive(Clone, Debug, Default)]
+pub struct MlpTrace {
+    inputs: Vec<Matrix>,
+    dropout: Vec<Option<Matrix>>,
 }
 
-/// Captured forward state of one MLP application.
-#[derive(Debug)]
-pub struct MlpTrace {
-    layers: Vec<LayerTrace>,
+/// External gradient sink for [`Mlp::backward_with`].
+///
+/// Keeping gradients out of the network lets several workers back-propagate
+/// through one shared `&Mlp` concurrently, each into its own `MlpGrads`,
+/// with a deterministic ordered reduction afterwards.
+#[derive(Clone, Debug, Default)]
+pub struct MlpGrads {
+    weights: Vec<Matrix>,
+    biases: Vec<Matrix>,
+}
+
+impl MlpGrads {
+    /// Gradient buffers shaped for `mlp`, zero-filled.
+    pub fn zeroed_for(mlp: &Mlp) -> Self {
+        let mut g = Self::default();
+        g.prepare(mlp);
+        g
+    }
+
+    /// Reshapes the buffers to match `mlp`'s parameters (reusing
+    /// allocations) and zeroes every entry.
+    pub fn prepare(&mut self, mlp: &Mlp) {
+        self.weights.resize_with(mlp.weights.len(), Matrix::default);
+        self.biases.resize_with(mlp.biases.len(), Matrix::default);
+        for (g, p) in self.weights.iter_mut().zip(&mlp.weights) {
+            g.reshape_zeroed(p.value.rows(), p.value.cols());
+        }
+        for (g, p) in self.biases.iter_mut().zip(&mlp.biases) {
+            g.reshape_zeroed(1, p.value.cols());
+        }
+    }
 }
 
 /// A fully connected network: affine layers with ReLU on all but the last,
@@ -85,66 +123,202 @@ impl Mlp {
             + self.biases.iter().map(Param::len).sum::<usize>()
     }
 
+    /// Applies the network to a batch `x` (`B × input_dim`), writing the
+    /// output (`B × output_dim`) into `out` and the forward state into
+    /// `trace`, both reshaped in place. Steady-state calls with a reused
+    /// trace/output do not allocate.
+    pub fn forward_into(
+        &self,
+        x: &Matrix,
+        mode: &mut Mode<'_>,
+        trace: &mut MlpTrace,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(x.cols(), self.input_dim(), "input width mismatch");
+        let l = self.weights.len();
+        let last = l - 1;
+        trace.inputs.resize_with(l, Matrix::default);
+        trace.dropout.resize_with(l, || None);
+        trace.inputs[0].copy_from(x);
+        for i in 0..last {
+            let (head, tail) = trace.inputs.split_at_mut(i + 1);
+            let (src, dst) = (&head[i], &mut tail[0]);
+            src.affine_relu_into(&self.weights[i].value, &self.biases[i].value, dst);
+            let mut masked = false;
+            if self.dropout_p > 0.0 {
+                if let Mode::Train(rng) = mode {
+                    let keep = 1.0 - self.dropout_p;
+                    let inv_keep = 1.0 / keep;
+                    let mut mask = trace.dropout[i].take().unwrap_or_default();
+                    mask.reshape_for_overwrite(dst.rows(), dst.cols());
+                    // Generate and apply the mask in one fused pass. The keep
+                    // test compares the draw's 53 significand bits against an
+                    // integer threshold — decision-for-decision identical to
+                    // `rng.unit() < keep` (pinned by a DetRng test) while
+                    // skipping unit()'s int→float conversion per activation.
+                    let thresh = (keep * (1u64 << 53) as f64).ceil() as u64;
+                    for (mv, dv) in mask.data_mut().iter_mut().zip(dst.data_mut()) {
+                        let k = if rng.bits64() >> 11 < thresh { inv_keep } else { 0.0 };
+                        *mv = k;
+                        *dv *= k;
+                    }
+                    trace.dropout[i] = Some(mask);
+                    masked = true;
+                }
+            }
+            if !masked {
+                trace.dropout[i] = None;
+            }
+        }
+        trace.inputs[last].affine_into(&self.weights[last].value, &self.biases[last].value, out);
+    }
+
     /// Applies the network to a batch `x` (`B × input_dim`).
     ///
     /// Returns the output (`B × output_dim`) and the trace for `backward`.
+    /// Allocating convenience wrapper over [`Mlp::forward_into`].
     pub fn forward(&self, x: &Matrix, mode: &mut Mode<'_>) -> (Matrix, MlpTrace) {
-        assert_eq!(x.cols(), self.input_dim(), "input width mismatch");
-        let mut layers = Vec::with_capacity(self.weights.len());
-        let mut cur = x.clone();
-        let last = self.weights.len() - 1;
-        for (i, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
-            let pre = cur.matmul(&w.value).add_row_broadcast(&b.value);
-            let mut out = if i < last { pre.map(|v| v.max(0.0)) } else { pre.clone() };
-            let dropout = if i < last && self.dropout_p > 0.0 {
-                match mode {
-                    Mode::Train(rng) => {
-                        let keep = 1.0 - self.dropout_p;
-                        let mask = Matrix::from_fn(out.rows(), out.cols(), |_, _| {
-                            if rng.unit() < keep {
-                                1.0 / keep
-                            } else {
-                                0.0
-                            }
-                        });
-                        out = out.hadamard(&mask);
-                        Some(mask)
-                    }
-                    Mode::Eval => None,
-                }
-            } else {
-                None
-            };
-            layers.push(LayerTrace { input: cur, pre, dropout });
-            cur = out;
+        let mut trace = MlpTrace::default();
+        let mut out = Matrix::default();
+        self.forward_into(x, mode, &mut trace, &mut out);
+        (out, trace)
+    }
+
+    /// Writes each layer's transposed weight matrix into `out` (reusing
+    /// allocations). Feed the result to [`Mlp::backward_with_wt`] to share
+    /// one set of transposes across every backward pass between two
+    /// parameter updates instead of re-materialising them per call.
+    pub fn transpose_weights_into(&self, out: &mut Vec<Matrix>) {
+        out.resize_with(self.weights.len(), Matrix::default);
+        for (t, p) in out.iter_mut().zip(&self.weights) {
+            p.value.transpose_into(t);
         }
-        (cur, MlpTrace { layers })
     }
 
     /// Back-propagates `grad_out` (`B × output_dim`) through the traced
-    /// application. Parameter gradients accumulate into the params; the
-    /// gradient with respect to the input batch is returned.
-    pub fn backward(&mut self, trace: &MlpTrace, grad_out: &Matrix) -> Matrix {
-        assert_eq!(trace.layers.len(), self.weights.len(), "trace/network mismatch");
-        let last = self.weights.len() - 1;
-        let mut grad = grad_out.clone();
-        for i in (0..self.weights.len()).rev() {
-            let lt = &trace.layers[i];
+    /// application without touching the network: parameter gradients
+    /// *accumulate* into `grads` (shape them with [`MlpGrads::prepare`]),
+    /// scratch comes from `ws`, and the input-batch gradient lands in `dx`.
+    /// Steady-state calls with a warm workspace do not allocate.
+    pub fn backward_with(
+        &self,
+        trace: &MlpTrace,
+        grad_out: &Matrix,
+        grads: &mut MlpGrads,
+        ws: &mut Workspace,
+        dx: &mut Matrix,
+    ) {
+        self.backward_impl(trace, grad_out, grads, ws, dx, None);
+    }
+
+    /// [`Mlp::backward_with`] with caller-provided weight transposes (from
+    /// [`Mlp::transpose_weights_into`]), for hot loops that run many backward
+    /// passes against frozen parameters.
+    pub fn backward_with_wt(
+        &self,
+        trace: &MlpTrace,
+        grad_out: &Matrix,
+        grads: &mut MlpGrads,
+        ws: &mut Workspace,
+        dx: &mut Matrix,
+        wts: &[Matrix],
+    ) {
+        assert_eq!(wts.len(), self.weights.len(), "transpose cache/network mismatch");
+        self.backward_impl(trace, grad_out, grads, ws, dx, Some(wts));
+    }
+
+    fn backward_impl(
+        &self,
+        trace: &MlpTrace,
+        grad_out: &Matrix,
+        grads: &mut MlpGrads,
+        ws: &mut Workspace,
+        dx: &mut Matrix,
+        wts: Option<&[Matrix]>,
+    ) {
+        let l = self.weights.len();
+        assert_eq!(trace.inputs.len(), l, "trace/network mismatch");
+        assert_eq!(grads.weights.len(), l, "grads/network mismatch");
+        let last = l - 1;
+        let mut g = ws.take(grad_out.rows(), grad_out.cols());
+        g.copy_from(grad_out);
+        for i in (0..l).rev() {
             if i < last {
-                if let Some(mask) = &lt.dropout {
-                    grad = grad.hadamard(mask);
+                // ReLU gate from the sign of the stored post-activation,
+                // fused with the dropout mask in a single pass over `g`.
+                if let Some(mask) = &trace.dropout[i] {
+                    let it = g
+                        .data_mut()
+                        .iter_mut()
+                        .zip(trace.inputs[i + 1].data().iter().zip(mask.data()));
+                    for (gv, (&av, &mv)) in it {
+                        *gv = if av <= 0.0 { 0.0 } else { *gv * mv };
+                    }
+                } else {
+                    for (gv, &av) in g.data_mut().iter_mut().zip(trace.inputs[i + 1].data()) {
+                        if av <= 0.0 {
+                            *gv = 0.0;
+                        }
+                    }
                 }
-                // ReLU gate on the pre-activation.
-                let gate = lt.pre.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-                grad = grad.hadamard(&gate);
             }
-            let gw = lt.input.transpose().matmul(&grad);
-            let gb = grad.sum_rows();
-            self.weights[i].accumulate(&gw);
-            self.biases[i].accumulate(&gb);
-            grad = grad.matmul(&self.weights[i].value.transpose());
+            // dW += xᵀ × g. Materialising the (small) transposes routes both
+            // gradient products through the tiled, sparsity-skipping matmul
+            // kernel instead of rank-1 sweeps over the whole output.
+            let x = &trace.inputs[i];
+            let mut xt = ws.take(x.cols(), x.rows());
+            x.transpose_into(&mut xt);
+            xt.matmul_acc(&g, &mut grads.weights[i]);
+            ws.give(xt);
+            g.sum_rows_acc(&mut grads.biases[i]);
+            // dx = g × Wᵀ — the gated `g` is far sparser than the weights.
+            let w = &self.weights[i].value;
+            let mut wt_scratch: Option<Matrix> = None;
+            let wt: &Matrix = match wts {
+                Some(ts) => &ts[i],
+                None => {
+                    let mut t = ws.take(w.cols(), w.rows());
+                    w.transpose_into(&mut t);
+                    &*wt_scratch.insert(t)
+                }
+            };
+            if i > 0 {
+                let mut gp = ws.take(g.rows(), w.rows());
+                g.matmul_into(wt, &mut gp);
+                std::mem::swap(&mut g, &mut gp);
+                ws.give(gp);
+            } else {
+                g.matmul_into(wt, dx);
+            }
+            if let Some(t) = wt_scratch {
+                ws.give(t);
+            }
         }
-        grad
+        ws.give(g);
+    }
+
+    /// Back-propagates `grad_out` through the traced application,
+    /// accumulating parameter gradients into the params and returning the
+    /// input-batch gradient (allocating wrapper over
+    /// [`Mlp::backward_with`]).
+    pub fn backward(&mut self, trace: &MlpTrace, grad_out: &Matrix) -> Matrix {
+        let mut grads = MlpGrads::zeroed_for(self);
+        let mut ws = Workspace::new();
+        let mut dx = Matrix::default();
+        self.backward_with(trace, grad_out, &mut grads, &mut ws, &mut dx);
+        self.accumulate_grads(&grads);
+        dx
+    }
+
+    /// Adds an external gradient sink into the params' own gradients (the
+    /// ordered-reduction step of data-parallel training).
+    pub fn accumulate_grads(&mut self, grads: &MlpGrads) {
+        for (p, g) in self.weights.iter_mut().zip(&grads.weights) {
+            p.accumulate(g);
+        }
+        for (p, g) in self.biases.iter_mut().zip(&grads.biases) {
+            p.accumulate(g);
+        }
     }
 
     /// Mutable references to every parameter, for the optimizer.
@@ -215,6 +389,54 @@ mod tests {
     fn gradients_match_finite_differences() {
         finite_diff_check(&[2, 20, 20, 1], 5);
         finite_diff_check(&[4, 8, 3], 6);
+    }
+
+    #[test]
+    fn reused_trace_and_workspace_do_not_allocate_in_steady_state() {
+        let mut rng = DetRng::new(42);
+        let mlp = Mlp::new(&[4, 16, 16, 1], 0.25, &mut rng);
+        let x = Matrix::from_fn(8, 4, |r, c| 0.1 * (r as f64) - 0.05 * (c as f64));
+        let mut drop_rng = DetRng::new(1);
+        let mut trace = MlpTrace::default();
+        let mut out = Matrix::default();
+        let mut grads = MlpGrads::zeroed_for(&mlp);
+        let mut ws = Workspace::new();
+        let mut dx = Matrix::default();
+        let dy = Matrix::from_fn(8, 1, |_, _| 1.0);
+        // Warm up, then confirm the workspace serves takes from its pool.
+        for _ in 0..3 {
+            mlp.forward_into(&x, &mut Mode::Train(&mut drop_rng), &mut trace, &mut out);
+            grads.prepare(&mlp);
+            mlp.backward_with(&trace, &dy, &mut grads, &mut ws, &mut dx);
+        }
+        let (_, allocated_warm) = ws.stats();
+        for _ in 0..5 {
+            mlp.forward_into(&x, &mut Mode::Train(&mut drop_rng), &mut trace, &mut out);
+            grads.prepare(&mlp);
+            mlp.backward_with(&trace, &dy, &mut grads, &mut ws, &mut dx);
+        }
+        let (reused, allocated) = ws.stats();
+        assert_eq!(allocated, allocated_warm, "steady state never allocates scratch");
+        assert!(reused >= 5 * 3, "takes are served from the pool ({reused} reuses)");
+    }
+
+    #[test]
+    fn backward_with_matches_backward() {
+        let mut rng = DetRng::new(13);
+        let mut mlp = Mlp::new(&[3, 12, 12, 2], 0.0, &mut rng);
+        let x = Matrix::from_fn(5, 3, |r, c| (r as f64 - 2.0) * 0.3 + c as f64 * 0.1);
+        let dy = Matrix::from_fn(5, 2, |r, c| if (r + c) % 2 == 0 { 1.0 } else { -0.5 });
+        let (_, trace) = mlp.forward(&x, &mut Mode::Eval);
+        let dx_old = mlp.backward(&trace, &dy);
+        let expected: Vec<Matrix> = mlp.weights.iter().map(|p| p.grad.clone()).collect();
+        let mut grads = MlpGrads::zeroed_for(&mlp);
+        let mut ws = Workspace::new();
+        let mut dx_new = Matrix::default();
+        mlp.backward_with(&trace, &dy, &mut grads, &mut ws, &mut dx_new);
+        assert_eq!(dx_old.data(), dx_new.data(), "input gradients bit-identical");
+        for (e, g) in expected.iter().zip(&grads.weights) {
+            assert_eq!(e.data(), g.data(), "weight gradients bit-identical");
+        }
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! The Adam optimizer (Kingma & Ba, 2014), as used by the paper for both
 //! model training and the configuration solver (§3.5, reference [45]).
 
-use crate::matrix::Matrix;
 use crate::param::Param;
 
 /// Adam with bias correction.
@@ -26,22 +25,30 @@ impl Adam {
 
     /// Steps every parameter against its accumulated gradient, then zeroes
     /// the gradients.
+    ///
+    /// One fused pass per parameter tensor — moments, bias-corrected update,
+    /// and gradient reset happen in place, with no temporaries.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for p in params.iter_mut() {
-            let g = p.grad.clone();
-            p.m = p.m.scale(self.beta1).add(&g.scale(1.0 - self.beta1));
-            p.v = p.v.scale(self.beta2).add(&g.hadamard(&g).scale(1.0 - self.beta2));
-            let mut step = Matrix::zeros(g.rows(), g.cols());
-            for i in 0..g.rows() * g.cols() {
-                let mhat = p.m.data()[i] / bc1;
-                let vhat = p.v.data()[i] / bc2;
-                step.data_mut()[i] = -self.lr * mhat / (vhat.sqrt() + self.eps);
+            let p = &mut **p;
+            let it = p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data_mut())
+                .zip(p.m.data_mut().iter_mut().zip(p.v.data_mut()));
+            for ((value, grad), (m, v)) in it {
+                let g = *grad;
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * (g * g);
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                *value += -self.lr * mhat / (vhat.sqrt() + self.eps);
+                *grad = 0.0;
             }
-            p.value.add_assign(&step);
-            p.zero_grad();
         }
     }
 
@@ -54,6 +61,7 @@ impl Adam {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::Matrix;
 
     /// Minimizes f(x) = (x - 3)² from x = 0; Adam must converge to 3.
     #[test]

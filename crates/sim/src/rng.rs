@@ -48,6 +48,12 @@ impl DetRng {
         self.inner.gen::<f64>()
     }
 
+    /// 64 uniform random bits — the cheapest draw, for consumers that batch
+    /// many coarse Bernoulli trials (e.g. dropout masks) out of one call.
+    pub fn bits64(&mut self) -> u64 {
+        self.inner.gen::<u64>()
+    }
+
     /// Uniform in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         debug_assert!(hi >= lo);
@@ -151,6 +157,22 @@ mod tests {
             assert!((2.0..3.0).contains(&v));
             let u = r.uniform_u64(5, 9);
             assert!((5..=9).contains(&u));
+        }
+    }
+
+    /// Dropout masks decide `keep` via `(bits64() >> 11) < ceil(p·2⁵³)` as a
+    /// conversion-free version of `unit() < p`; the two must agree draw for
+    /// draw (unit() is the top 53 bits of one 64-bit draw, scaled by 2⁻⁵³,
+    /// and scaling `p` by the power of two 2⁵³ is exact).
+    #[test]
+    fn bits64_high_bits_match_unit_decisions() {
+        for &p in &[0.75, 0.5, 0.9, 1.0 / 3.0, 0.123456, 0.999] {
+            let mut a = DetRng::new(99);
+            let mut b = a.clone();
+            let thresh = (p * (1u64 << 53) as f64).ceil() as u64;
+            for _ in 0..4000 {
+                assert_eq!(a.unit() < p, b.bits64() >> 11 < thresh, "p={p}");
+            }
         }
     }
 

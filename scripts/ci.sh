@@ -15,4 +15,10 @@ cargo fmt --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo bench --no-run =="
+cargo bench --no-run
+
+echo "== bench smoke =="
+scripts/bench.sh --smoke
+
 echo "CI OK"

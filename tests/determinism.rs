@@ -51,6 +51,71 @@ fn different_seed_different_trajectory() {
     assert_ne!(a.2, c.2, "different seeds explore different randomness");
 }
 
+/// Data-parallel training is thread-count invariant: a [`LatencyModel`]
+/// trained with one worker and one trained with three produce bit-identical
+/// learning curves, parameters (via predictions), and solver gradients —
+/// mini-batches are sharded over fixed chunks with an index-ordered gradient
+/// reduction, so the thread count never touches the numerics.
+#[test]
+fn parallel_training_matches_serial_bit_for_bit() {
+    use graf::core::{FeatureScaler, LatencyModel, NetKind, Sample, TrainConfig};
+    use graf::sim::rng::DetRng;
+
+    fn synthetic_samples(n: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = DetRng::new(seed);
+        let works = [1.0, 3.0, 2.0];
+        (0..n)
+            .map(|_| {
+                let w = rng.uniform(20.0, 120.0);
+                let quotas: Vec<f64> = (0..3).map(|_| rng.uniform(200.0, 2000.0)).collect();
+                let mut p99 = 3.0;
+                for i in 0..3 {
+                    let head = (quotas[i] - w * works[i]).max(20.0);
+                    p99 += 1000.0 * works[i] / head + works[i];
+                }
+                Sample {
+                    api_rates: vec![w],
+                    workloads: vec![w, w, w],
+                    quotas_mc: quotas,
+                    p99_ms: p99 * rng.lognormal_mean_cv(1.0, 0.08),
+                }
+            })
+            .collect()
+    }
+
+    fn train_with(threads: usize) -> (graf::core::TrainReport, Vec<f64>, Vec<f64>) {
+        let samples = synthetic_samples(400, 21);
+        let scaler = FeatureScaler::fit(
+            samples.iter().map(|s| (s.workloads.as_slice(), s.quotas_mc.as_slice())),
+        );
+        let ds = LatencyModel::dataset_from_samples(&scaler, &samples);
+        let split = ds.split(0.7, 0.15, 3);
+        let mut model = LatencyModel::new(
+            NetKind::Gnn,
+            &[(0, 1), (1, 2)],
+            3,
+            scaler,
+            split.train.label_mean().max(1e-9),
+            11,
+        );
+        let cfg = TrainConfig { epochs: 12, evals: 4, threads, ..Default::default() };
+        let report = model.train(&split, &cfg);
+        let w = [60.0, 60.0, 60.0];
+        let q = [700.0, 900.0, 800.0];
+        let preds = vec![model.predict_ms(&w, &q), model.predict_ms(&[90.0; 3], &[500.0; 3])];
+        let grads = model.grad_quota(&w, &q);
+        (report, preds, grads)
+    }
+
+    let serial = train_with(1);
+    let parallel = train_with(3);
+    assert_eq!(serial.0.train_loss, parallel.0.train_loss, "training losses bit-identical");
+    assert_eq!(serial.0.val_loss, parallel.0.val_loss, "validation losses bit-identical");
+    assert_eq!(serial.0.best_iter, parallel.0.best_iter, "same best checkpoint");
+    assert_eq!(serial.1, parallel.1, "predictions bit-identical");
+    assert_eq!(serial.2, parallel.2, "quota gradients bit-identical");
+}
+
 /// End-to-end GRAF pipeline (build → controller-driven experiment) with
 /// telemetry enabled vs disabled: decisions and measurements must be
 /// bit-identical — the obs layer observes, it never perturbs.
