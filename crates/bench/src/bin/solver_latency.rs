@@ -38,23 +38,25 @@ fn main() {
         wall.record(t0.elapsed().as_secs_f64() * 1000.0);
         iters.record(res.iterations as f64);
     }
+    // Summaries are non-empty: the loop above recorded `solves` samples.
+    let full = "summary holds one sample per solve";
     println!("\n{solves} solves across workloads 0.3–1.5× the operating point:");
     println!(
         "wall time  — p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
-        wall.percentile(0.50).unwrap(),
-        wall.percentile(0.90).unwrap(),
-        wall.percentile(0.99).unwrap(),
-        wall.max().unwrap()
+        wall.percentile(0.50).expect(full),
+        wall.percentile(0.90).expect(full),
+        wall.percentile(0.99).expect(full),
+        wall.max().expect(full)
     );
     println!(
         "iterations — p50 {:.0}, p90 {:.0}, max {:.0}",
-        iters.percentile(0.50).unwrap(),
-        iters.percentile(0.90).unwrap(),
-        iters.max().unwrap()
+        iters.percentile(0.50).expect(full),
+        iters.percentile(0.90).expect(full),
+        iters.max().expect(full)
     );
     let interval_ms = 15_000.0;
     println!(
         "\nworst solve uses {:.4}% of the 15 s control interval (paper: ~45%)",
-        100.0 * wall.max().unwrap() / interval_ms
+        100.0 * wall.max().expect(full) / interval_ms
     );
 }

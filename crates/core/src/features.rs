@@ -37,13 +37,25 @@ impl FeatureScaler {
     /// # Panics
     /// Panics if the slices have different lengths.
     pub fn features(&self, workloads: &[f64], quotas: &[f64]) -> Vec<f64> {
-        assert_eq!(workloads.len(), quotas.len(), "one workload and quota per service");
         let mut out = Vec::with_capacity(workloads.len() * 2);
+        self.features_into(workloads, quotas, &mut out);
+        out
+    }
+
+    /// [`FeatureScaler::features`] writing into `out` (cleared and refilled;
+    /// once warm the capacity is reused, so repeated calls do not allocate —
+    /// the solver-iteration hot path).
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn features_into(&self, workloads: &[f64], quotas: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(workloads.len(), quotas.len(), "one workload and quota per service");
+        out.clear();
+        out.reserve(workloads.len() * 2);
         for (&l, &r) in workloads.iter().zip(quotas) {
             out.push(l / self.workload_div);
             out.push(r / self.quota_div);
         }
-        out
     }
 
     /// Scaled value of a single quota.

@@ -85,6 +85,17 @@ pub struct TrainReport {
     pub best_iter: usize,
 }
 
+/// Reusable buffers for the solver fast path: feature row, input matrix,
+/// prediction, and input gradient. Warm after one call; reuse makes
+/// [`LatencyModel::predict_ms_with_grad`] allocation-free in steady state.
+#[derive(Default)]
+struct SolveScratch {
+    feat: Vec<f64>,
+    x: Matrix,
+    pred: Vec<f64>,
+    dx: Matrix,
+}
+
 /// The trained model plus the scaling that maps between physical units and
 /// network space.
 pub struct LatencyModel {
@@ -93,11 +104,17 @@ pub struct LatencyModel {
     pub scaler: FeatureScaler,
     /// Labels are trained as `y / label_scale`.
     pub label_scale: f64,
+    scratch: SolveScratch,
 }
 
 impl Clone for LatencyModel {
     fn clone(&self) -> Self {
-        Self { net: self.net.boxed_clone(), scaler: self.scaler, label_scale: self.label_scale }
+        Self {
+            net: self.net.boxed_clone(),
+            scaler: self.scaler,
+            label_scale: self.label_scale,
+            scratch: SolveScratch::default(),
+        }
     }
 }
 
@@ -128,7 +145,7 @@ impl LatencyModel {
             )),
         };
         assert!(label_scale > 0.0, "label scale must be positive");
-        Self { net, scaler, label_scale }
+        Self { net, scaler, label_scale, scratch: SolveScratch::default() }
     }
 
     /// Number of services the model covers.
@@ -289,18 +306,22 @@ impl LatencyModel {
         grad_if_above_ms: f64,
         grad_out: &mut Vec<f64>,
     ) -> (f64, bool) {
-        let row = self.scaler.features(workloads, quotas_mc);
-        let x = Matrix::row_vector(row);
-        let pred = self.net.predict_keep(&x)[0] * self.label_scale;
+        let n = workloads.len();
+        self.scaler.features_into(workloads, quotas_mc, &mut self.scratch.feat);
+        self.scratch.x.reshape_for_overwrite(1, n * 2);
+        self.scratch.x.data_mut().copy_from_slice(&self.scratch.feat);
+        self.net.predict_keep_into(&self.scratch.x, &mut self.scratch.pred);
+        let pred = self.scratch.pred[0] * self.label_scale;
         if pred <= grad_if_above_ms {
             return (pred, false);
         }
-        let g = self.net.grad_from_kept(&x);
+        self.net.grad_from_kept_into(&self.scratch.x, &mut self.scratch.dx);
         grad_out.clear();
-        grad_out.extend(
-            (0..workloads.len())
-                .map(|i| self.label_scale * g.get(0, 2 * i + 1) / self.scaler.quota_div),
-        );
+        grad_out.reserve(n);
+        for i in 0..n {
+            let g = self.scratch.dx.get(0, 2 * i + 1);
+            grad_out.push(self.label_scale * g / self.scaler.quota_div);
+        }
         (pred, true)
     }
 

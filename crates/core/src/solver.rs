@@ -84,10 +84,13 @@ pub fn solve_observed(
     assert_eq!(n, bounds.lower.len());
     assert!(slo_ms > 0.0);
 
+    // graf-lint: allow(hot-alloc, one-time setup before the descent loop)
     let lo: Vec<f64> = bounds.lower.iter().map(|&v| model.scaler.scale_quota(v)).collect();
+    // graf-lint: allow(hot-alloc, one-time setup before the descent loop)
     let hi: Vec<f64> = bounds.upper.iter().map(|&v| model.scaler.scale_quota(v)).collect();
 
     // Variables: scaled quotas, starting from the feasible top of the box.
+    // graf-lint: allow(hot-alloc, one-time setup before the descent loop)
     let mut r = Param::new(Matrix::row_vector(hi.clone()));
     let mut opt = Adam::new(cfg.lr);
 
@@ -97,7 +100,9 @@ pub fn solve_observed(
     // Per-iteration buffers hoisted out of the descent loop; each pass is one
     // fused forward through the model, plus a backward only when the SLO
     // penalty is active (reusing the retained forward trace).
+    // graf-lint: allow(hot-alloc, hoisted buffer reused every iteration)
     let mut quotas_mc = vec![0.0; n];
+    // graf-lint: allow(hot-alloc, hoisted buffer reused every iteration)
     let mut g_ms: Vec<f64> = Vec::with_capacity(n);
     for it in 0..cfg.max_iters {
         iterations = it + 1;
@@ -134,8 +139,9 @@ pub fn solve_observed(
         prev_loss = last_loss;
     }
 
-    let quotas_mc: Vec<f64> =
-        r.value.data().iter().map(|&v| model.scaler.unscale_quota(v)).collect();
+    let scaler = model.scaler;
+    // graf-lint: allow(hot-alloc, result construction after the loop exits)
+    let quotas_mc: Vec<f64> = r.value.data().iter().map(|&v| scaler.unscale_quota(v)).collect();
     let predicted_ms = model.predict_ms(workloads, &quotas_mc);
     if span.is_recording() {
         span.attr("iterations", iterations)

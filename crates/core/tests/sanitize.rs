@@ -1,0 +1,116 @@
+//! Zero-allocation steady state for the control plane
+//! (`--features sanitize`).
+//!
+//! * One **solver iteration** — the body of `solve_observed`'s descent loop:
+//!   unscale quotas, fused predict+gradient, chain rule, Adam step, clamp —
+//!   must not touch the heap once the model's scratch is warm.
+//! * One **pilot tick** — `GrafController::tick` over a live cluster — is
+//!   allowed its small fixed set of per-tick buffers (rates, units, counts,
+//!   solver setup), but that count must be bounded and stable: it must not
+//!   grow tick over tick.
+
+#![cfg(feature = "sanitize")]
+
+use graf_core::sample_collector::Bounds;
+use graf_core::{
+    FeatureScaler, GrafController, GrafControllerConfig, LatencyModel, NetKind, WorkloadAnalyzer,
+};
+use graf_nn::sanitize::{alloc_delta, assert_no_alloc};
+use graf_nn::{Adam, Matrix, Param};
+use graf_orchestrator::{Autoscaler, Cluster, CreationModel, Deployment};
+use graf_sim::time::SimTime;
+use graf_sim::topology::{ApiId, ApiSpec, AppTopology, CallNode, ServiceId, ServiceSpec};
+use graf_sim::world::{SimConfig, World};
+
+fn model3() -> LatencyModel {
+    let scaler = FeatureScaler { workload_div: 100.0, quota_div: 1000.0 };
+    LatencyModel::new(NetKind::Gnn, &[(0, 1), (1, 2)], 3, scaler, 1.0, 5)
+}
+
+/// One iteration of the solver's descent loop, shaped exactly like the body
+/// of `solve_observed`: unscale, fused forward+backward, chain rule, step.
+fn solver_iteration(
+    model: &mut LatencyModel,
+    opt: &mut Adam,
+    r: &mut Param,
+    workloads: &[f64],
+    quotas_mc: &mut [f64],
+    g_ms: &mut Vec<f64>,
+) -> f64 {
+    let scaler = model.scaler;
+    for (q, &v) in quotas_mc.iter_mut().zip(r.value.data()) {
+        *q = scaler.unscale_quota(v);
+    }
+    let (pred, has_grad) = model.predict_ms_with_grad(workloads, quotas_mc, -1.0, g_ms);
+    if has_grad {
+        for (i, &gm) in g_ms.iter().enumerate() {
+            r.grad.set(0, i, 1.0 + gm * scaler.quota_div);
+        }
+    } else {
+        for i in 0..quotas_mc.len() {
+            r.grad.set(0, i, 1.0);
+        }
+    }
+    opt.step(&mut [&mut *r]);
+    pred
+}
+
+#[test]
+fn solver_iteration_is_allocation_free_in_steady_state() {
+    let mut model = model3();
+    let workloads = [60.0, 60.0, 60.0];
+    let mut quotas_mc = [800.0, 900.0, 1000.0];
+    let mut g_ms: Vec<f64> = Vec::with_capacity(3);
+    let mut r = Param::new(Matrix::row_vector(vec![0.8, 0.9, 1.0]));
+    let mut opt = Adam::new(0.05);
+
+    for _ in 0..3 {
+        solver_iteration(&mut model, &mut opt, &mut r, &workloads, &mut quotas_mc, &mut g_ms);
+    }
+    let pred = assert_no_alloc("solver iteration", || {
+        solver_iteration(&mut model, &mut opt, &mut r, &workloads, &mut quotas_mc, &mut g_ms)
+    });
+    assert!(pred.is_finite());
+}
+
+#[test]
+fn pilot_tick_allocation_is_bounded_and_stable() {
+    let topo = AppTopology::new(
+        "t3",
+        vec![
+            ServiceSpec::new("a", 1.0, 200).cv(0.0),
+            ServiceSpec::new("b", 2.0, 200).cv(0.0),
+            ServiceSpec::new("c", 1.5, 200).cv(0.0),
+        ],
+        vec![ApiSpec::new("get", CallNode::new(0).call(CallNode::new(1).call(CallNode::new(2))))],
+    );
+    let analyzer =
+        WorkloadAnalyzer::from_multiplicities(vec![vec![1.0, 1.0, 1.0]], vec![(0, 1), (1, 2)]);
+    let bounds = Bounds { lower: vec![150.0; 3], upper: vec![2500.0; 3] };
+    let cfg = GrafControllerConfig { slo_ms: 25.0, train_total_qps: 80.0, ..Default::default() };
+    let mut controller = GrafController::new(model3(), analyzer, bounds, cfg);
+
+    let world = World::new(topo, SimConfig::default(), 31);
+    let mut cluster = Cluster::new(
+        world,
+        vec![
+            Deployment::new(ServiceId(0), 250.0, 1),
+            Deployment::new(ServiceId(1), 250.0, 1),
+            Deployment::new(ServiceId(2), 250.0, 1),
+        ],
+        CreationModel::instant(),
+    );
+    for i in 0..400u64 {
+        cluster.world_mut().inject(ApiId(0), SimTime(i * 12_500));
+    }
+    cluster.world_mut().run_until(SimTime::from_secs(5.0));
+
+    // Warm the controller's buffers, then measure two steady-state ticks.
+    for _ in 0..3 {
+        controller.tick(&mut cluster);
+    }
+    let ((), t4) = alloc_delta(|| controller.tick(&mut cluster));
+    let ((), t5) = alloc_delta(|| controller.tick(&mut cluster));
+    assert_eq!(t4, t5, "per-tick allocation count must not grow tick over tick");
+    assert!(t4 < 2000, "pilot tick allocates a small bounded set of buffers, saw {t4}");
+}

@@ -59,6 +59,18 @@ impl FlatMlp {
     }
 }
 
+impl FlatMlp {
+    /// Backward through the retained eval trace, leaving `d pred / d x` in
+    /// `scratch.dx`. Gradients land in the scratch sink, never the params.
+    fn backward_kept(&mut self, x: &Matrix) {
+        let sc = self.scratch.get_mut();
+        sc.dy.reshape_zeroed(x.rows(), 1);
+        sc.dy.data_mut().fill(1.0);
+        sc.grads.prepare(&self.mlp);
+        self.mlp.backward_with(&sc.trace, &sc.dy, &mut sc.grads, &mut sc.ws, &mut sc.dx);
+    }
+}
+
 impl LatencyNet for FlatMlp {
     fn num_nodes(&self) -> usize {
         self.num_nodes
@@ -93,7 +105,10 @@ impl LatencyNet for FlatMlp {
         sc.grads.prepare(&self.mlp);
         self.mlp.backward_with(&sc.trace, &sc.dy, &mut sc.grads, &mut sc.ws, &mut sc.dx);
         self.mlp.accumulate_grads(&sc.grads);
-        opt.step(&mut self.mlp.params_mut());
+        // Split step: no `Vec<&mut Param>` temporary on the training path.
+        opt.begin_step();
+        let opt = &mut *opt;
+        self.mlp.for_each_param_mut(|p| opt.update(p));
         l
     }
 
@@ -110,13 +125,26 @@ impl LatencyNet for FlatMlp {
         if self.scratch.get_mut().kept_rows != x.rows() {
             return self.grad_input(x);
         }
+        self.backward_kept(x);
+        self.scratch.get_mut().dx.clone()
+    }
+
+    fn predict_keep_into(&mut self, x: &Matrix, out: &mut Vec<f64>) {
         let sc = self.scratch.get_mut();
-        sc.dy.reshape_zeroed(x.rows(), 1);
-        sc.dy.data_mut().fill(1.0);
-        sc.grads.prepare(&self.mlp);
-        // Gradients land in the scratch sink, never the parameters.
-        self.mlp.backward_with(&sc.trace, &sc.dy, &mut sc.grads, &mut sc.ws, &mut sc.dx);
-        sc.dx.clone()
+        self.mlp.forward_into(x, &mut Mode::Eval, &mut sc.trace, &mut sc.out);
+        sc.kept_rows = x.rows();
+        out.clear();
+        out.extend_from_slice(sc.out.data());
+    }
+
+    fn grad_from_kept_into(&mut self, x: &Matrix, dx: &mut Matrix) {
+        if self.scratch.get_mut().kept_rows != x.rows() {
+            let sc = self.scratch.get_mut();
+            self.mlp.forward_into(x, &mut Mode::Eval, &mut sc.trace, &mut sc.out);
+            sc.kept_rows = x.rows();
+        }
+        self.backward_kept(x);
+        dx.copy_from(&self.scratch.get_mut().dx);
     }
 
     fn scratch_stats(&self) -> (u64, u64) {

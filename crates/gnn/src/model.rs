@@ -452,14 +452,28 @@ impl MicroserviceGnn {
         &self.graph
     }
 
-    fn all_params(&mut self) -> Vec<&mut graf_nn::Param> {
-        let mut v = Vec::new();
-        v.extend(self.nets.phi1.params_mut());
-        v.extend(self.nets.gamma1.params_mut());
-        v.extend(self.nets.phi2.params_mut());
-        v.extend(self.nets.gamma2.params_mut());
-        v.extend(self.nets.readout.params_mut());
-        v
+    /// Visits every parameter across the five networks in a fixed order,
+    /// without collecting references into a `Vec` (the allocation-free
+    /// optimizer path — pair with `Adam::begin_step` + `Adam::update`).
+    fn for_each_param_mut(&mut self, mut f: impl FnMut(&mut graf_nn::Param)) {
+        self.nets.phi1.for_each_param_mut(&mut f);
+        self.nets.gamma1.for_each_param_mut(&mut f);
+        self.nets.phi2.for_each_param_mut(&mut f);
+        self.nets.gamma2.for_each_param_mut(&mut f);
+        self.nets.readout.for_each_param_mut(&mut f);
+    }
+
+    /// Backward through the retained eval trace, leaving `d pred / d x` in
+    /// `scratch.eval.dx`.
+    fn backward_kept(&mut self, x: &Matrix) {
+        let sc = self.scratch.get_mut();
+        sc.eval.dy.reshape_zeroed(x.rows(), 1);
+        sc.eval.dy.data_mut().fill(1.0);
+        sc.eval.grads.prepare(&self.nets);
+        sc.wts.refresh(&self.nets);
+        // Gradients land in the scratch sinks, never the parameters, so
+        // training state is untouched by construction.
+        backward_stacked(&self.nets, &self.graph, &self.cfg, &sc.wts, &mut sc.eval);
     }
 }
 
@@ -567,7 +581,9 @@ impl LatencyNet for MicroserviceGnn {
             self.nets.gamma2.accumulate_grads(&pass.grads.gamma2);
             self.nets.readout.accumulate_grads(&pass.grads.readout);
         }
-        opt.step(&mut self.all_params());
+        // Split step across the five networks: no `Vec<&mut Param>` temporary.
+        opt.begin_step();
+        self.for_each_param_mut(|p| opt.update(p));
         // Parameters just changed: the transpose cache is stale.
         scratch.wts.valid = false;
         *self.scratch.get_mut() = scratch;
@@ -600,15 +616,44 @@ impl LatencyNet for MicroserviceGnn {
         if self.scratch.get_mut().kept_rows != x.rows() {
             return self.grad_input(x);
         }
+        self.backward_kept(x);
+        self.scratch.get_mut().eval.dx.clone()
+    }
+
+    fn predict_keep_into(&mut self, x: &Matrix, out: &mut Vec<f64>) {
         let sc = self.scratch.get_mut();
-        sc.eval.dy.reshape_zeroed(x.rows(), 1);
-        sc.eval.dy.data_mut().fill(1.0);
-        sc.eval.grads.prepare(&self.nets);
-        sc.wts.refresh(&self.nets);
-        // Gradients land in the scratch sinks, never the parameters, so
-        // training state is untouched by construction.
-        backward_stacked(&self.nets, &self.graph, &self.cfg, &sc.wts, &mut sc.eval);
-        sc.eval.dx.clone()
+        forward_stacked(
+            &self.nets,
+            &self.graph,
+            &self.cfg,
+            x,
+            0,
+            x.rows(),
+            &mut Mode::Eval,
+            &mut sc.eval,
+        );
+        sc.kept_rows = x.rows();
+        out.clear();
+        out.extend_from_slice(sc.eval.y.data());
+    }
+
+    fn grad_from_kept_into(&mut self, x: &Matrix, dx: &mut Matrix) {
+        if self.scratch.get_mut().kept_rows != x.rows() {
+            let sc = self.scratch.get_mut();
+            forward_stacked(
+                &self.nets,
+                &self.graph,
+                &self.cfg,
+                x,
+                0,
+                x.rows(),
+                &mut Mode::Eval,
+                &mut sc.eval,
+            );
+            sc.kept_rows = x.rows();
+        }
+        self.backward_kept(x);
+        dx.copy_from(&self.scratch.get_mut().eval.dx);
     }
 
     fn scratch_stats(&self) -> (u64, u64) {

@@ -60,6 +60,24 @@ pub trait LatencyNet {
         self.grad_input(x)
     }
 
+    /// [`LatencyNet::predict_keep`] writing predictions into `out` (cleared
+    /// and refilled, capacity reused). The default delegates and copies;
+    /// implementations override it to skip the intermediate `Vec` so the
+    /// solver's per-iteration forward is allocation-free in steady state.
+    fn predict_keep_into(&mut self, x: &Matrix, out: &mut Vec<f64>) {
+        let pred = self.predict_keep(x);
+        out.clear();
+        out.extend_from_slice(&pred);
+    }
+
+    /// [`LatencyNet::grad_from_kept`] writing the input gradient into `dx`
+    /// (reshaped in place). The default delegates and copies; implementations
+    /// override it to write straight from their retained scratch.
+    fn grad_from_kept_into(&mut self, x: &Matrix, dx: &mut Matrix) {
+        let g = self.grad_from_kept(x);
+        dx.copy_from(&g);
+    }
+
     /// `(reused, allocated)` scratch-buffer counts since construction, for
     /// telemetry (allocation-avoidance counters). Default: zeros.
     fn scratch_stats(&self) -> (u64, u64) {

@@ -1,0 +1,157 @@
+//! Baseline file support: CI fails only on *new* findings.
+//!
+//! A baseline entry fingerprints a finding as `(lint, path, fnv1a64(snippet))`
+//! with a count, so findings survive unrelated line-number shifts but a new
+//! occurrence of the same pattern in the same file is still caught. The
+//! committed `lint.baseline` is expected to be empty — real exceptions belong
+//! in `// graf-lint: allow(…)` annotations next to the code, where the
+//! justification lives — but the mechanism keeps CI green while a large
+//! refactor's findings are being worked off.
+
+use std::collections::BTreeMap;
+
+use crate::lints::Finding;
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Parsed baseline: fingerprint → allowed count.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String, u64), u32>,
+}
+
+impl Baseline {
+    /// Parses the baseline text. Lines: `lint<TAB>path<TAB>hex-hash<TAB>count`;
+    /// `#` comments and blank lines ignored.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (Some(lint), Some(path), Some(hash), Some(count)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!("baseline line {}: expected 4 tab-separated fields", idx + 1));
+            };
+            let hash = u64::from_str_radix(hash, 16)
+                .map_err(|_| format!("baseline line {}: bad hash `{hash}`", idx + 1))?;
+            let count: u32 = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", idx + 1))?;
+            *counts.entry((lint.to_string(), path.to_string(), hash)).or_insert(0) += count;
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Renders findings as baseline text (sorted, stable).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<(String, String, u64), u32> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry((f.lint.to_string(), f.path.clone(), fnv1a64(&f.snippet)))
+                .or_insert(0) += 1;
+        }
+        let mut out = String::from(
+            "# graf-lint baseline v1 — lint<TAB>path<TAB>snippet-hash<TAB>count\n\
+             # Prefer `// graf-lint: allow(<lint>, <why>)` annotations over baselining.\n",
+        );
+        for ((lint, path, hash), count) in counts {
+            out.push_str(&format!("{lint}\t{path}\t{hash:016x}\t{count}\n"));
+        }
+        out
+    }
+
+    /// Splits `findings` into those covered by the baseline and the new ones.
+    pub fn partition<'f>(&self, findings: &'f [Finding]) -> (Vec<&'f Finding>, Vec<&'f Finding>) {
+        let mut seen: BTreeMap<(String, String, u64), u32> = BTreeMap::new();
+        let mut baselined = Vec::new();
+        let mut new = Vec::new();
+        for f in findings {
+            let key = (f.lint.to_string(), f.path.clone(), fnv1a64(&f.snippet));
+            let idx = seen.entry(key.clone()).or_insert(0);
+            let allowed = self.counts.get(&key).copied().unwrap_or(0);
+            if *idx < allowed {
+                baselined.push(f);
+            } else {
+                new.push(f);
+            }
+            *idx += 1;
+        }
+        (baselined, new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(lint: &'static str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            lint,
+            path: path.into(),
+            line: 1,
+            message: String::new(),
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn round_trip_covers_all_findings() {
+        let findings = vec![
+            f("unwrap-in-lib", "crates/a/src/lib.rs", "x.unwrap()"),
+            f("unwrap-in-lib", "crates/a/src/lib.rs", "x.unwrap()"),
+            f("hot-path-alloc", "crates/b/src/lib.rs", "v.clone()"),
+        ];
+        let text = Baseline::render(&findings);
+        let base = Baseline::parse(&text).expect("parses");
+        let (covered, new) = base.partition(&findings);
+        assert_eq!(covered.len(), 3);
+        assert!(new.is_empty());
+    }
+
+    #[test]
+    fn extra_occurrence_is_new() {
+        let one = vec![f("unwrap-in-lib", "crates/a/src/lib.rs", "x.unwrap()")];
+        let base = Baseline::parse(&Baseline::render(&one)).expect("parses");
+        let two = vec![one[0].clone(), one[0].clone()];
+        let (covered, new) = base.partition(&two);
+        assert_eq!(covered.len(), 1);
+        assert_eq!(new.len(), 1);
+    }
+
+    #[test]
+    fn line_shift_does_not_invalidate_baseline() {
+        let mut a = f("unwrap-in-lib", "crates/a/src/lib.rs", "x.unwrap()");
+        let base = Baseline::parse(&Baseline::render(std::slice::from_ref(&a))).expect("parses");
+        a.line = 99; // the same code moved
+        let (covered, new) = base.partition(std::slice::from_ref(&a));
+        assert_eq!(covered.len(), 1);
+        assert!(new.is_empty());
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::parse("only-two\tfields\n").is_err());
+        assert!(Baseline::parse("a\tb\tnot-hex\t1\n").is_err());
+    }
+
+    #[test]
+    fn empty_baseline_marks_everything_new() {
+        let base = Baseline::default();
+        let findings = vec![f("unwrap-in-lib", "crates/a/src/lib.rs", "x.unwrap()")];
+        let (covered, new) = base.partition(&findings);
+        assert!(covered.is_empty());
+        assert_eq!(new.len(), 1);
+    }
+}

@@ -1,0 +1,493 @@
+//! A hand-rolled Rust lexer: just enough token structure for the lint rules.
+//!
+//! The goal is *not* a full grammar — it is to be reliably smarter than grep:
+//! string literals (including raw and byte strings), char literals versus
+//! lifetimes, nested block comments and line comments are recognized so a
+//! banned pattern inside a string or comment never fires, and `#[cfg(test)]`
+//! / `#[test]` items are marked so test-only code is exempt from the
+//! production-code lints.
+
+/// Token classes the lints care about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token, with its byte span, source line and test-region flag.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of the token start.
+    pub line: u32,
+    /// `true` when the token is inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: bool,
+}
+
+/// A `//` line comment (the carrier for `graf-lint: allow(…)` annotations).
+#[derive(Clone, Debug)]
+pub struct LineComment {
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// Byte span of the comment text (after the `//`).
+    pub start: usize,
+    /// End of the comment text.
+    pub end: usize,
+}
+
+/// Lexer output: the token stream plus the line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// All line comments, in source order.
+    pub comments: Vec<LineComment>,
+    /// `true` when the file carries an inner `#![cfg(test)]`-style attribute,
+    /// making the entire file test-only.
+    pub file_is_test: bool,
+}
+
+impl Lexed {
+    /// The token's text within `src`.
+    pub fn text<'s>(&self, src: &'s str, tok: &Token) -> &'s str {
+        &src[tok.start..tok.end]
+    }
+}
+
+/// Lexes `src`, marking test regions.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(LineComment { line, start, end: j });
+                i = j;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let (end, newlines) = skip_raw_string(bytes, i);
+                out.tokens.push(tok(TokenKind::Str, i, end, line));
+                line += newlines;
+                i = end;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                let (end, newlines) = skip_quoted(bytes, i + 1, b'"');
+                out.tokens.push(tok(TokenKind::Str, i, end, line));
+                line += newlines;
+                i = end;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                let (end, newlines) = skip_quoted(bytes, i + 1, b'\'');
+                out.tokens.push(tok(TokenKind::Char, i, end, line));
+                line += newlines;
+                i = end;
+            }
+            b'"' => {
+                let (end, newlines) = skip_quoted(bytes, i, b'"');
+                out.tokens.push(tok(TokenKind::Str, i, end, line));
+                line += newlines;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime (`'a` not followed by `'`) versus char literal.
+                let is_lifetime = match bytes.get(i + 1) {
+                    Some(&c) if c == b'_' || c.is_ascii_alphabetic() => {
+                        let mut j = i + 2;
+                        while j < bytes.len()
+                            && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric())
+                        {
+                            j += 1;
+                        }
+                        bytes.get(j) != Some(&b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric())
+                    {
+                        j += 1;
+                    }
+                    out.tokens.push(tok(TokenKind::Lifetime, i, j, line));
+                    i = j;
+                } else {
+                    let (end, newlines) = skip_quoted(bytes, i, b'\'');
+                    out.tokens.push(tok(TokenKind::Char, i, end, line));
+                    line += newlines;
+                    i = end;
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                out.tokens.push(tok(TokenKind::Ident, i, j, line));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                // Loose numeric scan; suffixes and hex digits fold in, and a
+                // fractional dot is consumed so `1.0` is not `1 . 0`.
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric()
+                        || bytes[j] == b'_'
+                        || (bytes[j] == b'.'
+                            && bytes.get(j + 1).is_some_and(|d| d.is_ascii_digit())))
+                {
+                    j += 1;
+                }
+                out.tokens.push(tok(TokenKind::Number, i, j, line));
+                i = j;
+            }
+            _ => {
+                out.tokens.push(tok(TokenKind::Punct, i, i + 1, line));
+                i += 1;
+            }
+        }
+    }
+    out.file_is_test = mark_test_regions(src, &mut out.tokens);
+    out
+}
+
+fn tok(kind: TokenKind, start: usize, end: usize, line: u32) -> Token {
+    Token { kind, start, end, line, in_test: false }
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // r"…", r#"…"#, br"…", br#"…"# (any number of hashes).
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Skips a raw string starting at `i`; returns (end offset, newline count).
+fn skip_raw_string(bytes: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // 'r'
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            newlines += 1;
+            j += 1;
+            continue;
+        }
+        if bytes[j] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && bytes.get(j + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return (j + 1 + hashes, newlines);
+            }
+        }
+        j += 1;
+    }
+    (j, newlines)
+}
+
+/// Skips a quoted literal starting at the quote `bytes[i]`; handles `\`
+/// escapes. Returns (end offset, newline count).
+fn skip_quoted(bytes: &[u8], i: usize, quote: u8) -> (usize, u32) {
+    let mut j = i + 1;
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            c if c == quote => return (j + 1, newlines),
+            _ => j += 1,
+        }
+    }
+    (j, newlines)
+}
+
+/// Marks tokens belonging to `#[cfg(test)]` / `#[test]` items, returning
+/// `true` when an inner `#![cfg(test)]` makes the whole file test-only.
+///
+/// Heuristic: an attribute is "test-ish" when it contains the bare identifier
+/// `test` (covers `cfg(test)`, `test`, `cfg(all(test, …))`) and does *not*
+/// contain `not` (so `cfg(not(test))` production code stays linted).
+fn mark_test_regions(src: &str, tokens: &mut [Token]) -> bool {
+    let mut file_is_test = false;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokenKind::Punct && src[tokens[i].start..].starts_with('#')) {
+            i += 1;
+            continue;
+        }
+        let inner = matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct && src[t.start..].starts_with('!'));
+        let lb = if inner { i + 2 } else { i + 1 };
+        if !matches!(tokens.get(lb), Some(t) if t.kind == TokenKind::Punct && src[t.start..].starts_with('[')) {
+            i += 1;
+            continue;
+        }
+        let Some((close, is_testish)) = scan_attribute(src, tokens, lb) else {
+            break;
+        };
+        if inner {
+            if is_testish {
+                file_is_test = true;
+            }
+            i = close + 1;
+            continue;
+        }
+        if !is_testish {
+            i = close + 1;
+            continue;
+        }
+        // Consume any further outer attributes on the same item.
+        let mut j = close + 1;
+        while j < tokens.len()
+            && tokens[j].kind == TokenKind::Punct
+            && src[tokens[j].start..].starts_with('#')
+            && matches!(tokens.get(j + 1), Some(t) if t.kind == TokenKind::Punct && src[t.start..].starts_with('['))
+        {
+            match scan_attribute(src, tokens, j + 1) {
+                Some((c, _)) => j = c + 1,
+                None => break,
+            }
+        }
+        // Skip the annotated item: through the matching `}` of its body, or
+        // to a terminating `;` for body-less items.
+        let mut depth = 0i32;
+        let mut end = j;
+        while end < tokens.len() {
+            if tokens[end].kind == TokenKind::Punct {
+                match &src[tokens[end].start..tokens[end].start + 1] {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            end += 1;
+        }
+        let stop = end.min(tokens.len() - 1);
+        for t in tokens[i..=stop].iter_mut() {
+            t.in_test = true;
+        }
+        i = end + 1;
+    }
+    file_is_test
+}
+
+/// From the `[` at `tokens[lb]`, finds the matching `]`. Returns its index
+/// and whether the attribute looks test-only.
+fn scan_attribute(src: &str, tokens: &[Token], lb: usize) -> Option<(usize, bool)> {
+    let mut depth = 0i32;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut j = lb;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match t.kind {
+            TokenKind::Punct => match &src[t.start..t.start + 1] {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((j, has_test && !has_not));
+                    }
+                }
+                _ => {}
+            },
+            TokenKind::Ident => {
+                let text = &src[t.start..t.end];
+                if text == "test" {
+                    has_test = true;
+                } else if text == "not" {
+                    has_not = true;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<(String, bool)> {
+        let lx = lex(src);
+        lx.tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (lx.text(src, t).to_string(), t.in_test))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+fn f() {
+    let s = "Instant::now() inside a string";
+    let r = r#"HashMap "raw" string"#;
+    // Instant::now() in a line comment
+    /* nested /* block */ Instant::now() */
+    let c = '"';
+    real_ident();
+}
+"##;
+        let ids: Vec<String> = idents(src).into_iter().map(|(s, _)| s).collect();
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn char_literal_versus_lifetime() {
+        let src = "fn f<'a>(x: &'a str) { let q = 'x'; let nl = '\\n'; }";
+        let lx = lex(src);
+        let lifetimes: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| lx.text(src, t))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars = lx.tokens.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = "
+fn prod() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+fn prod2() { z.unwrap(); }
+";
+        let marks = idents(src);
+        let get = |name: &str| marks.iter().find(|(s, _)| s == name).map(|(_, t)| *t);
+        assert_eq!(get("x"), Some(false));
+        assert_eq!(get("y"), Some(true));
+        assert_eq!(get("z"), Some(false));
+    }
+
+    #[test]
+    fn test_attribute_on_fn_is_marked() {
+        let src = "
+#[test]
+fn unit() { a.unwrap(); }
+fn prod() { b.unwrap(); }
+";
+        let marks = idents(src);
+        let get = |name: &str| marks.iter().find(|(s, _)| s == name).map(|(_, t)| *t);
+        assert_eq!(get("a"), Some(true));
+        assert_eq!(get("b"), Some(false));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_skipped() {
+        let src = "#[cfg(not(test))]\nfn prod() { a.unwrap(); }";
+        let marks = idents(src);
+        assert!(marks.iter().any(|(s, t)| s == "a" && !t));
+    }
+
+    #[test]
+    fn inner_file_attribute_detected() {
+        let lx = lex("#![cfg(test)]\nfn anything() {}");
+        assert!(lx.file_is_test);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"line\nbreak\";\nlet b = 1;";
+        let lx = lex(src);
+        let b = lx
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && lx.text(src, t) == "b")
+            .expect("token b");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let src = "fn f() {}\n// graf-lint: allow(unwrap, test helper)\nfn g() {}";
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 1);
+        assert_eq!(lx.comments[0].line, 2);
+        assert!(src[lx.comments[0].start..lx.comments[0].end].contains("graf-lint"));
+    }
+}

@@ -1,0 +1,168 @@
+//! # graf-lint
+//!
+//! A zero-dependency static-analysis pass enforcing this repository's
+//! determinism and hot-path invariants. It is built on a hand-rolled Rust
+//! lexer — comment-, string- and attribute-aware, not grep — and reports
+//! named, machine-readable lints:
+//!
+//! * `wallclock-in-deterministic-crate` — `Instant::now`/`SystemTime` outside
+//!   the telemetry/bench crates, unless gated by `is_recording()`,
+//! * `unordered-map-iteration` — iterating `HashMap`/`HashSet` in crates
+//!   whose aggregate outputs must be order-stable,
+//! * `hot-path-alloc` — allocation (`Vec::new`, `.clone()`, `.collect()`,
+//!   `format!`, …) inside functions declared hot in `lint.toml`,
+//! * `unwrap-in-lib` — `.unwrap()` in library code,
+//! * `unseeded-rng` — RNG construction outside the seeded `sim::rng` home,
+//! * `bad-annotation` — a malformed or unjustified allow annotation.
+//!
+//! Findings are suppressed with `// graf-lint: allow(<lint>, <why>)` on the
+//! same or preceding line; a committed `lint.baseline` makes CI fail only on
+//! *new* violations. See `DESIGN.md` §9 for the full catalog and workflow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod config;
+pub mod lexer;
+pub mod lints;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use baseline::Baseline;
+pub use config::Config;
+pub use lints::Finding;
+
+/// Result of a workspace scan.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// All findings, sorted by (path, line, lint).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files lexed.
+    pub files_scanned: usize,
+}
+
+/// Scans every `.rs` file under `root` (excluding `cfg.exclude` prefixes and
+/// dot-directories) and lints it.
+pub fn scan_workspace(root: &Path, cfg: &Config) -> io::Result<ScanResult> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, cfg, &mut files)?;
+    files.sort();
+    let mut result = ScanResult::default();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        result.findings.extend(lints::lint_file(&rel_str, &src, cfg));
+        result.files_scanned += 1;
+    }
+    result.findings.sort_by(|a, b| {
+        (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint))
+    });
+    Ok(result)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<PathBuf>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let Ok(rel) = path.strip_prefix(root) else {
+            continue;
+        };
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        if name.starts_with('.') {
+            continue;
+        }
+        if cfg.exclude.iter().any(|ex| rel_str == *ex || rel_str.starts_with(&format!("{ex}/"))) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, cfg, out)?;
+        } else if rel_str.ends_with(".rs") {
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Renders findings as a JSON report (hand-written; no dependencies).
+pub fn render_json(findings: &[Finding], new: &[&Finding], files_scanned: usize) -> String {
+    let is_new = |f: &Finding| new.iter().any(|n| std::ptr::eq(*n, f));
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"lint\": \"{}\", \"path\": \"{}\", \"line\": {}, \"new\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}",
+            json_escape(f.lint),
+            json_escape(&f.path),
+            f.line,
+            is_new(f),
+            json_escape(&f.message),
+            json_escape(&f.snippet),
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"total\": {},\n  \"new\": {},\n  \"files_scanned\": {}\n}}\n",
+        findings.len(),
+        new.len(),
+        files_scanned
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let f = Finding {
+            lint: lints::UNWRAP_IN_LIB,
+            path: "crates/a/src/lib.rs".into(),
+            line: 3,
+            message: "m".into(),
+            snippet: "x.unwrap()".into(),
+        };
+        let findings = vec![f];
+        let new: Vec<&Finding> = findings.iter().collect();
+        let json = render_json(&findings, &new, 1);
+        assert!(json.contains("\"lint\": \"unwrap-in-lib\""));
+        assert!(json.contains("\"new\": true"));
+        assert!(json.contains("\"total\": 1"));
+    }
+}

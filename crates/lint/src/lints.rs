@@ -1,0 +1,728 @@
+//! The lint rules and per-file driver.
+//!
+//! Every rule works on the lexed token stream (see [`crate::lexer`]), so
+//! matches inside strings, comments and `#[cfg(test)]` items never fire.
+//! Findings can be suppressed with an annotation on the same or preceding
+//! line:
+//!
+//! ```text
+//! // graf-lint: allow(<lint>, <justification>)
+//! ```
+//!
+//! where `<lint>` is the full lint name or its short alias (`wallclock`,
+//! `unordered-map`, `hot-alloc`, `unwrap`, `rng`). An annotation without a
+//! justification, or naming an unknown lint, is itself a finding
+//! (`bad-annotation`) — exceptions must stay explained.
+
+use crate::config::Config;
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+
+/// `Instant::now`/`SystemTime` in a deterministic crate.
+pub const WALLCLOCK: &str = "wallclock-in-deterministic-crate";
+/// Iterating a `HashMap`/`HashSet` where ordering feeds outputs.
+pub const UNORDERED_MAP: &str = "unordered-map-iteration";
+/// Heap allocation inside a declared hot function.
+pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+/// `.unwrap()` in library code.
+pub const UNWRAP_IN_LIB: &str = "unwrap-in-lib";
+/// RNG construction outside the seeded `sim::rng` home.
+pub const UNSEEDED_RNG: &str = "unseeded-rng";
+/// Malformed or unjustified `graf-lint: allow(…)` annotation.
+pub const BAD_ANNOTATION: &str = "bad-annotation";
+
+/// All lint names, for `--help` and validation.
+pub const ALL_LINTS: [&str; 6] =
+    [WALLCLOCK, UNORDERED_MAP, HOT_PATH_ALLOC, UNWRAP_IN_LIB, UNSEEDED_RNG, BAD_ANNOTATION];
+
+/// One reported violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint name (one of [`ALL_LINTS`]).
+    pub lint: &'static str,
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The trimmed source line (baseline fingerprints hash this, so findings
+    /// survive unrelated line-number shifts).
+    pub snippet: String,
+}
+
+/// Resolves an annotation name (full or alias) to the canonical lint name.
+fn canonical_lint(name: &str) -> Option<&'static str> {
+    match name {
+        "wallclock" | WALLCLOCK => Some(WALLCLOCK),
+        "unordered-map" | UNORDERED_MAP => Some(UNORDERED_MAP),
+        "hot-alloc" | HOT_PATH_ALLOC => Some(HOT_PATH_ALLOC),
+        "unwrap" | UNWRAP_IN_LIB => Some(UNWRAP_IN_LIB),
+        "rng" | UNSEEDED_RNG => Some(UNSEEDED_RNG),
+        _ => None,
+    }
+}
+
+/// How a file participates in linting.
+fn classify(rel: &str) -> Option<&str> {
+    let test_like = rel.starts_with("tests/")
+        || rel.starts_with("benches/")
+        || rel.starts_with("examples/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/");
+    if test_like {
+        return None;
+    }
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let (krate, tail) = rest.split_once('/')?;
+        if tail.starts_with("src/") {
+            return Some(krate);
+        }
+        return None;
+    }
+    if rel.starts_with("src/") {
+        return Some("graf");
+    }
+    None
+}
+
+/// Token-stream view with the little helpers the rules share.
+struct Toks<'s> {
+    src: &'s str,
+    t: &'s [Token],
+}
+
+impl<'s> Toks<'s> {
+    fn text(&self, i: usize) -> &'s str {
+        let t = &self.t[i];
+        &self.src[t.start..t.end]
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        self.t.get(i).is_some_and(|t| t.kind == TokenKind::Punct) && self.text(i).starts_with(c)
+    }
+
+    fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.t.get(i).is_some_and(|t| t.kind == TokenKind::Ident) && self.text(i) == s
+    }
+
+    fn ident(&self, i: usize) -> Option<&'s str> {
+        let t = self.t.get(i)?;
+        (t.kind == TokenKind::Ident).then(|| &self.src[t.start..t.end])
+    }
+
+    fn in_test(&self, i: usize) -> bool {
+        self.t[i].in_test
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.t[i].line
+    }
+}
+
+/// Byte offsets of each line start, for snippet extraction.
+struct Lines<'s> {
+    src: &'s str,
+    starts: Vec<usize>,
+}
+
+impl<'s> Lines<'s> {
+    fn new(src: &'s str) -> Self {
+        let mut starts = vec![0usize];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        Self { src, starts }
+    }
+
+    fn snippet(&self, line: u32) -> &'s str {
+        let idx = (line as usize).saturating_sub(1);
+        let start = *self.starts.get(idx).unwrap_or(&self.src.len());
+        let end = self.starts.get(idx + 1).map_or(self.src.len(), |&e| e.saturating_sub(1));
+        self.src[start..end.max(start)].trim()
+    }
+}
+
+/// Lints one file. `rel` is the repo-relative path with forward slashes.
+pub fn lint_file(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let Some(krate) = classify(rel) else {
+        return Vec::new();
+    };
+    let lexed = lex(src);
+    if lexed.file_is_test {
+        return Vec::new();
+    }
+    let lines = Lines::new(src);
+    let toks = Toks { src, t: &lexed.tokens };
+
+    let (allows, mut findings) = parse_annotations(rel, src, &lexed, &lines);
+
+    let mut raw = Vec::new();
+    if !cfg.wallclock_exempt_crates.iter().any(|c| c == krate) && krate != "lint" {
+        wallclock(rel, &toks, &lines, &mut raw);
+    }
+    if cfg.ordered_crates.iter().any(|c| c == krate) {
+        unordered_map(rel, &toks, &lines, &mut raw);
+    }
+    unwrap_in_lib(rel, &toks, &lines, &mut raw);
+    if !cfg.rng_home.iter().any(|p| p == rel) && krate != "lint" {
+        unseeded_rng(rel, &toks, &lines, &mut raw);
+    }
+    for region in cfg.hot.iter().filter(|h| h.file == rel) {
+        hot_path_alloc(rel, &toks, &lines, &region.functions, &mut raw);
+    }
+
+    findings.extend(raw.into_iter().filter(|f| {
+        !allows
+            .iter()
+            .any(|(line, lint)| *lint == f.lint && (*line == f.line || line + 1 == f.line))
+    }));
+    findings.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    findings
+}
+
+fn finding(
+    lint: &'static str,
+    rel: &str,
+    line: u32,
+    lines: &Lines<'_>,
+    message: String,
+) -> Finding {
+    Finding { lint, path: rel.to_string(), line, message, snippet: lines.snippet(line).to_string() }
+}
+
+/// Parses `graf-lint: allow(lint, reason)` annotations from line comments.
+/// Returns (allowed (line, lint) pairs, bad-annotation findings).
+fn parse_annotations(
+    rel: &str,
+    src: &str,
+    lexed: &Lexed,
+    lines: &Lines<'_>,
+) -> (Vec<(u32, &'static str)>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in &lexed.comments {
+        let text = &src[c.start..c.end];
+        // The span starts after the `//`, so doc comments (`///`, `//!`)
+        // begin with `/` or `!`. They describe the annotation grammar in
+        // prose and never carry a live annotation.
+        if text.starts_with('/') || text.starts_with('!') {
+            continue;
+        }
+        let Some(pos) = text.find("graf-lint:") else {
+            continue;
+        };
+        let rest = text[pos + "graf-lint:".len()..].trim();
+        let parsed = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.find(')').map(|close| &r[..close]))
+            .map(|inner| match inner.split_once(',') {
+                Some((name, reason)) => (name.trim(), reason.trim()),
+                None => (inner.trim(), ""),
+            });
+        match parsed {
+            None => bad.push(finding(
+                BAD_ANNOTATION,
+                rel,
+                c.line,
+                lines,
+                "expected `graf-lint: allow(<lint>, <justification>)`".into(),
+            )),
+            Some((name, reason)) => match canonical_lint(name) {
+                None => bad.push(finding(
+                    BAD_ANNOTATION,
+                    rel,
+                    c.line,
+                    lines,
+                    format!("unknown lint `{name}` in allow annotation"),
+                )),
+                Some(_) if reason.is_empty() => bad.push(finding(
+                    BAD_ANNOTATION,
+                    rel,
+                    c.line,
+                    lines,
+                    format!("allow({name}) needs a justification: allow({name}, <why>)"),
+                )),
+                Some(lint) => allows.push((c.line, lint)),
+            },
+        }
+    }
+    (allows, bad)
+}
+
+/// `wallclock-in-deterministic-crate`: `Instant::now` / `SystemTime` outside
+/// the exempt crates, unless gated by `is_recording()` on the same line.
+fn wallclock(rel: &str, toks: &Toks<'_>, lines: &Lines<'_>, out: &mut Vec<Finding>) {
+    let mut gated_lines = Vec::new();
+    for i in 0..toks.t.len() {
+        if toks.is_ident(i, "is_recording") {
+            gated_lines.push(toks.line(i));
+        }
+    }
+    for i in 0..toks.t.len() {
+        if toks.in_test(i) {
+            continue;
+        }
+        let hit = if toks.is_ident(i, "Instant")
+            && toks.is_punct(i + 1, ':')
+            && toks.is_punct(i + 2, ':')
+            && toks.is_ident(i + 3, "now")
+        {
+            Some("Instant::now")
+        } else if toks.is_ident(i, "SystemTime") {
+            Some("SystemTime")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            let line = toks.line(i);
+            if gated_lines.contains(&line) {
+                continue;
+            }
+            out.push(finding(
+                WALLCLOCK,
+                rel,
+                line,
+                lines,
+                format!("{what} in a deterministic crate; gate behind is_recording() or route through sim time"),
+            ));
+        }
+    }
+}
+
+/// `unordered-map-iteration`: iterating a `HashMap`/`HashSet` declared in
+/// this file, in a crate whose aggregate outputs must be order-stable.
+fn unordered_map(rel: &str, toks: &Toks<'_>, lines: &Lines<'_>, out: &mut Vec<Finding>) {
+    // Pass A: names declared with a HashMap/HashSet type or initializer.
+    let mut tracked: Vec<&str> = Vec::new();
+    for i in 0..toks.t.len() {
+        if !(toks.is_ident(i, "HashMap") || toks.is_ident(i, "HashSet")) {
+            continue;
+        }
+        // Walk back over `::`-joined path segments (std::collections::…).
+        let mut j = i;
+        while j >= 3
+            && toks.is_punct(j - 1, ':')
+            && toks.is_punct(j - 2, ':')
+            && toks.ident(j - 3).is_some()
+        {
+            j -= 3;
+        }
+        // `name: [path::]HashMap<…>` — a field or typed binding.
+        if j >= 2 && toks.is_punct(j - 1, ':') && !toks.is_punct(j - 2, ':') {
+            if let Some(name) = toks.ident(j - 2) {
+                tracked.push(name);
+                continue;
+            }
+        }
+        // `name = HashMap::new()` — an untyped binding.
+        if j >= 2 && toks.is_punct(j - 1, '=') {
+            if let Some(name) = toks.ident(j - 2) {
+                tracked.push(name);
+            }
+        }
+    }
+    if tracked.is_empty() {
+        return;
+    }
+
+    const ITER_METHODS: [&str; 7] =
+        ["iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "drain"];
+    let mut local: Vec<Finding> = Vec::new();
+    let mut i = 0;
+    while i < toks.t.len() {
+        if toks.in_test(i) {
+            i += 1;
+            continue;
+        }
+        // `for pat in <expr containing tracked name> {`
+        if toks.is_ident(i, "for") {
+            let mut j = i + 1;
+            while j < toks.t.len() && !toks.is_ident(j, "in") && !toks.is_punct(j, '{') {
+                j += 1;
+            }
+            if toks.is_ident(j, "in") {
+                let mut k = j + 1;
+                while k < toks.t.len() && !toks.is_punct(k, '{') {
+                    if let Some(name) = toks.ident(k) {
+                        if tracked.contains(&name) {
+                            local.push(finding(
+                                UNORDERED_MAP,
+                                rel,
+                                toks.line(i),
+                                lines,
+                                format!("iterating unordered map/set `{name}`; use BTreeMap or sort keys first"),
+                            ));
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // `name.iter()` and friends on a tracked name.
+        if let Some(m) = toks.ident(i) {
+            if ITER_METHODS.contains(&m)
+                && toks.is_punct(i + 1, '(')
+                && i >= 2
+                && toks.is_punct(i - 1, '.')
+            {
+                if let Some(name) = toks.ident(i - 2) {
+                    if tracked.contains(&name) {
+                        local.push(finding(
+                            UNORDERED_MAP,
+                            rel,
+                            toks.line(i),
+                            lines,
+                            format!("`{name}.{m}()` iterates an unordered map/set; use BTreeMap or sort keys first"),
+                        ));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    // The for-scan and the method-scan can both hit the same construct
+    // (`for v in m.values()`); report each line once.
+    local.dedup_by(|a, b| a.line == b.line);
+    out.append(&mut local);
+}
+
+/// `unwrap-in-lib`: `.unwrap()` in library code — propagate or `expect` with
+/// an invariant message instead.
+fn unwrap_in_lib(rel: &str, toks: &Toks<'_>, lines: &Lines<'_>, out: &mut Vec<Finding>) {
+    for i in 1..toks.t.len() {
+        if toks.in_test(i) {
+            continue;
+        }
+        if toks.is_ident(i, "unwrap") && toks.is_punct(i - 1, '.') && toks.is_punct(i + 1, '(') {
+            out.push(finding(
+                UNWRAP_IN_LIB,
+                rel,
+                toks.line(i),
+                lines,
+                "`.unwrap()` in library code; propagate the error or use `expect(\"<invariant>\")`"
+                    .into(),
+            ));
+        }
+    }
+}
+
+/// `unseeded-rng`: constructing RNGs outside the seeded `sim::rng` home.
+fn unseeded_rng(rel: &str, toks: &Toks<'_>, lines: &Lines<'_>, out: &mut Vec<Finding>) {
+    const BANNED: [&str; 10] = [
+        "thread_rng",
+        "ThreadRng",
+        "from_entropy",
+        "from_os_rng",
+        "OsRng",
+        "seed_from_u64",
+        "from_seed",
+        "from_rng",
+        "SmallRng",
+        "StdRng",
+    ];
+    for i in 0..toks.t.len() {
+        if toks.in_test(i) {
+            continue;
+        }
+        if let Some(name) = toks.ident(i) {
+            if BANNED.contains(&name) {
+                out.push(finding(
+                    UNSEEDED_RNG,
+                    rel,
+                    toks.line(i),
+                    lines,
+                    format!("`{name}`: derive randomness from sim::rng::DetRng streams instead"),
+                ));
+            }
+        }
+    }
+}
+
+/// `hot-path-alloc`: allocation inside a function declared hot in `lint.toml`.
+fn hot_path_alloc(
+    rel: &str,
+    toks: &Toks<'_>,
+    lines: &Lines<'_>,
+    functions: &[String],
+    out: &mut Vec<Finding>,
+) {
+    const ALLOC_METHODS: [&str; 5] = ["clone", "to_vec", "to_owned", "to_string", "collect"];
+    let mut i = 0;
+    while i < toks.t.len() {
+        if !toks.is_ident(i, "fn") || toks.in_test(i) {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.ident(i + 1) else {
+            i += 1;
+            continue;
+        };
+        if !functions.iter().any(|f| f == name) {
+            i += 1;
+            continue;
+        }
+        // Body: first `{` after the signature, to its matching `}`.
+        let mut j = i + 2;
+        while j < toks.t.len() && !toks.is_punct(j, '{') {
+            j += 1;
+        }
+        let mut depth = 0i32;
+        let mut end = j;
+        while end < toks.t.len() {
+            if toks.is_punct(end, '{') {
+                depth += 1;
+            } else if toks.is_punct(end, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            end += 1;
+        }
+        for k in j..end.min(toks.t.len()) {
+            let Some(word) = toks.ident(k) else {
+                continue;
+            };
+            let hit = if ALLOC_METHODS.contains(&word)
+                && k >= 1
+                && toks.is_punct(k - 1, '.')
+                && (toks.is_punct(k + 1, '(')
+                    || (toks.is_punct(k + 1, ':') && toks.is_punct(k + 2, ':')))
+            {
+                Some(format!(".{word}()"))
+            } else if (word == "Vec" || word == "Box" || word == "String")
+                && toks.is_punct(k + 1, ':')
+                && toks.is_punct(k + 2, ':')
+                && matches!(toks.ident(k + 3), Some("new" | "with_capacity" | "from"))
+            {
+                toks.ident(k + 3).map(|m| format!("{word}::{m}"))
+            } else if (word == "format" || word == "vec") && toks.is_punct(k + 1, '!') {
+                Some(format!("{word}!"))
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                out.push(finding(
+                    HOT_PATH_ALLOC,
+                    rel,
+                    toks.line(k),
+                    lines,
+                    format!("{what} inside hot function `{name}`; hot kernels must reuse caller buffers"),
+                ));
+            }
+        }
+        i = end + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_with_hot(file: &str, functions: &[&str]) -> Config {
+        let mut cfg = Config::default();
+        cfg.hot.push(crate::config::HotRegion {
+            file: file.into(),
+            functions: functions.iter().map(|s| s.to_string()).collect(),
+        });
+        cfg
+    }
+
+    fn lints_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.lint).collect()
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/nn/src/matrix.rs"), Some("nn"));
+        assert_eq!(classify("src/lib.rs"), Some("graf"));
+        assert_eq!(classify("crates/nn/tests/sanitize.rs"), None);
+        assert_eq!(classify("crates/nn/benches/kernels.rs"), None);
+        assert_eq!(classify("examples/pilot.rs"), None);
+        assert_eq!(classify("tests/determinism.rs"), None);
+        assert_eq!(classify("scripts/gen.rs"), None);
+    }
+
+    #[test]
+    fn wallclock_fires_and_gating_suppresses() {
+        let cfg = Config::default();
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        let f = lint_file("crates/sim/src/world.rs", src, &cfg);
+        assert_eq!(lints_of(&f), vec![WALLCLOCK]);
+
+        let gated = "fn f(s: &Span) { let t0 = s.is_recording().then(std::time::Instant::now); }";
+        assert!(lint_file("crates/sim/src/world.rs", gated, &cfg).is_empty());
+
+        // Exempt crate.
+        assert!(lint_file("crates/obs/src/lib.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn wallclock_in_string_comment_or_test_does_not_fire() {
+        let cfg = Config::default();
+        let src = r#"
+fn f() {
+    let s = "Instant::now()";
+    // Instant::now()
+}
+#[cfg(test)]
+mod tests {
+    fn t() { let x = std::time::Instant::now(); }
+}
+"#;
+        assert!(lint_file("crates/sim/src/world.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn unordered_map_detects_for_and_methods() {
+        let cfg = Config::default();
+        let src = "
+use std::collections::HashMap;
+struct S { profiles: HashMap<u16, u64> }
+fn f(s: &S) {
+    for (k, v) in &s.profiles {}
+    let ids: Vec<u16> = s.profiles.keys().cloned().collect();
+}
+fn g() {
+    let mut local = HashMap::new();
+    local.insert(1, 2);
+    for v in local.values() {}
+}
+";
+        let f = lint_file("crates/trace/src/stats.rs", src, &cfg);
+        assert_eq!(lints_of(&f), vec![UNORDERED_MAP; 3]);
+    }
+
+    #[test]
+    fn unordered_map_lookup_only_is_clean() {
+        let cfg = Config::default();
+        let src = "
+use std::collections::HashMap;
+struct S { open: HashMap<u64, u32> }
+fn f(s: &mut S) -> Option<u32> { s.open.remove(&3) }
+";
+        assert!(lint_file("crates/trace/src/store.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn unordered_map_outside_configured_crates_is_clean() {
+        let cfg = Config::default();
+        let src =
+            "use std::collections::HashMap;\nfn f(m: HashMap<u8, u8>) { for x in m.values() {} }";
+        // `metrics` is not in the ordered-crates list.
+        let m =
+            "fn f() { let m = std::collections::HashMap::<u8,u8>::new(); for x in m.values() {} }";
+        assert!(lint_file("crates/metrics/src/lib.rs", src, &cfg).is_empty());
+        assert!(lint_file("crates/metrics/src/lib.rs", m, &cfg).is_empty());
+    }
+
+    #[test]
+    fn unwrap_fires_in_lib_not_in_tests() {
+        let cfg = Config::default();
+        let src = "
+fn f(x: Option<u8>) -> u8 { x.unwrap() }
+fn ok(x: Option<u8>) -> u8 { x.unwrap_or(0) }
+#[cfg(test)]
+mod tests {
+    fn t(x: Option<u8>) -> u8 { x.unwrap() }
+}
+";
+        let f = lint_file("crates/core/src/solver.rs", src, &cfg);
+        assert_eq!(lints_of(&f), vec![UNWRAP_IN_LIB]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn unseeded_rng_fires_outside_home() {
+        let cfg = Config::default();
+        let src = "fn f() { let r = rand::rngs::SmallRng::seed_from_u64(7); }";
+        let f = lint_file("crates/gnn/src/model.rs", src, &cfg);
+        assert!(f.iter().all(|f| f.lint == UNSEEDED_RNG) && !f.is_empty());
+        assert!(lint_file("crates/sim/src/rng.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_only_in_declared_functions() {
+        let cfg = cfg_with_hot("crates/nn/src/matrix.rs", &["matmul_into"]);
+        let src = "
+impl Matrix {
+    pub fn matmul_into(&self, out: &mut Matrix) {
+        let v = self.data.to_vec();
+        let w: Vec<f64> = v.iter().map(|x| x * 2.0).collect();
+        let s = format!(\"{}\", w.len());
+    }
+    pub fn matmul(&self) -> Vec<f64> {
+        self.data.to_vec()
+    }
+}
+";
+        let f = lint_file("crates/nn/src/matrix.rs", src, &cfg);
+        assert_eq!(lints_of(&f), vec![HOT_PATH_ALLOC; 3]);
+        assert!(f.iter().all(|x| x.message.contains("matmul_into")));
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_with_reason() {
+        let cfg = Config::default();
+        let src = "
+// graf-lint: allow(unwrap, poisoned mutex is unrecoverable here)
+fn f(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        assert!(lint_file("crates/core/src/solver.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_same_line_works() {
+        let cfg = Config::default();
+        let src =
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // graf-lint: allow(unwrap, demo reason)";
+        assert!(lint_file("crates/core/src/solver.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_bad_annotation() {
+        let cfg = Config::default();
+        let src = "
+// graf-lint: allow(unwrap)
+fn f(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        let f = lint_file("crates/core/src/solver.rs", src, &cfg);
+        // Fail closed: the malformed annotation is reported AND the
+        // underlying finding still fires.
+        assert_eq!(lints_of(&f), vec![BAD_ANNOTATION, UNWRAP_IN_LIB]);
+    }
+
+    #[test]
+    fn allow_unknown_lint_is_bad_annotation() {
+        let cfg = Config::default();
+        let src = "// graf-lint: allow(no-such-lint, whatever)\nfn f() {}";
+        let f = lint_file("crates/core/src/solver.rs", src, &cfg);
+        assert_eq!(lints_of(&f), vec![BAD_ANNOTATION]);
+    }
+
+    #[test]
+    fn annotation_does_not_leak_two_lines_down() {
+        let cfg = Config::default();
+        let src = "
+// graf-lint: allow(unwrap, only covers the next line)
+fn a(x: Option<u8>) -> u8 { x.unwrap() }
+fn b(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        let f = lint_file("crates/core/src/solver.rs", src, &cfg);
+        assert_eq!(lints_of(&f), vec![UNWRAP_IN_LIB]);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn test_only_file_is_skipped() {
+        let cfg = Config::default();
+        let src = "#![cfg(test)]\nfn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert!(lint_file("crates/core/src/solver.rs", src, &cfg).is_empty());
+    }
+}

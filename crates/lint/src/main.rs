@@ -1,0 +1,132 @@
+//! The `graf-lint` CLI.
+//!
+//! ```text
+//! graf-lint [--root DIR] [--config FILE] [--baseline FILE] [--json] [--write-baseline]
+//! ```
+//!
+//! Exit codes: `0` — no findings beyond the baseline; `1` — new findings;
+//! `2` — usage, configuration or I/O error.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use graf_lint::{scan_workspace, Baseline, Config, Finding};
+
+struct Args {
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+    write_baseline: bool,
+}
+
+const USAGE: &str = "usage: graf-lint [--root DIR] [--config FILE] [--baseline FILE] [--json] [--write-baseline]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { root: None, config: None, baseline: None, json: false, write_baseline: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--root" => args.root = Some(next_path(&mut it, "--root")?),
+            "--config" => args.config = Some(next_path(&mut it, "--config")?),
+            "--baseline" => args.baseline = Some(next_path(&mut it, "--baseline")?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn next_path(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+    it.next().map(PathBuf::from).ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+}
+
+/// Walks up from the current directory to the first one containing
+/// `lint.toml` (the repo root).
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("no lint.toml found in any parent directory (use --root)".into());
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let root = match args.root {
+        Some(r) => r,
+        None => find_root()?,
+    };
+    let config_path = args.config.unwrap_or_else(|| root.join("lint.toml"));
+    let cfg_text = fs::read_to_string(&config_path)
+        .map_err(|e| format!("{}: {e}", config_path.display()))?;
+    let cfg = Config::parse(&cfg_text)?;
+
+    let result = scan_workspace(&root, &cfg).map_err(|e| format!("scan: {e}"))?;
+
+    let baseline_path = args.baseline.unwrap_or_else(|| root.join("lint.baseline"));
+    if args.write_baseline {
+        let text = Baseline::render(&result.findings);
+        fs::write(&baseline_path, &text)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "graf-lint: wrote {} entries to {}",
+            result.findings.len(),
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(format!("{}: {e}", baseline_path.display())),
+    };
+    let (baselined, new) = baseline.partition(&result.findings);
+
+    if args.json {
+        print!("{}", graf_lint::render_json(&result.findings, &new, result.files_scanned));
+    } else {
+        for f in &new {
+            print_finding(f, true);
+        }
+        for f in &baselined {
+            print_finding(f, false);
+        }
+        println!(
+            "graf-lint: {} files, {} findings ({} new, {} baselined)",
+            result.files_scanned,
+            result.findings.len(),
+            new.len(),
+            baselined.len()
+        );
+    }
+    Ok(new.is_empty())
+}
+
+fn print_finding(f: &Finding, is_new: bool) {
+    let tag = if is_new { "" } else { " [baselined]" };
+    println!("{}:{}: [{}]{} {}", f.path, f.line, f.lint, tag, f.message);
+    println!("    {}", f.snippet);
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("graf-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

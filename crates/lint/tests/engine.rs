@@ -1,0 +1,163 @@
+//! End-to-end tests for the lint engine and the `graf-lint` binary.
+//!
+//! The fixture files under `tests/fixtures/` are real `.rs` sources that are
+//! never compiled (nothing below `tests/` is a test target) and never scanned
+//! by the repo's own lint run (`lint.toml` excludes the directory); the tests
+//! lint them under synthetic `crates/sim/src/…` paths. The binary tests build
+//! a throwaway mini-workspace under `CARGO_TARGET_TMPDIR` and drive the
+//! compiled `graf-lint` executable through the full baseline workflow,
+//! proving CI goes red exactly when a NEW violation appears.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use graf_lint::lints::{
+    lint_file, BAD_ANNOTATION, HOT_PATH_ALLOC, UNORDERED_MAP, UNSEEDED_RNG, UNWRAP_IN_LIB,
+    WALLCLOCK,
+};
+use graf_lint::{scan_workspace, Baseline, Config};
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    fs::read_to_string(&p).unwrap_or_else(|e| panic!("{}: {e}", p.display()))
+}
+
+/// Default config plus a hot region covering the dirty fixture's kernel.
+fn fixture_cfg() -> Config {
+    Config::parse(
+        "[[hot]]\n\
+         file = \"crates/sim/src/dirty.rs\"\n\
+         functions = [\"hot_kernel\"]\n",
+    )
+    .expect("fixture config parses")
+}
+
+#[test]
+fn dirty_fixture_fires_every_lint_once() {
+    let findings = lint_file("crates/sim/src/dirty.rs", &fixture("dirty.rs"), &fixture_cfg());
+    let mut lints: Vec<&str> = findings.iter().map(|f| f.lint).collect();
+    lints.sort_unstable();
+    assert_eq!(
+        lints,
+        vec![BAD_ANNOTATION, HOT_PATH_ALLOC, UNORDERED_MAP, UNSEEDED_RNG, UNWRAP_IN_LIB, WALLCLOCK],
+        "expected exactly one finding per lint, got: {findings:#?}"
+    );
+}
+
+#[test]
+fn violations_in_strings_comments_and_test_code_do_not_fire() {
+    let findings = lint_file("crates/sim/src/clean.rs", &fixture("clean.rs"), &fixture_cfg());
+    assert!(findings.is_empty(), "clean fixture must produce no findings: {findings:#?}");
+}
+
+#[test]
+fn justified_annotations_suppress_real_violations() {
+    let findings = lint_file("crates/sim/src/allowed.rs", &fixture("allowed.rs"), &fixture_cfg());
+    assert!(findings.is_empty(), "annotated fixture must produce no findings: {findings:#?}");
+}
+
+#[test]
+fn fixture_findings_outside_declared_crates_are_scoped() {
+    // Linted under a crate not in `ordered_crates`, the map iteration is
+    // allowed; the unconditional lints still apply.
+    let findings = lint_file("crates/apps/src/dirty.rs", &fixture("dirty.rs"), &fixture_cfg());
+    assert!(findings.iter().all(|f| f.lint != UNORDERED_MAP), "{findings:#?}");
+    assert!(findings.iter().any(|f| f.lint == UNWRAP_IN_LIB));
+    // And under a test path the file is not a lint target at all.
+    assert!(lint_file("crates/sim/tests/dirty.rs", &fixture("dirty.rs"), &fixture_cfg())
+        .is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Binary workflow.
+// ---------------------------------------------------------------------------
+
+struct MiniWs {
+    root: PathBuf,
+}
+
+impl MiniWs {
+    /// `CARGO_TARGET_TMPDIR/<name>` with a `lint.toml` and one library file.
+    fn create(name: &str) -> MiniWs {
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+        if root.exists() {
+            fs::remove_dir_all(&root).expect("clear stale mini-workspace");
+        }
+        fs::create_dir_all(root.join("crates/foo/src")).expect("mini-workspace dirs");
+        fs::write(root.join("lint.toml"), "# defaults\n").expect("write lint.toml");
+        let ws = MiniWs { root };
+        ws.write_lib("pub fn one(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n");
+        ws
+    }
+
+    fn write_lib(&self, src: &str) {
+        fs::write(self.root.join("crates/foo/src/lib.rs"), src).expect("write lib.rs");
+    }
+
+    fn run(&self, extra: &[&str]) -> Output {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_graf-lint"));
+        cmd.arg("--root").arg(&self.root).args(extra);
+        cmd.output().expect("run graf-lint")
+    }
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("graf-lint exited via signal")
+}
+
+#[test]
+fn binary_goes_red_on_new_violations_only() {
+    let ws = MiniWs::create("lint-ws-red");
+
+    // Fresh workspace with a violation and no baseline: CI is red.
+    let out = ws.run(&[]);
+    assert_eq!(code(&out), 1, "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("unwrap-in-lib"));
+
+    // Accept the current state into the baseline: CI is green again.
+    assert_eq!(code(&ws.run(&["--write-baseline"])), 0);
+    assert_eq!(code(&ws.run(&[])), 0);
+
+    // A synthetic NEW violation lands: CI goes red, and the JSON report
+    // marks the new finding while the baselined one stays accepted.
+    ws.write_lib(
+        "pub fn one(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n\
+         pub fn two(v: Option<u64>) -> u64 {\n    v.unwrap()\n}\n",
+    );
+    let out = ws.run(&["--json"]);
+    assert_eq!(code(&out), 1);
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"new\": true"), "json: {json}");
+    assert!(json.contains("\"new\": false"), "json: {json}");
+}
+
+#[test]
+fn binary_rejects_config_typos() {
+    let ws = MiniWs::create("lint-ws-cfg");
+    fs::write(ws.root.join("lint.toml"), "[bogus]\nkey = \"v\"\n").expect("write bad config");
+    let out = ws.run(&[]);
+    assert_eq!(code(&out), 2, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+// ---------------------------------------------------------------------------
+// The committed baseline.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn committed_baseline_matches_fresh_workspace_scan() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg_text = fs::read_to_string(root.join("lint.toml")).expect("repo lint.toml");
+    let cfg = Config::parse(&cfg_text).expect("repo lint.toml parses");
+    let result = scan_workspace(&root, &cfg).expect("workspace scan");
+
+    let committed = fs::read_to_string(root.join("lint.baseline")).expect("repo lint.baseline");
+    let baseline = Baseline::parse(&committed).expect("repo lint.baseline parses");
+    let (_, new) = baseline.partition(&result.findings);
+    assert!(new.is_empty(), "workspace has findings not in lint.baseline: {new:#?}");
+    assert_eq!(
+        Baseline::render(&result.findings),
+        committed,
+        "lint.baseline is stale; regenerate with `cargo run -p graf-lint -- --write-baseline`"
+    );
+}

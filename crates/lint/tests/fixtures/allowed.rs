@@ -1,0 +1,28 @@
+// Fixture: real violations, each carrying a justified allow annotation on
+// the same or the preceding line. Zero findings expected. Not compiled; see
+// dirty.rs for why.
+
+use std::collections::HashMap;
+
+pub struct Cache {
+    pub entries: HashMap<u64, u64>,
+}
+
+pub fn sum(c: &Cache) -> u64 {
+    let mut total = 0;
+    // graf-lint: allow(unordered-map, summation is order-independent)
+    for v in c.entries.values() {
+        total += v;
+    }
+    total
+}
+
+pub fn must(v: Option<u64>) -> u64 {
+    v.unwrap() // graf-lint: allow(unwrap, fixture invariant - caller checked is_some)
+}
+
+pub fn wall() -> u64 {
+    // graf-lint: allow(wallclock, fixture exercises the suppression path)
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,30 @@
+// Fixture: every banned construct appears only where the lexer must ignore
+// it — comments, string literals and `#[cfg(test)]` items. Zero findings
+// expected. Not compiled; see dirty.rs for why.
+
+pub fn describe() -> &'static str {
+    // Mentioning Instant::now(), SystemTime, thread_rng() or .unwrap() in a
+    // comment is inert.
+    "so is .unwrap() or Instant::now() inside a string literal"
+}
+
+pub fn raw() -> &'static str {
+    r#"even in raw strings: SystemTime, thread_rng(), m.values()"#
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let mut m = HashMap::new();
+        m.insert("k", 1u32);
+        for v in m.values() {
+            assert_eq!(*v, 1);
+        }
+        let x: Option<u32> = Some(2);
+        assert_eq!(x.unwrap(), 2);
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,41 @@
+// Fixture: one positive case per lint. The engine tests lint this file as
+// `crates/sim/src/dirty.rs` with `hot_kernel` declared hot. Not compiled —
+// nothing under tests/fixtures/ is a test target, and lint.toml excludes the
+// directory from the workspace scan.
+
+use std::collections::HashMap;
+
+pub fn wall() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub struct Table {
+    pub by_name: HashMap<String, u32>,
+}
+
+pub fn dump(t: &Table) -> Vec<u32> {
+    let mut out = Vec::new();
+    for v in t.by_name.values() {
+        out.push(*v);
+    }
+    out
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn roll() -> u32 {
+    let mut r = thread_rng();
+    r.next_u32()
+}
+
+pub fn hot_kernel(n: usize) -> Vec<f64> {
+    let mut v = Vec::with_capacity(n);
+    v.resize(n, 0.0);
+    v
+}
+
+// graf-lint: allow(unwrap)
+pub fn annotated_badly() {}

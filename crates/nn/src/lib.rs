@@ -26,7 +26,11 @@
 //! the [`mlp::MlpGrads`] external gradient sink (see `Mlp::forward_into` /
 //! `Mlp::backward_with`).
 
-#![forbid(unsafe_code)]
+// The `sanitize` feature's counting global allocator is the one sanctioned
+// use of `unsafe` (the GlobalAlloc contract); it opts out of the deny locally.
+// Without the feature the whole crate remains forbid-clean.
+#![cfg_attr(not(feature = "sanitize"), forbid(unsafe_code))]
+#![cfg_attr(feature = "sanitize", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod loss;
@@ -34,6 +38,8 @@ pub mod matrix;
 pub mod mlp;
 pub mod optim;
 pub mod param;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod workspace;
 
 pub use loss::AsymmetricHuber;

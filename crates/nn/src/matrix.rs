@@ -193,6 +193,7 @@ impl Matrix {
             &mut out.data,
             true,
         );
+        out.debug_assert_finite("matmul_into output");
     }
 
     /// `out += self × rhs`, accumulating into an existing `rows × rhs.cols`
@@ -227,6 +228,7 @@ impl Matrix {
                 *v = dot(arow, brow);
             }
         }
+        out.debug_assert_finite("matmul_transb_into output");
     }
 
     /// `out += selfᵀ × rhs`, accumulating into `out` (which must already be
@@ -268,6 +270,7 @@ impl Matrix {
         }
         // Accumulate the matmul on top of the bias-initialised output.
         accumulate_matmul(&self.data, self.rows, self.cols, &w.data, w.cols, &mut out.data, false);
+        out.debug_assert_finite("affine_into output");
     }
 
     /// Fused affine + ReLU: `out = max(self × w + bias, 0)`.
@@ -425,6 +428,26 @@ impl Matrix {
     /// Frobenius norm.
     pub fn norm(&self) -> f64 {
         self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Debug-build poison check: panics if any entry is NaN or ±∞.
+    ///
+    /// Wired into the compute kernels so a poisoned operand is caught at the
+    /// first kernel that touches it, not pages later at the loss. Compiles to
+    /// nothing in release builds; the message is formatted only on failure,
+    /// so the check never allocates on the hot path.
+    #[inline]
+    pub fn debug_assert_finite(&self, context: &str) {
+        if cfg!(debug_assertions) {
+            for (i, &v) in self.data.iter().enumerate() {
+                assert!(
+                    v.is_finite(),
+                    "{context}: non-finite value {v} at ({}, {})",
+                    i / self.cols.max(1),
+                    i % self.cols.max(1)
+                );
+            }
+        }
     }
 
     /// Sets all entries to zero.

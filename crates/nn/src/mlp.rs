@@ -141,6 +141,7 @@ impl Mlp {
         trace.dropout.resize_with(l, || None);
         trace.inputs[0].copy_from(x);
         for i in 0..last {
+            self.debug_check_layer(i);
             let (head, tail) = trace.inputs.split_at_mut(i + 1);
             let (src, dst) = (&head[i], &mut tail[0]);
             src.affine_relu_into(&self.weights[i].value, &self.biases[i].value, dst);
@@ -170,6 +171,7 @@ impl Mlp {
                 trace.dropout[i] = None;
             }
         }
+        self.debug_check_layer(last);
         trace.inputs[last].affine_into(&self.weights[last].value, &self.biases[last].value, out);
     }
 
@@ -324,6 +326,34 @@ impl Mlp {
     /// Mutable references to every parameter, for the optimizer.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         self.weights.iter_mut().chain(self.biases.iter_mut()).collect()
+    }
+
+    /// Visits every parameter (same order as [`Mlp::params_mut`]) without
+    /// collecting references into a `Vec` — the allocation-free path for
+    /// `Adam::begin_step` + `Adam::update` loops.
+    pub fn for_each_param_mut(&mut self, mut f: impl FnMut(&mut Param)) {
+        for p in self.weights.iter_mut() {
+            f(p);
+        }
+        for p in self.biases.iter_mut() {
+            f(p);
+        }
+    }
+
+    /// Debug-build poison check for layer `i`'s weights and biases. Panics
+    /// naming the first poisoned layer, so corruption is caught where it
+    /// lives rather than at the final loss. Free in release builds; never
+    /// allocates unless it fails.
+    #[inline]
+    fn debug_check_layer(&self, i: usize) {
+        if cfg!(debug_assertions) {
+            for &v in self.weights[i].value.data() {
+                assert!(v.is_finite(), "poisoned weight in layer {i}: {v} is not finite");
+            }
+            for &v in self.biases[i].value.data() {
+                assert!(v.is_finite(), "poisoned bias in layer {i}: {v} is not finite");
+            }
+        }
     }
 }
 

@@ -15,40 +15,60 @@ pub struct Adam {
     /// Numerical stabilizer.
     pub eps: f64,
     t: u64,
+    // Bias corrections for the step in progress, cached by `begin_step` so
+    // `update` is a pure per-tensor pass (no per-call `powi`).
+    bc1: f64,
+    bc2: f64,
 }
 
 impl Adam {
     /// Creates Adam with the standard betas.
     pub fn new(lr: f64) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, bc1: 1.0, bc2: 1.0 }
+    }
+
+    /// Opens optimizer step `t + 1`: advances time and caches the bias
+    /// corrections. Follow with one [`Adam::update`] per parameter tensor.
+    ///
+    /// The split exists so callers holding parameters spread across several
+    /// networks can step them without first collecting `&mut Param`s into a
+    /// temporary `Vec` — the allocation-free training path.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+        self.bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        self.bc2 = 1.0 - self.beta2.powi(self.t as i32);
+    }
+
+    /// Steps one parameter against its accumulated gradient, then zeroes the
+    /// gradient. Must be preceded by [`Adam::begin_step`] for this step.
+    ///
+    /// One fused pass over the tensor — moments, bias-corrected update, and
+    /// gradient reset happen in place, with no temporaries.
+    pub fn update(&mut self, p: &mut Param) {
+        debug_assert!(self.t > 0, "Adam::begin_step must run before update");
+        let it = p
+            .value
+            .data_mut()
+            .iter_mut()
+            .zip(p.grad.data_mut())
+            .zip(p.m.data_mut().iter_mut().zip(p.v.data_mut()));
+        for ((value, grad), (m, v)) in it {
+            let g = *grad;
+            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+            *v = self.beta2 * *v + (1.0 - self.beta2) * (g * g);
+            let mhat = *m / self.bc1;
+            let vhat = *v / self.bc2;
+            *value += -self.lr * mhat / (vhat.sqrt() + self.eps);
+            *grad = 0.0;
+        }
     }
 
     /// Steps every parameter against its accumulated gradient, then zeroes
-    /// the gradients.
-    ///
-    /// One fused pass per parameter tensor — moments, bias-corrected update,
-    /// and gradient reset happen in place, with no temporaries.
+    /// the gradients ([`Adam::begin_step`] + [`Adam::update`] fused).
     pub fn step(&mut self, params: &mut [&mut Param]) {
-        self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        self.begin_step();
         for p in params.iter_mut() {
-            let p = &mut **p;
-            let it = p
-                .value
-                .data_mut()
-                .iter_mut()
-                .zip(p.grad.data_mut())
-                .zip(p.m.data_mut().iter_mut().zip(p.v.data_mut()));
-            for ((value, grad), (m, v)) in it {
-                let g = *grad;
-                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
-                *v = self.beta2 * *v + (1.0 - self.beta2) * (g * g);
-                let mhat = *m / bc1;
-                let vhat = *v / bc2;
-                *value += -self.lr * mhat / (vhat.sqrt() + self.eps);
-                *grad = 0.0;
-            }
+            self.update(p);
         }
     }
 

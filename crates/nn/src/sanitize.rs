@@ -1,0 +1,105 @@
+//! Allocation sanitizer (the `sanitize` cargo feature).
+//!
+//! Installs a counting [`GlobalAlloc`] wrapper over the system allocator and
+//! exposes [`assert_no_alloc`] / [`alloc_delta`] so tests can *prove* that a
+//! hot path — one training step, one solver iteration — performs zero heap
+//! allocations in steady state, rather than inferring it from workspace
+//! statistics.
+//!
+//! The counter is thread-local and const-initialised, so reading it never
+//! allocates (no lazy TLS init) and parallel test threads do not interfere
+//! with each other's measurements. This pairs with the compute layer's
+//! `threads <= 1` inline path: the measured work must stay on the measuring
+//! thread.
+//!
+//! This is the only module in the crate allowed to use `unsafe` (the
+//! [`GlobalAlloc`] contract requires it); everything else stays under
+//! `deny(unsafe_code)`, and without the feature the whole crate is
+//! `forbid(unsafe_code)`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A [`System`] wrapper that counts allocations per thread.
+pub struct CountingAlloc;
+
+#[allow(unsafe_code)]
+// SAFETY: every method delegates to `System`, which upholds the GlobalAlloc
+// contract; the counter update has no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc that moves (or grows) is an allocation for our purposes:
+        // a steady-state hot path must not grow its buffers.
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations made by the current thread so far.
+pub fn alloc_count() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// Runs `f`, returning its result and the number of heap allocations the
+/// current thread made while it ran.
+pub fn alloc_delta<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = alloc_count();
+    let out = f();
+    (out, alloc_count() - before)
+}
+
+/// Asserts that `f` performs **zero** heap allocations on this thread.
+///
+/// `label` names the measured region in the failure message. Returns `f`'s
+/// result so the caller can keep asserting on it.
+pub fn assert_no_alloc<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let (out, n) = alloc_delta(f);
+    assert_eq!(n, 0, "{label}: expected zero heap allocations in steady state, observed {n}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_an_allocation() {
+        let ((), n) = alloc_delta(|| {
+            let v: Vec<u64> = Vec::with_capacity(8);
+            drop(v);
+        });
+        assert!(n >= 1, "Vec::with_capacity must register, saw {n}");
+    }
+
+    #[test]
+    fn pure_arithmetic_is_allocation_free() {
+        let (sum, n) = alloc_delta(|| (0u64..100).sum::<u64>());
+        assert_eq!(sum, 4950);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero heap allocations")]
+    fn assert_no_alloc_catches_a_leaky_region() {
+        assert_no_alloc("leaky", || {
+            let v = vec![1u8, 2, 3];
+            drop(v);
+        });
+    }
+}

@@ -13,7 +13,7 @@
 //! Determinism: all events are processed in `(time, schedule-order)` order and
 //! all randomness derives from the seed passed to [`World::new`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use graf_metrics::{RateCounter, WindowedLatency};
 use graf_trace::{Span, SpanId, TraceId, TraceStore};
@@ -166,7 +166,9 @@ pub struct World {
     instances: Vec<Option<Instance>>,
     frames: Vec<Frame>,
     free_frames: Vec<u32>,
-    requests: HashMap<RequestId, RequestMeta>,
+    // Ordered map so any future iteration over in-flight requests is
+    // deterministic by construction (`unordered-map-iteration` lint).
+    requests: BTreeMap<RequestId, RequestMeta>,
     queue: EventQueue<Event>,
     now: SimTime,
     rng_work: DetRng,
@@ -199,7 +201,7 @@ impl World {
             instances: Vec::new(),
             frames: Vec::new(),
             free_frames: Vec::new(),
-            requests: HashMap::new(),
+            requests: BTreeMap::new(),
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             rng_work: root_rng.fork(seed ^ 0x1),

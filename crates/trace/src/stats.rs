@@ -6,7 +6,7 @@
 //! 90 %-ile), and (b) the parent→child service edges, which define the
 //! message-passing structure of the GNN (§3.4).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use graf_metrics::Summary;
 
@@ -25,7 +25,9 @@ pub struct Edge {
 #[derive(Clone, Debug, Default)]
 pub struct ApiProfile {
     /// Per-service: one sample per trace = number of spans that service ran.
-    calls: HashMap<u16, Summary>,
+    /// A `BTreeMap` so iteration (and everything derived from it) is
+    /// deterministic without a sort step.
+    calls: BTreeMap<u16, Summary>,
     traces_seen: u64,
 }
 
@@ -44,19 +46,17 @@ impl ApiProfile {
         self.calls.get_mut(&service).and_then(|s| s.percentile(q)).unwrap_or(0.0)
     }
 
-    /// Services this API was observed to touch at least once.
+    /// Services this API was observed to touch at least once, ascending.
     pub fn services(&self) -> Vec<u16> {
-        let mut v: Vec<u16> = self.calls.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.calls.keys().copied().collect()
     }
 }
 
 /// Aggregates traces into per-API profiles and the global edge set.
 #[derive(Clone, Debug, Default)]
 pub struct CallStats {
-    profiles: HashMap<u16, ApiProfile>,
-    edges: HashMap<Edge, u64>,
+    profiles: BTreeMap<u16, ApiProfile>,
+    edges: BTreeMap<Edge, u64>,
 }
 
 impl CallStats {
@@ -70,8 +70,9 @@ impl CallStats {
         let profile = self.profiles.entry(trace.api).or_default();
         profile.traces_seen += 1;
 
-        // Count spans per service in this trace.
-        let mut per_service: HashMap<u16, u32> = HashMap::new();
+        // Count spans per service in this trace. Ordered so the sample
+        // insertion order below is deterministic.
+        let mut per_service: BTreeMap<u16, u32> = BTreeMap::new();
         for s in &trace.spans {
             *per_service.entry(s.service).or_insert(0) += 1;
         }
@@ -114,11 +115,9 @@ impl CallStats {
         self.profiles.get_mut(&api)
     }
 
-    /// All observed service-to-service edges, sorted for determinism.
+    /// All observed service-to-service edges, in ascending order.
     pub fn edges(&self) -> Vec<Edge> {
-        let mut v: Vec<Edge> = self.edges.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.edges.keys().copied().collect()
     }
 
     /// How many times `edge` was traversed across all observed traces.
@@ -126,11 +125,9 @@ impl CallStats {
         self.edges.get(&edge).copied().unwrap_or(0)
     }
 
-    /// APIs that have at least one observed trace, sorted.
+    /// APIs that have at least one observed trace, ascending.
     pub fn apis(&self) -> Vec<u16> {
-        let mut v: Vec<u16> = self.profiles.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.profiles.keys().copied().collect()
     }
 }
 

@@ -15,6 +15,14 @@ cargo fmt --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== graf-lint (fails on findings beyond lint.baseline) =="
+cargo run --release -p graf-lint -- --json
+
+echo "== sanitizer: zero-allocation steady state =="
+cargo test -q -p graf-nn --features sanitize
+cargo test -q -p graf-gnn --features sanitize --test sanitize
+cargo test -q -p graf-core --features sanitize --test sanitize
+
 echo "== cargo bench --no-run =="
 cargo bench --no-run
 
