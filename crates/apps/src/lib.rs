@@ -8,9 +8,9 @@
 //!   "Locust generates workloads composed of three multi APIs".
 //! * [`social_network`] — DeathStarBench's Social Network; 10 controlled
 //!   microservices on the post-compose path (the paper's MS1–MS10, Fig 10).
-//! * [`robot_shop`] — Stan's Robot Shop (Fig 5 left), whose Web vs Catalogue
+//! * [`robot_shop()`](robot_shop::robot_shop) — Stan's Robot Shop (Fig 5 left), whose Web vs Catalogue
 //!   latency curves motivate §2.2.
-//! * [`bookinfo`] — Istio's Bookinfo (Fig 5 right), whose Details ∥
+//! * [`bookinfo()`](bookinfo::bookinfo) — Istio's Bookinfo (Fig 5 right), whose Details ∥
 //!   Reviews→Ratings parallelism shows why off-critical-path services don't
 //!   deserve extra CPU.
 //!
@@ -20,6 +20,10 @@
 //! latency-sensitive than others (Online Boutique's recommendation/shipping,
 //! which GRAF deliberately over-allocates in Fig 15), and parallel branches
 //! create `max()`-shaped end-to-end latency (Bookinfo).
+//!
+//! **Invariants.** Topologies are pure data: constructors take no seeds,
+//! draw no randomness and always return the same `AppTopology`, so every
+//! experiment's application model is reproducible by construction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -11,6 +11,10 @@
 ///   JSONL event log to `path` and print the summary table at exit.
 /// * `--threads <n>` — worker threads for data-parallel training (results
 ///   are bit-identical for any value; default 1).
+/// * `--chaos <class>` — restrict chaos-aware binaries (`chaos_matrix`) to
+///   one fault class (`trace_drop`, `metric_nan`, `metric_stale`,
+///   `stale_model`, `creation_fail`, `slow_start`, `latency_spike`, or
+///   `none`); all classes run when unset.
 #[derive(Clone, Debug)]
 pub struct Args {
     /// Base RNG seed.
@@ -25,6 +29,8 @@ pub struct Args {
     pub telemetry: Option<String>,
     /// Training worker threads (deterministic for any value; 1 = serial).
     pub threads: Option<usize>,
+    /// Fault-class filter for chaos-aware binaries (None = all classes).
+    pub chaos: Option<String>,
 }
 
 impl Default for Args {
@@ -36,6 +42,7 @@ impl Default for Args {
             quick: false,
             telemetry: None,
             threads: None,
+            chaos: None,
         }
     }
 }
@@ -67,6 +74,9 @@ impl Args {
                 }
                 "--telemetry" => {
                     out.telemetry = Some(it.next().expect("--telemetry needs a file path"));
+                }
+                "--chaos" => {
+                    out.chaos = Some(it.next().expect("--chaos needs a fault-class name"));
                 }
                 "--threads" => {
                     out.threads = Some(

@@ -1,0 +1,223 @@
+//! Chaos matrix: every fault class × degradation policy under a traffic
+//! surge (EXPERIMENTS.md §7).
+//!
+//! Each cell replays the Fig-21-style surge scenario on a three-service
+//! chain while `graf-chaos` injects one fault class over a window that
+//! brackets the surge, and the controller runs under one of two policies:
+//!
+//! * **ladder** — [`ResilientController`] with the full degradation ladder
+//!   (full solve → last-good plan → HPA fallback → freeze, with hysteresis
+//!   and trace-gap interpolation),
+//! * **freeze** — the naive strawman that freezes on *any* unhealthy signal
+//!   and resumes only when every signal recovers.
+//!
+//! Reported per cell: post-surge p99, time for p99 to reconverge under the
+//! SLO, final/peak instances and degradation transitions. The run is
+//! bit-deterministic per seed; the same seed always yields the same table.
+//!
+//! ```sh
+//! cargo run --release -p graf-bench --bin chaos_matrix
+//! # one fault class only:
+//! cargo run --release -p graf-bench --bin chaos_matrix -- --chaos trace_drop
+//! ```
+
+use graf_bench::timeline::{convergence_time_s, percentile_between, run_with_timeline};
+use graf_bench::Args;
+use graf_chaos::{ChaosSchedule, FaultKind};
+use graf_core::{
+    Graf, GrafBuildConfig, PolicyMode, ResilientConfig, ResilientController, SamplingConfig,
+    TrainConfig,
+};
+use graf_loadgen::ClosedLoop;
+use graf_orchestrator::{Cluster, CreationModel, Deployment};
+use graf_sim::time::{SimDuration, SimTime};
+use graf_sim::topology::{ApiId, ApiSpec, AppTopology, CallNode, ServiceId, ServiceSpec};
+use graf_sim::world::{SimConfig, World};
+
+const SLO_MS: f64 = 60.0;
+const UNIT_MC: f64 = 500.0;
+/// Surge fires here; the controller has warmed up and planned by then.
+const SURGE_S: f64 = 120.0;
+const END_S: f64 = 420.0;
+/// Fault window bracketing the surge.
+const FAULT_FROM_S: f64 = 90.0;
+const FAULT_UNTIL_S: f64 = 240.0;
+
+/// gateway → auth → backend chain (front-loaded light, back-loaded heavy).
+fn chain3() -> AppTopology {
+    AppTopology::new(
+        "chain3",
+        vec![
+            ServiceSpec::new("gateway", 1.0, 400),
+            ServiceSpec::new("auth", 2.0, 300),
+            ServiceSpec::new("backend", 4.0, 500),
+        ],
+        vec![ApiSpec::new("get", CallNode::new(0).call(CallNode::new(1).call(CallNode::new(2))))],
+    )
+}
+
+fn fault_classes() -> Vec<(&'static str, Vec<FaultKind>)> {
+    vec![
+        ("none", vec![]),
+        ("trace_drop", vec![FaultKind::TraceDrop { drop_prob: 0.75 }]),
+        ("metric_nan", vec![FaultKind::MetricNan]),
+        ("metric_stale", vec![FaultKind::MetricStale { delay: SimDuration::from_secs(60.0) }]),
+        ("stale_model", vec![FaultKind::StaleModel]),
+        ("creation_fail", vec![FaultKind::CreationFail { prob: 1.0 }]),
+        ("slow_start", vec![FaultKind::SlowStart { factor: 4.0 }]),
+        ("latency_spike", vec![FaultKind::LatencySpike { service: ServiceId(2), factor: 3.0 }]),
+    ]
+}
+
+fn schedule(kinds: &[FaultKind], seed: u64) -> ChaosSchedule {
+    let mut s = ChaosSchedule::new(seed);
+    for kind in kinds {
+        s = s.fault(
+            kind.clone(),
+            SimTime::from_secs(FAULT_FROM_S),
+            SimTime::from_secs(FAULT_UNTIL_S),
+        );
+    }
+    s
+}
+
+struct Cell {
+    p99_ms: Option<f64>,
+    converge_s: Option<f64>,
+    final_instances: usize,
+    peak_instances: usize,
+    transitions: u64,
+    final_level: &'static str,
+}
+
+fn run_cell(graf: &Graf, sched: &ChaosSchedule, mode: PolicyMode, seed: u64) -> Cell {
+    let topo = chain3();
+    let world = World::new(topo.clone(), SimConfig::default(), seed);
+    let deployments = (0..topo.num_services())
+        .map(|s| Deployment::new(ServiceId(s as u16), UNIT_MC, 4))
+        .collect();
+    let mut cluster = Cluster::new(world, deployments, CreationModel::default());
+    cluster.arm_chaos(sched);
+
+    let mut rc = ResilientController::new(
+        graf.controller(SLO_MS),
+        ResilientConfig { mode, ..ResilientConfig::default() },
+    );
+    rc.arm_chaos(sched);
+
+    // ~300 qps before the surge, ~600 qps after (think time 2 s per user):
+    // an under-provisioned post-surge cluster genuinely queues.
+    let mut users = ClosedLoop::with_mix(vec![(ApiId(0), 2.0)], 600, seed ^ 0x21)
+        .users_at(SimTime::from_secs(SURGE_S), 1200);
+    let (tl, comps) = run_with_timeline(
+        &mut cluster,
+        &mut users,
+        &mut rc,
+        SimTime::from_secs(END_S),
+        SimDuration::from_secs(5.0),
+    );
+    Cell {
+        p99_ms: percentile_between(&comps, SURGE_S, END_S, 0.99),
+        converge_s: convergence_time_s(&tl, SURGE_S, SLO_MS, 4),
+        final_instances: tl.last().map_or(0, |p| p.total_instances),
+        peak_instances: tl
+            .iter()
+            .filter(|p| p.t_s >= SURGE_S)
+            .map(|p| p.total_instances)
+            .max()
+            .unwrap_or(0),
+        transitions: rc.transitions(),
+        final_level: rc.level().name(),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let obs = args.obs();
+    let topo = chain3();
+    println!("# Chaos matrix — fault class × degradation policy (surge at t={SURGE_S} s)");
+    println!(
+        "# fault window [{FAULT_FROM_S}, {FAULT_UNTIL_S}) s, SLO {SLO_MS} ms, seed {}",
+        args.seed
+    );
+    println!("training GRAF on chain3...");
+    let cfg = GrafBuildConfig {
+        sampling: SamplingConfig {
+            slo_ms: SLO_MS,
+            probe_qps: vec![400.0],
+            workload_range: (0.25, 1.6),
+            cpu_unit_mc: UNIT_MC,
+            measure_secs: if args.quick { 4.0 } else { 10.0 },
+            warmup_secs: if args.quick { 2.0 } else { 5.0 },
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            seed: args.seed,
+            ..SamplingConfig::default()
+        },
+        train: TrainConfig {
+            epochs: args.scaled(12, 40, 200),
+            seed: args.seed,
+            threads: args.threads.unwrap_or(1),
+            ..TrainConfig::default()
+        },
+        num_samples: args.samples.unwrap_or_else(|| args.scaled(120, 400, 2000)),
+        split_seed: args.seed ^ 0x5EED,
+        ..Default::default()
+    };
+    let graf = Graf::build_observed(topo, cfg, &obs);
+    println!(
+        "trained: {} samples, best val loss {:.4}\n",
+        graf.samples.len(),
+        graf.report.best_val
+    );
+
+    println!(
+        "{:<14} {:<8} {:>8} {:>11} {:>7} {:>6} {:>12} {:>11}",
+        "fault", "policy", "p99_ms", "converge_s", "final", "peak", "transitions", "final_level"
+    );
+    let mut ladder_vs_freeze: Vec<(&str, f64, f64)> = Vec::new();
+    for (name, kinds) in fault_classes() {
+        if args.chaos.as_deref().is_some_and(|only| only != name) {
+            continue;
+        }
+        let sched = schedule(&kinds, args.seed);
+        let mut row: Vec<(&str, Cell)> = Vec::new();
+        for (policy, mode) in
+            [("ladder", PolicyMode::Ladder), ("freeze", PolicyMode::FreezeOnFault)]
+        {
+            let cell = run_cell(&graf, &sched, mode, args.seed);
+            println!(
+                "{:<14} {:<8} {:>8} {:>11} {:>7} {:>6} {:>12} {:>11}",
+                name,
+                policy,
+                cell.p99_ms.map_or("n/a".into(), |v| format!("{v:.1}")),
+                cell.converge_s.map_or("never".into(), |v| format!("{v:.0}")),
+                cell.final_instances,
+                cell.peak_instances,
+                cell.transitions,
+                cell.final_level,
+            );
+            row.push((policy, cell));
+        }
+        if let [(_, ladder), (_, freeze)] = &row[..] {
+            if let (Some(l), Some(f)) = (ladder.p99_ms, freeze.p99_ms) {
+                ladder_vs_freeze.push((name, l, f));
+            }
+        }
+    }
+
+    println!("\n## ladder vs freeze (post-surge p99)");
+    for (name, l, f) in &ladder_vs_freeze {
+        println!(
+            "{name:>14}: ladder {l:.1} ms vs freeze {f:.1} ms ({})",
+            if l < f { "ladder better" } else { "freeze no worse" }
+        );
+    }
+    // The degradation ladder must strictly beat the freeze strawman where
+    // degrading gracefully matters most: lost traces and failed creations.
+    for target in ["trace_drop", "creation_fail"] {
+        if let Some((_, l, f)) = ladder_vs_freeze.iter().find(|(n, _, _)| *n == target) {
+            assert!(l < f, "ladder p99 ({l:.1} ms) must beat freeze ({f:.1} ms) under {target}");
+        }
+    }
+    args.finish_telemetry(&obs);
+}

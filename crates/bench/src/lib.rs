@@ -13,6 +13,12 @@
 //!   figure binary trains against the same artifacts the way the paper
 //!   trains one model per application and reuses it for every result
 //!   ("the model is trained once... used to reproduce every result").
+//!
+//! **Invariants.** Every experiment binary is deterministic per `--seed`:
+//! rerunning one produces byte-identical output (the chaos matrix asserts
+//! this property is preserved under fault injection too). Scale knobs
+//! (`--quick`, `--paper-scale`, `--samples`) change budgets, never the
+//! claim under test.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

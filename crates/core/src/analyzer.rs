@@ -78,8 +78,51 @@ impl WorkloadAnalyzer {
         &self.edges
     }
 
+    /// Folds a freshly refitted analyzer into this one, interpolating across
+    /// trace gaps: an API's multiplicity row is adopted from `fresh` only
+    /// when its observed trace coverage is at least `floor`; rows whose
+    /// coverage collapsed (spans dropped, traces truncated) keep the
+    /// last-known-good multiplicities instead, so per-service workloads stay
+    /// continuous across the gap rather than silently shrinking toward zero.
+    ///
+    /// `coverage[api]` is the observed fraction of expected spans per trace
+    /// (see [`WorkloadAnalyzer::expected_spans`]). Returns how many API rows
+    /// were held back (interpolated).
+    ///
+    /// # Panics
+    /// Panics if `fresh` or `coverage` disagree with this analyzer's shape.
+    pub fn fold_refit(&mut self, fresh: &WorkloadAnalyzer, coverage: &[f64], floor: f64) -> usize {
+        assert_eq!(fresh.num_apis(), self.num_apis(), "same API count");
+        assert_eq!(fresh.num_services(), self.num_services(), "same service count");
+        assert_eq!(coverage.len(), self.num_apis(), "one coverage figure per API");
+        let mut held = 0usize;
+        for ((dst, src), &cov) in self.mult.iter_mut().zip(&fresh.mult).zip(coverage) {
+            if cov >= floor {
+                dst.clone_from(src);
+            } else {
+                held += 1;
+            }
+        }
+        self.traces_seen += fresh.traces_seen;
+        held
+    }
+
+    /// Expected spans per trace of `api` under this analyzer's
+    /// multiplicities — `Σ_svc m(api, svc)`, the yardstick live trace
+    /// coverage is measured against.
+    pub fn expected_spans(&self, api: usize) -> f64 {
+        self.mult[api].iter().sum()
+    }
+
     /// Distributes per-API front-end rates into per-service workloads:
     /// `l_i = Σ_api w_api × m(api, i)`.
+    ///
+    /// ```
+    /// use graf_core::WorkloadAnalyzer;
+    /// // One API calling service 0 once and service 1 twice per request.
+    /// let a = WorkloadAnalyzer::from_multiplicities(vec![vec![1.0, 2.0]], vec![(0, 1)]);
+    /// assert_eq!(a.service_workloads(&[10.0]), vec![10.0, 20.0]);
+    /// ```
     ///
     /// # Panics
     /// Panics if `api_rates.len()` differs from the analyzer's API count.
@@ -159,6 +202,24 @@ mod tests {
         let a = WorkloadAnalyzer::from_traces(&traces, 1, 3, 0.9);
         assert_eq!(a.edges(), &[(0, 1), (1, 2)]);
         assert_eq!(a.traces_seen(), 1);
+    }
+
+    #[test]
+    fn fold_refit_interpolates_across_gaps() {
+        let mut a = WorkloadAnalyzer::from_multiplicities(
+            vec![vec![1.0, 2.0], vec![1.0, 0.0]],
+            vec![(0, 1)],
+        );
+        let fresh = WorkloadAnalyzer::from_multiplicities(
+            vec![vec![1.0, 3.0], vec![1.0, 1.0]],
+            vec![(0, 1)],
+        );
+        // API 0 fully covered → adopt; API 1 in a trace gap → hold last good.
+        let held = a.fold_refit(&fresh, &[1.0, 0.2], 0.7);
+        assert_eq!(held, 1);
+        assert_eq!(a.multiplicity(0, 1), 3.0, "covered row adopted");
+        assert_eq!(a.multiplicity(1, 1), 0.0, "gapped row interpolated (held)");
+        assert_eq!(a.expected_spans(0), 4.0);
     }
 
     #[test]

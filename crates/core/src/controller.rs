@@ -130,6 +130,26 @@ impl GrafController {
         &self.cfg
     }
 
+    /// The workload analyzer the controller plans with.
+    pub fn analyzer(&self) -> &WorkloadAnalyzer {
+        &self.analyzer
+    }
+
+    /// Mutable access to the workload analyzer — the degradation layer
+    /// refreshes multiplicities from live traces through this.
+    pub fn analyzer_mut(&mut self) -> &mut WorkloadAnalyzer {
+        &mut self.analyzer
+    }
+
+    /// Reads the front-end per-API rates the controller would plan from:
+    /// the trailing `rate_window` of each API's arrival counter (§3.8).
+    pub fn observed_rates(&self, cluster: &Cluster) -> Vec<f64> {
+        let k =
+            (self.cfg.rate_window.as_micros() / cluster.world().config().window_us).max(1) as usize;
+        let napis = cluster.world().topology().num_apis();
+        (0..napis).map(|a| cluster.world().api_arrival_rate(ApiId(a as u16), k)).collect()
+    }
+
     /// One full §3.6 planning pass. Every other `plan*` method delegates
     /// here, so `last_solve`/`last_quotas_mc` and telemetry are maintained in
     /// a single place.
@@ -208,17 +228,12 @@ impl GrafController {
     }
 }
 
-impl Autoscaler for GrafController {
-    fn interval(&self) -> SimDuration {
-        self.cfg.interval
-    }
-
-    fn tick(&mut self, cluster: &mut Cluster) {
-        let k =
-            (self.cfg.rate_window.as_micros() / cluster.world().config().window_us).max(1) as usize;
-        let napis = cluster.world().topology().num_apis();
-        let rates: Vec<f64> =
-            (0..napis).map(|a| cluster.world().api_arrival_rate(ApiId(a as u16), k)).collect();
+impl GrafController {
+    /// One control tick planned from externally supplied per-API `rates`
+    /// instead of a live metric read — the entry point the degradation layer
+    /// uses to feed (possibly repaired) signals through the full §3.6 path.
+    /// Returns the instance counts applied to the cluster.
+    pub fn tick_with_rates(&mut self, cluster: &mut Cluster, rates: &[f64]) -> Vec<usize> {
         // Resolve the CPU unit per managed service (eq. 7). When every
         // deployment agrees — the common case — the shared unit feeds the
         // full planning path (including integer refinement); mixed units fall
@@ -240,9 +255,9 @@ impl Autoscaler for GrafController {
         }
         let mut span = self.obs.span("graf.controller.tick");
         let out = if uniform {
-            self.plan_outcome(&rates, units.first().copied())
+            self.plan_outcome(rates, units.first().copied())
         } else {
-            self.plan_outcome(&rates, None)
+            self.plan_outcome(rates, None)
         };
         let counts: Vec<usize> = match &out.counts {
             Some(c) => c.clone(),
@@ -286,6 +301,18 @@ impl Autoscaler for GrafController {
         for (svc, &n) in counts.iter().enumerate() {
             cluster.set_desired(ServiceId(svc as u16), n.max(1));
         }
+        counts
+    }
+}
+
+impl Autoscaler for GrafController {
+    fn interval(&self) -> SimDuration {
+        self.cfg.interval
+    }
+
+    fn tick(&mut self, cluster: &mut Cluster) {
+        let rates = self.observed_rates(cluster);
+        self.tick_with_rates(cluster, &rates);
     }
 }
 

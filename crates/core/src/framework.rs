@@ -65,6 +65,39 @@ impl Graf {
     /// Runs the full offline pipeline: profile the app, reduce the search
     /// space (Algorithm 1), collect samples in parallel, and train the
     /// latency prediction model with best-checkpoint selection.
+    ///
+    /// Quickstart — build GRAF for a two-service chain and plan instances:
+    ///
+    /// ```
+    /// use graf_core::{Graf, GrafBuildConfig, SamplingConfig, TrainConfig};
+    /// use graf_sim::topology::{ApiSpec, AppTopology, CallNode, ServiceSpec};
+    ///
+    /// let topo = AppTopology::new(
+    ///     "demo",
+    ///     vec![ServiceSpec::new("web", 1.0, 300), ServiceSpec::new("db", 3.0, 300)],
+    ///     vec![ApiSpec::new("get", CallNode::new(0).call(CallNode::new(1)))],
+    /// );
+    /// let graf = Graf::build(
+    ///     topo,
+    ///     GrafBuildConfig {
+    ///         sampling: SamplingConfig {
+    ///             probe_qps: vec![40.0],
+    ///             measure_secs: 2.0,
+    ///             warmup_secs: 1.0,
+    ///             ..SamplingConfig::default()
+    ///         },
+    ///         train: TrainConfig { epochs: 3, evals: 1, ..Default::default() },
+    ///         num_samples: 24,
+    ///         ..Default::default()
+    ///     },
+    /// );
+    /// // The analyzer learned the call graph from traces; the controller
+    /// // turns per-API rates into per-service instance counts.
+    /// assert_eq!(graf.analyzer.edges(), &[(0, 1)]);
+    /// let mut controller = graf.controller(100.0);
+    /// let counts = controller.plan_instances(&[40.0], 500.0);
+    /// assert!(counts.iter().all(|&c| c >= 1));
+    /// ```
     pub fn build(topo: AppTopology, cfg: GrafBuildConfig) -> Self {
         Self::build_observed(topo, cfg, &graf_obs::Obs::disabled())
     }

@@ -24,9 +24,19 @@
 //!    search-space reduction plus parallel state-aware sample collection.
 //!
 //! [`framework::Graf`] wires all of it together: collect → train → control.
+//! [`resilient::ResilientController`] wraps the controller in a health-gated
+//! degradation ladder (full solve → last-good plan → HPA fallback → freeze)
+//! for running under the fault classes `graf-chaos` injects.
+//!
+//! **Invariants.** The whole pipeline is deterministic per seed: sample
+//! collection forks per-sample RNG streams, training shards with ordered
+//! reductions (`graf-gnn`), and the solver is seed-free gradient descent —
+//! so collect → train → control is bit-reproducible, with or without a
+//! chaos schedule armed. Training/solver hot loops are allocation-free
+//! after warm-up (verified under `--features sanitize`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analyzer;
 pub mod anomaly;
@@ -38,6 +48,7 @@ pub mod features;
 pub mod framework;
 pub mod latency_model;
 pub mod partition;
+pub mod resilient;
 pub mod sample_collector;
 pub mod solver;
 
@@ -49,5 +60,6 @@ pub use features::FeatureScaler;
 pub use framework::{Graf, GrafBuildConfig};
 pub use latency_model::{LatencyModel, NetKind, TrainConfig, TrainReport};
 pub use partition::{partition_graph, PartitionedLatencyModel};
+pub use resilient::{PolicyLevel, PolicyMode, ResilientConfig, ResilientController};
 pub use sample_collector::{Bounds, Sample, SampleCollector, SamplingConfig};
 pub use solver::{integer_refine, solve, solve_observed, SolveResult, SolverConfig};

@@ -56,6 +56,42 @@ pub struct SolveResult {
 /// `workloads` are the per-service workloads from the workload analyzer;
 /// `slo_ms` the target; `bounds` the Algorithm-1 box. The solve starts from
 /// the upper bounds (a known-feasible point) and walks downhill.
+///
+/// Quickstart — fit a tiny model on a synthetic latency surface, then solve:
+///
+/// ```
+/// use graf_core::{
+///     solve, Bounds, FeatureScaler, LatencyModel, NetKind, Sample, SolverConfig, TrainConfig,
+/// };
+/// use graf_sim::rng::DetRng;
+///
+/// // Two chained services; p99 rises as quota approaches the workload.
+/// let mut rng = DetRng::new(7);
+/// let mut samples = Vec::new();
+/// for _ in 0..80 {
+///     let w = rng.uniform(20.0, 100.0);
+///     let quotas = vec![rng.uniform(150.0, 1500.0), rng.uniform(400.0, 2800.0)];
+///     let p99 = 2.0
+///         + 1200.0 / (quotas[0] - w).max(15.0)
+///         + 3600.0 / (quotas[1] - 3.0 * w).max(15.0);
+///     samples.push(Sample { api_rates: vec![w], workloads: vec![w, w], quotas_mc: quotas, p99_ms: p99 });
+/// }
+/// let scaler = FeatureScaler::fit(
+///     samples.iter().map(|s| (s.workloads.as_slice(), s.quotas_mc.as_slice())),
+/// );
+/// let ds = LatencyModel::dataset_from_samples(&scaler, &samples);
+/// let split = ds.split(0.8, 0.1, 2);
+/// let mut model =
+///     LatencyModel::new(NetKind::Gnn, &[(0, 1)], 2, scaler, split.train.label_mean(), 5);
+/// model.train(&split, &TrainConfig { epochs: 8, evals: 2, ..Default::default() });
+///
+/// let bounds = Bounds { lower: vec![150.0, 400.0], upper: vec![1500.0, 2800.0] };
+/// let r = solve(&mut model, &[60.0, 60.0], 25.0, &bounds, &SolverConfig::default());
+/// assert!(r.iterations > 0 && r.predicted_ms.is_finite());
+/// for (q, (&l, &h)) in r.quotas_mc.iter().zip(bounds.lower.iter().zip(&bounds.upper)) {
+///     assert!(*q >= l && *q <= h, "solution stays inside the Algorithm-1 box");
+/// }
+/// ```
 pub fn solve(
     model: &mut LatencyModel,
     workloads: &[f64],

@@ -20,9 +20,16 @@
 //!   to walk CPU quotas downhill (§3.5).
 //!
 //! Node features follow §3.3: `x_i = [workload l_i, CPU quota r_i]` (scaled).
+//!
+//! **Invariants.** Training and inference are bit-deterministic for any
+//! worker-thread count: mini-batches shard into fixed-size chunks with
+//! seeds drawn in chunk order and gradients reduced in ascending chunk
+//! order (see `model`). Steady-state prediction and training allocate
+//! nothing after warm-up — enforced by the `sanitize` counting-allocator
+//! tests and the `graf-lint` hot-path pass.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod flat;
 pub mod graph;

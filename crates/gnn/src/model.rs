@@ -14,7 +14,7 @@
 //!
 //! ## Deterministic data-parallel training
 //!
-//! `train_step` shards the mini-batch into fixed [`CHUNK_ROWS`]-row chunks
+//! `train_step` shards the mini-batch into fixed `CHUNK_ROWS`-row chunks
 //! — a partition that does **not** depend on the worker count — draws each
 //! chunk's dropout seed from the training RNG in chunk order on the calling
 //! thread, fans the chunks out over `std::thread::scope` workers

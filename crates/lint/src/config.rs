@@ -79,7 +79,9 @@ impl Config {
                 ("wallclock", "exempt-crates") => {
                     cfg.wallclock_exempt_crates = parse_string_array(value, lineno)?
                 }
-                ("unordered-map", "crates") => cfg.ordered_crates = parse_string_array(value, lineno)?,
+                ("unordered-map", "crates") => {
+                    cfg.ordered_crates = parse_string_array(value, lineno)?
+                }
                 ("rng", "home") => cfg.rng_home = parse_string_array(value, lineno)?,
                 ("scan", "exclude") => cfg.exclude = parse_string_array(value, lineno)?,
                 ("hot", "file") => {
@@ -90,10 +92,9 @@ impl Config {
                     entry.file = parse_string(value, lineno)?;
                 }
                 ("hot", "functions") => {
-                    let entry = cfg
-                        .hot
-                        .last_mut()
-                        .ok_or_else(|| format!("lint.toml:{lineno}: `functions` outside [[hot]]"))?;
+                    let entry = cfg.hot.last_mut().ok_or_else(|| {
+                        format!("lint.toml:{lineno}: `functions` outside [[hot]]")
+                    })?;
                     entry.functions = parse_string_array(value, lineno)?;
                 }
                 (sec, key) => {

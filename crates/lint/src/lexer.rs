@@ -287,7 +287,8 @@ fn mark_test_regions(src: &str, tokens: &mut [Token]) -> bool {
         }
         let inner = matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct && src[t.start..].starts_with('!'));
         let lb = if inner { i + 2 } else { i + 1 };
-        if !matches!(tokens.get(lb), Some(t) if t.kind == TokenKind::Punct && src[t.start..].starts_with('[')) {
+        if !matches!(tokens.get(lb), Some(t) if t.kind == TokenKind::Punct && src[t.start..].starts_with('['))
+        {
             i += 1;
             continue;
         }

@@ -57,9 +57,7 @@ pub fn scan_workspace(root: &Path, cfg: &Config) -> io::Result<ScanResult> {
         result.findings.extend(lints::lint_file(&rel_str, &src, cfg));
         result.files_scanned += 1;
     }
-    result.findings.sort_by(|a, b| {
-        (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint))
-    });
+    result.findings.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
     Ok(result)
 }
 

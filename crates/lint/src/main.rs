@@ -21,7 +21,8 @@ struct Args {
     write_baseline: bool,
 }
 
-const USAGE: &str = "usage: graf-lint [--root DIR] [--config FILE] [--baseline FILE] [--json] [--write-baseline]";
+const USAGE: &str =
+    "usage: graf-lint [--root DIR] [--config FILE] [--baseline FILE] [--json] [--write-baseline]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args =
@@ -69,8 +70,8 @@ fn run() -> Result<bool, String> {
         None => find_root()?,
     };
     let config_path = args.config.unwrap_or_else(|| root.join("lint.toml"));
-    let cfg_text = fs::read_to_string(&config_path)
-        .map_err(|e| format!("{}: {e}", config_path.display()))?;
+    let cfg_text =
+        fs::read_to_string(&config_path).map_err(|e| format!("{}: {e}", config_path.display()))?;
     let cfg = Config::parse(&cfg_text)?;
 
     let result = scan_workspace(&root, &cfg).map_err(|e| format!("scan: {e}"))?;

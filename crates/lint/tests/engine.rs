@@ -65,8 +65,7 @@ fn fixture_findings_outside_declared_crates_are_scoped() {
     assert!(findings.iter().all(|f| f.lint != UNORDERED_MAP), "{findings:#?}");
     assert!(findings.iter().any(|f| f.lint == UNWRAP_IN_LIB));
     // And under a test path the file is not a lint target at all.
-    assert!(lint_file("crates/sim/tests/dirty.rs", &fixture("dirty.rs"), &fixture_cfg())
-        .is_empty());
+    assert!(lint_file("crates/sim/tests/dirty.rs", &fixture("dirty.rs"), &fixture_cfg()).is_empty());
 }
 
 // ---------------------------------------------------------------------------

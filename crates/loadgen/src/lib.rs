@@ -18,6 +18,12 @@
 //! Generators implement [`LoadGen`]: the experiment driver repeatedly asks for
 //! the arrivals of the next time segment and feeds completions back for
 //! closed-loop pacing.
+//!
+//! **Invariants.** Every stochastic choice (Poisson gaps, think times, the
+//! Azure-style series) is drawn from a `graf_sim::rng::DetRng` seeded at
+//! construction — the same seed yields a bit-identical arrival sequence, and
+//! segment boundaries never change what is drawn, only when it is handed
+//! over.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -110,7 +110,7 @@ impl Histogram {
 
     /// Returns the value at quantile `q` in `[0, 1]`.
     ///
-    /// The answer is exact for values under [`LINEAR_CUTOFF`] and within the
+    /// The answer is exact for values under `LINEAR_CUTOFF` and within the
     /// bucket relative error otherwise. Returns `None` when empty.
     pub fn percentile(&self, q: f64) -> Option<u64> {
         if self.total == 0 {

@@ -25,13 +25,20 @@
 //! `Matrix`'s `*_into`/`*_acc` kernels, the [`Workspace`] scratch pool, and
 //! the [`mlp::MlpGrads`] external gradient sink (see `Mlp::forward_into` /
 //! `Mlp::backward_with`).
+//!
+//! **Invariants.** Kernels are pure `f64` arithmetic in fixed iteration
+//! order — no threads, no randomness, no reordered reductions — so results
+//! are bit-identical across runs and machines with the same FP semantics.
+//! Dropout masks come from caller-provided seeded RNGs. The `sanitize`
+//! feature's counting allocator proves the `*_into`/`*_acc` paths allocate
+//! nothing after warm-up.
 
 // The `sanitize` feature's counting global allocator is the one sanctioned
 // use of `unsafe` (the GlobalAlloc contract); it opts out of the deny locally.
 // Without the feature the whole crate remains forbid-clean.
 #![cfg_attr(not(feature = "sanitize"), forbid(unsafe_code))]
 #![cfg_attr(feature = "sanitize", deny(unsafe_code))]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod loss;
 pub mod matrix;

@@ -5,7 +5,7 @@
 //! loops run on, all built on one dispatching product core
 //! (`accumulate_matmul`):
 //!
-//! * **Wide outputs** (≥ [`SKIP_MIN_WIDTH`] columns, e.g. the 120-wide
+//! * **Wide outputs** (≥ `SKIP_MIN_WIDTH` columns, e.g. the 120-wide
 //!   readout layers): each `A` row is compacted branchlessly into its
 //!   nonzero (index, value) pairs per `KB`-sized k-block — ReLU + dropout
 //!   leave most activations zero — and the compressed row is multiplied
@@ -180,7 +180,7 @@ impl Matrix {
     /// Matrix product `out = self × rhs`, reshaping `out` in place.
     ///
     /// ikj kernel with a contiguous inner axpy over `rhs` rows; zero entries
-    /// of `self` skip their `rhs` row entirely (see [`accumulate_matmul`]).
+    /// of `self` skip their `rhs` row entirely (see `accumulate_matmul`).
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
         out.reshape_for_overwrite(self.rows, rhs.cols);
@@ -238,7 +238,7 @@ impl Matrix {
     /// (`inputᵀ × grad`) without materialising the transpose. On wide
     /// updates, zero input activations (common after ReLU) skip their update
     /// row entirely; narrow updates stay branch-free (see
-    /// [`SKIP_MIN_WIDTH`]).
+    /// `SKIP_MIN_WIDTH`).
     pub fn matmul_transa_acc(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, rhs.rows, "matmul_transa shape mismatch");
         assert_eq!((out.rows, out.cols), (self.cols, rhs.cols), "matmul_transa output shape");

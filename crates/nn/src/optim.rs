@@ -1,5 +1,5 @@
 //! The Adam optimizer (Kingma & Ba, 2014), as used by the paper for both
-//! model training and the configuration solver (§3.5, reference [45]).
+//! model training and the configuration solver (§3.5, reference \[45\]).
 
 use crate::param::Param;
 

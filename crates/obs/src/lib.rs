@@ -37,9 +37,15 @@
 //! `graf.train.eval`, `graf.sample.bounds`, `graf.cluster.creations_started`,
 //! `graf.sim.events`. Exporters map dots to underscores where the target
 //! format requires it.
+//!
+//! **Invariants.** Telemetry is strictly write-only: no instrumented
+//! component ever reads a counter, gauge or span back to make a decision,
+//! so enabling or disabling observation cannot change simulation results.
+//! A disabled handle ([`Obs::disabled`]) short-circuits before formatting
+//! or allocating, keeping instrumented hot paths allocation-free.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod export;
 pub mod json;

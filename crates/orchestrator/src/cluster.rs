@@ -47,6 +47,8 @@ pub struct Cluster {
     creation: CreationModel,
     /// Ready times of in-flight creations (pruned lazily).
     inflight_creations: Vec<SimTime>,
+    /// Fault engine for creation failures / slow-start, when chaos is armed.
+    chaos: Option<graf_chaos::ChaosEngine>,
     obs: graf_obs::Obs,
 }
 
@@ -70,8 +72,19 @@ impl Cluster {
             deployments,
             creation,
             inflight_creations: Vec::new(),
+            chaos: None,
             obs: graf_obs::Obs::disabled(),
         }
+    }
+
+    /// Arms a chaos schedule: world-level faults (trace-span drops,
+    /// contention spikes) are installed into the simulated world and the
+    /// cluster keeps an engine for the creation faults (batch failures,
+    /// slow-start). Arming an empty schedule changes nothing — runs stay
+    /// bit-identical to a cluster that never armed chaos.
+    pub fn arm_chaos(&mut self, schedule: &graf_chaos::ChaosSchedule) {
+        schedule.install_world(&mut self.world);
+        self.chaos = Some(schedule.engine(graf_chaos::stream::CLUSTER));
     }
 
     /// Attaches a telemetry handle to the cluster and its world. The cluster
@@ -140,9 +153,27 @@ impl Cluster {
         let current = starting + ready;
         if target > current {
             let add = target - current;
+            // Chaos: an armed creation-failure fault loses the whole batch —
+            // no instances start, and no rng is drawn unless a window is
+            // active. `desired` stays at the target, so a retrying controller
+            // re-attempts the batch on its next tick.
+            if let Some(engine) = self.chaos.as_mut() {
+                if engine.creation_fails(now) {
+                    self.obs.counter_add("graf.chaos.creations_failed", &[], add as u64);
+                    return target;
+                }
+            }
             self.prune_inflight(now);
             let concurrent = self.inflight_creations.len() + add;
-            let ready_at = now + self.creation.delay(concurrent);
+            let mut delay = self.creation.delay(concurrent);
+            if let Some(engine) = self.chaos.as_ref() {
+                let factor = engine.slow_start_factor(now);
+                if factor > 1.0 {
+                    delay = SimDuration::from_micros((delay.as_micros() as f64 * factor) as u64);
+                    self.obs.counter_add("graf.chaos.creations_slowed", &[], add as u64);
+                }
+            }
+            let ready_at = now + delay;
             self.world.add_instances(service, add, unit, ready_at);
             for _ in 0..add {
                 self.inflight_creations.push(ready_at);

@@ -19,6 +19,14 @@
 //!   a proactive manual scaler (§2.1's "Opportunity"), and a static no-op.
 //! * [`experiment`] — the driver loop gluing a [`Cluster`], a
 //!   `graf_loadgen::LoadGen` and an [`Autoscaler`] together.
+//!
+//! **Invariants.** The control plane is deterministic: scaling decisions
+//! depend only on simulated state, never on wall-clock or ambient
+//! randomness, so a run is bit-reproducible per seed. Injected failures
+//! (creation failure/slow-start via [`Cluster::arm_chaos`]) draw from the
+//! chaos schedule's own seeded stream and an empty schedule draws nothing —
+//! arming it leaves a run bit-identical to never arming it. Telemetry
+//! ([`Cluster::set_obs`]) is write-only and never feeds back into decisions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -90,6 +90,8 @@ pub struct WorldStats {
     pub completed: u64,
     /// Spans recorded into the trace store.
     pub spans: u64,
+    /// Spans suppressed by an injected trace fault ([`World::inject_span_drop`]).
+    pub spans_dropped: u64,
     /// Requests abandoned at the client timeout.
     pub timeouts: u64,
     /// Events processed.
@@ -173,6 +175,9 @@ pub struct World {
     now: SimTime,
     rng_work: DetRng,
     rng_trace: DetRng,
+    /// Trace-fault windows `(from_us, until_us, drop_prob)` — spans completed
+    /// inside a window are dropped with the given probability.
+    span_faults: Vec<(u64, u64, f64)>,
     traces: TraceStore,
     completions: Vec<Completion>,
     e2e: WindowedLatency,
@@ -206,6 +211,7 @@ impl World {
             now: SimTime::ZERO,
             rng_work: root_rng.fork(seed ^ 0x1),
             rng_trace: root_rng.fork(seed ^ 0x2),
+            span_faults: Vec::new(),
             traces: TraceStore::new(cfg.trace_capacity),
             completions: Vec::new(),
             e2e,
@@ -773,7 +779,19 @@ impl World {
 
         let meta = self.requests.get(&request).expect("live request");
         let api = meta.api;
-        if meta.sampled {
+        // Trace fault: drop the span with the window's probability. The
+        // chance is drawn from `rng_trace` only while a window is active, so
+        // runs without trace faults consume exactly the baseline draws.
+        let now_us = self.now.as_micros();
+        let drop_p = self
+            .span_faults
+            .iter()
+            .filter(|&&(from, until, _)| from <= now_us && now_us < until)
+            .map(|&(_, _, p)| p)
+            .fold(0.0f64, f64::max);
+        if meta.sampled && drop_p > 0.0 && self.rng_trace.chance(drop_p) {
+            self.stats.spans_dropped += 1;
+        } else if meta.sampled {
             self.traces.push_span(Span {
                 trace_id: TraceId(request.0),
                 span_id: SpanId(span_id),
@@ -879,6 +897,18 @@ impl World {
             until.as_micros(),
             factor,
         ));
+    }
+
+    /// Injects a trace fault: between `from` and `until`, each span is
+    /// dropped with probability `drop_prob` at completion time, so finished
+    /// traces arrive truncated — the partial call graphs a lossy tracing
+    /// pipeline delivers. Decisions draw from the seeded trace stream, so
+    /// runs stay bit-reproducible; with no windows installed the stream is
+    /// consumed exactly as in a fault-free run.
+    pub fn inject_span_drop(&mut self, from: SimTime, until: SimTime, drop_prob: f64) {
+        assert!(drop_prob > 0.0 && drop_prob <= 1.0, "drop_prob in (0, 1]");
+        assert!(until > from);
+        self.span_faults.push((from.as_micros(), until.as_micros(), drop_prob));
     }
 
     /// Front-end arrival rate (req/s) of `api` over the trailing `k` windows.

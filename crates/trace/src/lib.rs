@@ -15,9 +15,15 @@
 //! Services and APIs are identified by plain `u16` indices assigned by the
 //! simulator; this crate stays a pure data layer with no simulation
 //! dependency.
+//!
+//! **Invariants.** The crate draws no randomness and reads no clock: an
+//! identical span stream always assembles into identical traces and call
+//! statistics, which is what makes whole-framework runs reproducible per
+//! seed. Span drop/truncation faults live upstream in `graf-chaos`/`graf-sim`
+//! — this layer faithfully stores whatever survives.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod span;
 pub mod stats;

@@ -26,6 +26,7 @@ BINS=(
   table3_budget
   fig20_real_workload
   fig21_22_surge_comparison
+  chaos_matrix
   solver_latency
   ablation_loss
   ablation_sampling

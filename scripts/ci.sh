@@ -15,6 +15,12 @@ cargo fmt --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (deny warnings; missing_docs denied per-crate) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "== doctests =="
+cargo test -q --workspace --doc
+
 echo "== graf-lint (fails on findings beyond lint.baseline) =="
 cargo run --release -p graf-lint -- --json
 

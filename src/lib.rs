@@ -17,6 +17,7 @@
 //! | neural nets | [`nn`] | PyTorch |
 //! | GNN | [`gnn`] | torch-geometric MPNN |
 //! | GRAF | [`core`] | the paper's contribution (§3) |
+//! | fault injection | [`chaos`] | production failure modes (lost traces, scrape gaps, failed creations) |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@
 //! evaluation (see DESIGN.md for the experiment index).
 
 pub use graf_apps as apps;
+pub use graf_chaos as chaos;
 pub use graf_core as core;
 pub use graf_gnn as gnn;
 pub use graf_loadgen as loadgen;
