@@ -14,8 +14,16 @@
 //! * `--smoke` — a fast sanity pass (fewer repetitions, no file written
 //!   unless `--out` is also given): CI uses it to keep the bench runnable.
 //! * `--threads <n>` — worker threads for the training measurements.
+//! * `--history <path>` — append one JSONL record per benchmark
+//!   (`{rev, bench, median_ms, iqr_ms, mode}`) for `graf-perf compare`.
+//! * `--rev <str>` — revision tag for `--history` records (default:
+//!   `git rev-parse HEAD`).
+//! * `--sim-out <path>` — write the simulator headline (median + IQR of the
+//!   10 s / ~600 qps Online Boutique run) to its own small JSON file.
 
 use std::time::Instant;
+
+use graf_bench::perf::{median_iqr, BenchRun};
 
 use graf_core::features::FeatureScaler;
 use graf_core::latency_model::{LatencyModel, NetKind, TrainConfig};
@@ -28,14 +36,10 @@ use graf_sim::time::SimTime;
 use graf_sim::topology::{ApiId, ServiceId};
 use graf_sim::world::{SimConfig, World};
 
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    xs[xs.len() / 2]
-}
-
 /// Runs `f` `reps` times (after `warmup` unmeasured runs) and returns the
-/// median wall-clock in milliseconds.
-fn time_median_ms(warmup: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+/// `(median, IQR)` wall-clock in milliseconds. The IQR is the per-run noise
+/// estimate `graf-perf compare` weighs regressions against.
+fn time_stats_ms(warmup: usize, reps: usize, mut f: impl FnMut()) -> (f64, f64) {
     for _ in 0..warmup {
         f();
     }
@@ -45,7 +49,7 @@ fn time_median_ms(warmup: usize, reps: usize, mut f: impl FnMut()) -> f64 {
         f();
         times.push(t.elapsed().as_secs_f64() * 1e3);
     }
-    median(times)
+    median_iqr(&times)
 }
 
 fn chain_edges(n: usize) -> Vec<(u16, u16)> {
@@ -60,7 +64,7 @@ fn training_batch(n_nodes: usize, batch: usize, seed: u64) -> (Matrix, Vec<f64>)
 }
 
 /// One optimizer step at Table-1 batch size on an `n`-node chain GNN.
-fn bench_train_step(n: usize, threads: usize, warmup: usize, reps: usize) -> f64 {
+fn bench_train_step(n: usize, threads: usize, warmup: usize, reps: usize) -> (f64, f64) {
     let (x, y) = training_batch(n, 256, 7);
     let mut rng = DetRng::new(1);
     let mut gnn = MicroserviceGnn::new(
@@ -72,13 +76,13 @@ fn bench_train_step(n: usize, threads: usize, warmup: usize, reps: usize) -> f64
     let loss = AsymmetricHuber::default();
     let mut opt = Adam::new(1e-3);
     let mut drop_rng = DetRng::new(2);
-    time_median_ms(warmup, reps, || {
+    time_stats_ms(warmup, reps, || {
         gnn.train_step(&x, &y, &loss, &mut opt, &mut drop_rng);
     })
 }
 
 /// One pass over a 2560-sample dataset (10 × 256 steps): the "train epoch".
-fn bench_train_epoch(n: usize, threads: usize, warmup: usize, reps: usize) -> f64 {
+fn bench_train_epoch(n: usize, threads: usize, warmup: usize, reps: usize) -> (f64, f64) {
     let (x, y) = training_batch(n, 2560, 8);
     let mut rng = DetRng::new(1);
     let mut gnn = MicroserviceGnn::new(
@@ -90,7 +94,7 @@ fn bench_train_epoch(n: usize, threads: usize, warmup: usize, reps: usize) -> f6
     let loss = AsymmetricHuber::default();
     let mut opt = Adam::new(1e-3);
     let mut drop_rng = DetRng::new(2);
-    time_median_ms(warmup, reps, || {
+    time_stats_ms(warmup, reps, || {
         for b in 0..10 {
             let xb = x.slice_rows(b * 256, (b + 1) * 256);
             let yb = &y[b * 256..(b + 1) * 256];
@@ -136,8 +140,8 @@ fn solver_model() -> (LatencyModel, Bounds, Vec<f64>) {
 }
 
 /// The simulator-bench scenario: 10 s of Online Boutique at ~600 qps.
-fn bench_sim_10s(warmup: usize, reps: usize) -> f64 {
-    time_median_ms(warmup, reps, || {
+fn bench_sim_10s(warmup: usize, reps: usize) -> (f64, f64) {
+    time_stats_ms(warmup, reps, || {
         let topo = graf_apps::online_boutique();
         let mut w = World::new(topo, SimConfig::default(), 9);
         for s in 0..6u16 {
@@ -158,39 +162,45 @@ fn bench_sim_10s(warmup: usize, reps: usize) -> f64 {
     })
 }
 
-fn measure(smoke: bool, threads: usize) -> Vec<(&'static str, f64)> {
+/// The simulator headline metric's bench id (also the `BENCH_SIM.json` key).
+const SIM_BENCH: &str = "sim_boutique_10s_600qps_ms";
+
+fn measure(smoke: bool, threads: usize) -> Vec<(&'static str, f64, f64)> {
     let (w, r) = if smoke { (1, 3) } else { (3, 15) };
     let mut out = Vec::new();
+    let push = |out: &mut Vec<(&'static str, f64, f64)>, k, (med, iqr): (f64, f64)| {
+        out.push((k, med, iqr));
+    };
     eprintln!("measuring training (threads={threads})...");
-    out.push(("train_step_gnn6_b256_ms", bench_train_step(6, threads, w, r)));
-    out.push(("train_step_gnn10_b256_ms", bench_train_step(10, threads, w, r)));
-    out.push((
+    push(&mut out, "train_step_gnn6_b256_ms", bench_train_step(6, threads, w, r));
+    push(&mut out, "train_step_gnn10_b256_ms", bench_train_step(10, threads, w, r));
+    push(
+        &mut out,
         "train_epoch_gnn6_2560_ms",
         bench_train_epoch(6, threads, 1, if smoke { 2 } else { 7 }),
-    ));
+    );
     eprintln!("measuring solver...");
     let (mut model, bounds, workloads) = solver_model();
     let cfg = SolverConfig::default();
-    out.push((
+    push(
+        &mut out,
         "solver_solve_6svc_ms",
-        time_median_ms(w, r, || {
+        time_stats_ms(w, r, || {
             solve(&mut model, &workloads, 40.0, &bounds, &cfg);
         }),
-    ));
-    out.push((
+    );
+    push(
+        &mut out,
         "pilot_tick_6svc_ms",
-        time_median_ms(w, r, || {
+        time_stats_ms(w, r, || {
             let res = solve(&mut model, &workloads, 40.0, &bounds, &cfg);
             let (_counts, _pred) =
                 integer_refine(&model, &workloads, &res.quotas_mc, &bounds, 100.0, 40.0);
             model.predict_ms(&workloads, &res.quotas_mc);
         }),
-    ));
+    );
     eprintln!("measuring simulator...");
-    out.push((
-        "sim_boutique_10s_600qps_ms",
-        bench_sim_10s(if smoke { 0 } else { 1 }, if smoke { 2 } else { 5 }),
-    ));
+    push(&mut out, SIM_BENCH, bench_sim_10s(if smoke { 0 } else { 1 }, if smoke { 2 } else { 5 }));
     out
 }
 
@@ -232,8 +242,22 @@ fn parse_section(text: &str, section: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// The current git HEAD SHA, or `"unknown"` outside a work tree.
+fn git_head() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 fn main() {
     let mut out_path: Option<String> = None;
+    let mut sim_out_path: Option<String> = None;
+    let mut history_path: Option<String> = None;
+    let mut rev: Option<String> = None;
     let mut as_baseline = false;
     let mut smoke = false;
     let mut threads = 1usize;
@@ -241,6 +265,9 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => out_path = Some(it.next().expect("--out needs a path")),
+            "--sim-out" => sim_out_path = Some(it.next().expect("--sim-out needs a path")),
+            "--history" => history_path = Some(it.next().expect("--history needs a path")),
+            "--rev" => rev = Some(it.next().expect("--rev needs a string")),
             "--as-baseline" => as_baseline = true,
             "--smoke" => smoke = true,
             "--threads" => {
@@ -250,16 +277,56 @@ fn main() {
         }
     }
 
-    let fresh: Vec<(String, f64)> =
-        measure(smoke, threads).into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+    let stats: Vec<(String, f64, f64)> =
+        measure(smoke, threads).into_iter().map(|(k, m, i)| (k.to_string(), m, i)).collect();
+    let fresh: Vec<(String, f64)> = stats.iter().map(|(k, m, _)| (k.clone(), *m)).collect();
 
-    println!("\n{:<34} {:>12}", "metric", "median ms");
-    for (k, v) in &fresh {
-        println!("{k:<34} {v:>12.4}");
+    println!("\n{:<34} {:>12} {:>10}", "metric", "median ms", "iqr ms");
+    for (k, m, i) in &stats {
+        println!("{k:<34} {m:>12.4} {i:>10.4}");
+    }
+
+    if let Some(path) = &history_path {
+        let rev = rev.unwrap_or_else(git_head);
+        let mode = if smoke { "smoke" } else { "full" };
+        let mut lines = String::new();
+        for (k, m, i) in &stats {
+            let run = BenchRun {
+                rev: rev.clone(),
+                bench: k.clone(),
+                median_ms: *m,
+                iqr_ms: *i,
+                mode: mode.to_string(),
+            };
+            lines.push_str(&run.to_json());
+            lines.push('\n');
+        }
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("opening {path}: {e}"));
+        f.write_all(lines.as_bytes()).unwrap_or_else(|e| panic!("appending to {path}: {e}"));
+        println!(
+            "\nappended {} run(s) for rev {} to {path}",
+            stats.len(),
+            &rev[..rev.len().min(12)]
+        );
+    }
+
+    if let Some(path) = &sim_out_path {
+        let (_, m, i) = stats.iter().find(|(k, _, _)| k == SIM_BENCH).expect("sim bench measured");
+        let json = format!(
+            "{{\n  \"bench\": \"{SIM_BENCH}\",\n  \"median_ms\": {m:.4},\n  \"iqr_ms\": {i:.4},\n  \"mode\": \"{}\"\n}}\n",
+            if smoke { "smoke" } else { "full" }
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("simulator headline written to {path}");
     }
 
     let Some(path) = out_path else {
-        println!("\n(no --out given; nothing written)");
+        println!("\n(no --out given; compute summary not written)");
         return;
     };
     let existing = std::fs::read_to_string(&path).unwrap_or_default();

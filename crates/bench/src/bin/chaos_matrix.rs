@@ -19,17 +19,23 @@
 //! cargo run --release -p graf-bench --bin chaos_matrix
 //! # one fault class only:
 //! cargo run --release -p graf-bench --bin chaos_matrix -- --chaos trace_drop
+//! # per-cell decision audit trails + a self-profile of the control loop:
+//! cargo run --release -p graf-bench --bin chaos_matrix -- --audit results/audit.jsonl --profile
 //! ```
+
+use std::path::{Path, PathBuf};
 
 use graf_bench::timeline::{convergence_time_s, percentile_between, run_with_timeline};
 use graf_bench::Args;
 use graf_chaos::{ChaosSchedule, FaultKind};
 use graf_core::{
-    Graf, GrafBuildConfig, PolicyMode, ResilientConfig, ResilientController, SamplingConfig,
-    TrainConfig,
+    AuditTrail, Graf, GrafBuildConfig, PolicyMode, ResilientConfig, ResilientController,
+    SamplingConfig, TrainConfig,
 };
 use graf_loadgen::ClosedLoop;
+use graf_obs::FlightRecorder;
 use graf_orchestrator::{Cluster, CreationModel, Deployment};
+use graf_prof::Prof;
 use graf_sim::time::{SimDuration, SimTime};
 use graf_sim::topology::{ApiId, ApiSpec, AppTopology, CallNode, ServiceId, ServiceSpec};
 use graf_sim::world::{SimConfig, World};
@@ -90,7 +96,24 @@ struct Cell {
     final_level: &'static str,
 }
 
-fn run_cell(graf: &Graf, sched: &ChaosSchedule, mode: PolicyMode, seed: u64) -> Cell {
+/// `results/audit.jsonl` + (`trace_drop`, `ladder`) →
+/// `results/audit-trace_drop-ladder.jsonl`: one decision log per cell.
+fn cell_audit_path(base: &str, fault: &str, policy: &str) -> PathBuf {
+    let p = Path::new(base);
+    let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("audit");
+    let ext = p.extension().and_then(|s| s.to_str()).unwrap_or("jsonl");
+    p.with_file_name(format!("{stem}-{fault}-{policy}.{ext}"))
+}
+
+fn run_cell(
+    graf: &Graf,
+    sched: &ChaosSchedule,
+    mode: PolicyMode,
+    seed: u64,
+    flight: (&FlightRecorder, &Path),
+    prof: &Prof,
+    audit: Option<PathBuf>,
+) -> Cell {
     let topo = chain3();
     let world = World::new(topo.clone(), SimConfig::default(), seed);
     let deployments = (0..topo.num_services())
@@ -104,6 +127,16 @@ fn run_cell(graf: &Graf, sched: &ChaosSchedule, mode: PolicyMode, seed: u64) -> 
         ResilientConfig { mode, ..ResilientConfig::default() },
     );
     rc.arm_chaos(sched);
+    // All cells append to the same ring, so on a chaos-induced demotion (or
+    // a panic) the dump holds the last ~1k decisions across the matrix.
+    rc.set_flight(flight.0.clone(), flight.1.to_path_buf());
+    rc.set_prof(prof.clone());
+    if let Some(path) = audit {
+        match AuditTrail::to_file(&path) {
+            Ok(trail) => rc.set_audit(trail),
+            Err(e) => eprintln!("audit: cannot write {}: {e}", path.display()),
+        }
+    }
 
     // ~300 qps before the surge, ~600 qps after (think time 2 s per user):
     // an under-provisioned post-surge cluster genuinely queues.
@@ -116,6 +149,9 @@ fn run_cell(graf: &Graf, sched: &ChaosSchedule, mode: PolicyMode, seed: u64) -> 
         SimTime::from_secs(END_S),
         SimDuration::from_secs(5.0),
     );
+    if let Some(trail) = rc.audit_mut() {
+        trail.flush();
+    }
     Cell {
         p99_ms: percentile_between(&comps, SURGE_S, END_S, 0.99),
         converge_s: convergence_time_s(&tl, SURGE_S, SLO_MS, 4),
@@ -134,6 +170,7 @@ fn run_cell(graf: &Graf, sched: &ChaosSchedule, mode: PolicyMode, seed: u64) -> 
 fn main() {
     let args = Args::parse();
     let obs = args.obs();
+    let prof = args.prof();
     let topo = chain3();
     println!("# Chaos matrix — fault class × degradation policy (surge at t={SURGE_S} s)");
     println!(
@@ -170,6 +207,12 @@ fn main() {
         graf.report.best_val
     );
 
+    // Flight recorder: a bounded ring of recent per-tick decision records,
+    // dumped for post-mortem on panic or chaos-induced ladder demotion.
+    let flight_path = PathBuf::from(format!("results/flightrec-{}.jsonl", args.seed));
+    let flight = FlightRecorder::new(graf_obs::flight::DEFAULT_FLIGHT_CAPACITY);
+    flight.arm_panic_dump(flight_path.clone());
+
     println!(
         "{:<14} {:<8} {:>8} {:>11} {:>7} {:>6} {:>12} {:>11}",
         "fault", "policy", "p99_ms", "converge_s", "final", "peak", "transitions", "final_level"
@@ -184,7 +227,9 @@ fn main() {
         for (policy, mode) in
             [("ladder", PolicyMode::Ladder), ("freeze", PolicyMode::FreezeOnFault)]
         {
-            let cell = run_cell(&graf, &sched, mode, args.seed);
+            let audit = args.audit.as_ref().map(|base| cell_audit_path(base, name, policy));
+            let cell =
+                run_cell(&graf, &sched, mode, args.seed, (&flight, &flight_path), &prof, audit);
             println!(
                 "{:<14} {:<8} {:>8} {:>11} {:>7} {:>6} {:>12} {:>11}",
                 name,
@@ -219,5 +264,9 @@ fn main() {
             assert!(l < f, "ladder p99 ({l:.1} ms) must beat freeze ({f:.1} ms) under {target}");
         }
     }
+    if let Some(base) = &args.audit {
+        println!("\naudit trails written next to {base} (one JSONL file per cell)");
+    }
+    args.finish_profile(&prof);
     args.finish_telemetry(&obs);
 }

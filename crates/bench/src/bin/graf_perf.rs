@@ -1,0 +1,122 @@
+//! `graf-perf` — the perf-regression gate over `BENCH_HISTORY.jsonl`.
+//!
+//! ```text
+//! graf-perf compare <revA> <revB> [--history PATH] [--threshold PCT]
+//! ```
+//!
+//! Compares every benchmark recorded for `revA` (base) against `revB` (new)
+//! and prints a per-bench table. Exits nonzero only when a median regresses
+//! by more than the threshold (default 10 %) **and** by more than the
+//! run-to-run noise (IQR) — see `graf_bench::perf` for the decision rule.
+//!
+//! Revisions are resolved through `git rev-parse` so symbolic names
+//! (`HEAD~1`, branch names, abbreviated SHAs) work; when `git` is
+//! unavailable or the name does not resolve, the literal string is used.
+//! Missing history — no file, or no runs for one of the revisions — is
+//! reported and exits 0: a fresh clone must not fail CI.
+
+use std::process::Command;
+
+use graf_bench::perf::{self, Verdict};
+
+fn usage() -> ! {
+    eprintln!("usage: graf-perf compare <revA> <revB> [--history PATH] [--threshold PCT]");
+    std::process::exit(2);
+}
+
+/// Resolves a symbolic revision to a full SHA via `git rev-parse`, falling
+/// back to the literal input (so synthetic histories work without git).
+fn resolve_rev(rev: &str) -> String {
+    let out = Command::new("git").args(["rev-parse", &format!("{rev}^{{commit}}")]).output();
+    match out {
+        Ok(o) if o.status.success() => String::from_utf8_lossy(&o.stdout).trim().to_string(),
+        _ => rev.to_string(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("compare") {
+        usage();
+    }
+    let mut rev_a: Option<String> = None;
+    let mut rev_b: Option<String> = None;
+    let mut history_path = "BENCH_HISTORY.jsonl".to_string();
+    let mut threshold = 10.0f64;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--history" => {
+                history_path = it.next().unwrap_or_else(|| usage()).clone();
+            }
+            "--threshold" => {
+                threshold = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            other if rev_a.is_none() => rev_a = Some(other.to_string()),
+            other if rev_b.is_none() => rev_b = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let (Some(rev_a), Some(rev_b)) = (rev_a, rev_b) else { usage() };
+
+    let Ok(text) = std::fs::read_to_string(&history_path) else {
+        println!("graf-perf: no history at {history_path}; nothing to compare (ok)");
+        return;
+    };
+    let (history, skipped) = perf::parse_history(&text);
+    if skipped > 0 {
+        eprintln!("graf-perf: skipped {skipped} unparseable history line(s)");
+    }
+
+    let full_a = resolve_rev(&rev_a);
+    let full_b = resolve_rev(&rev_b);
+    let short = |s: &str| if s.len() > 12 { s[..12].to_string() } else { s.to_string() };
+    println!(
+        "graf-perf compare  base={} ({})  new={} ({})  threshold={threshold}%",
+        rev_a,
+        short(&full_a),
+        rev_b,
+        short(&full_b)
+    );
+
+    let report = perf::compare(&history, &full_a, &full_b, threshold);
+    if report.rows.is_empty() {
+        let have_a = history.iter().any(|r| r.rev == full_a || r.rev.starts_with(&full_a));
+        let have_b = history.iter().any(|r| r.rev == full_b || r.rev.starts_with(&full_b));
+        println!(
+            "no overlapping benchmarks (base history: {}, new history: {}); nothing to gate (ok)",
+            if have_a { "yes" } else { "none" },
+            if have_b { "yes" } else { "none" }
+        );
+        return;
+    }
+
+    println!(
+        "{:<34} {:>12} {:>12} {:>9} {:>9}  verdict",
+        "bench", "base ms", "new ms", "delta", "noise ms"
+    );
+    for row in &report.rows {
+        let verdict = match row.verdict {
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Improved => "improved",
+            Verdict::Unchanged => "ok",
+        };
+        println!(
+            "{:<34} {:>12.4} {:>12.4} {:>8.1}% {:>9.4}  {verdict}",
+            row.bench, row.base_ms, row.new_ms, row.delta_pct, row.noise_ms
+        );
+    }
+    for b in &report.only_base {
+        println!("{b:<34} (only measured at base)");
+    }
+    for b in &report.only_new {
+        println!("{b:<34} (only measured at new)");
+    }
+
+    if report.has_regressions() {
+        let n = report.rows.iter().filter(|r| r.verdict == Verdict::Regressed).count();
+        eprintln!("graf-perf: {n} benchmark(s) regressed beyond {threshold}% + noise");
+        std::process::exit(1);
+    }
+    println!("graf-perf: no regressions beyond {threshold}% + noise");
+}

@@ -9,6 +9,7 @@ use graf_sim::time::SimDuration;
 
 fn main() {
     let args = Args::parse();
+    let prof = args.prof();
     let setup = boutique_setup();
 
     let t0 = Instant::now();
@@ -29,6 +30,7 @@ fn main() {
 
     // What does GRAF want at the probe workload?
     let mut ctrl = graf.controller(setup.slo_ms);
+    ctrl.set_prof(prof.clone());
     let t1 = Instant::now();
     let (quotas, res) = ctrl.plan(&setup.probe_qps);
     println!(
@@ -62,6 +64,7 @@ fn main() {
         trial.rates = rates;
 
         let mut graf_ctrl = graf.controller(setup.slo_ms);
+        graf_ctrl.set_prof(prof.clone());
         let graf_out = run_steady(&trial, &mut graf_ctrl);
         let mut hpa = graf_core::baseline::hpa_with_threshold(thr, setup.topo.num_services());
         let hpa_out = run_steady(&trial, &mut hpa);
@@ -81,4 +84,5 @@ fn main() {
             hpa_out.per_service_quota_mc.iter().map(|v| v.round()).collect::<Vec<_>>()
         );
     }
+    args.finish_profile(&prof);
 }

@@ -6,6 +6,8 @@
 //!
 //! * [`args`] — a tiny flag parser (`--seed`, `--paper-scale`, …) shared by
 //!   every experiment binary,
+//! * [`perf`] — `BENCH_HISTORY.jsonl` records and the noise-aware
+//!   regression comparator behind the `graf-perf` binary,
 //! * [`pricing`] — the AWS EC2 on-demand prices of Table 3 and the
 //!   cost-benefit arithmetic of Figure 19,
 //! * [`standard`] — the standard experiment configurations: per-application
@@ -24,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod perf;
 pub mod pricing;
 pub mod standard;
 pub mod timeline;

@@ -1,0 +1,348 @@
+//! Bench-history records and the noise-aware perf-regression comparator
+//! behind `graf-perf compare`.
+//!
+//! `bench_compute --history BENCH_HISTORY.jsonl` appends one record per
+//! benchmark per run: the git revision, the bench id, the median wall-clock
+//! and the inter-quartile range of the timed repetitions. The IQR is the
+//! point of the whole scheme — it is a per-run noise estimate, so a later
+//! `graf-perf compare <revA> <revB>` can distinguish "10 % slower" from
+//! "10 % slower but the run-to-run jitter is 15 %", and only fail CI on the
+//! former.
+//!
+//! The decision rule ([`compare`]): a bench REGRESSED from `a` to `b` when
+//! the median moved by more than `threshold_pct` **and** by more than the
+//! larger of the two noise estimates. IMPROVED is the mirror image; anything
+//! else is UNCHANGED. Revisions with no history produce an empty report
+//! (callers treat that leniently — a fresh clone must not fail CI).
+
+use graf_obs::json::{self, Json};
+
+/// One benchmark measurement as stored in `BENCH_HISTORY.jsonl`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRun {
+    /// Git revision (full SHA as written by `bench_compute`, but any
+    /// string works — comparisons are prefix-tolerant).
+    pub rev: String,
+    /// Benchmark id, e.g. `sim_boutique_10s_600qps_ms`.
+    pub bench: String,
+    /// Median wall-clock of the timed repetitions, milliseconds.
+    pub median_ms: f64,
+    /// Inter-quartile range of the timed repetitions, milliseconds — the
+    /// per-run noise estimate.
+    pub iqr_ms: f64,
+    /// `"full"` or `"smoke"` — smoke runs use fewer repetitions, so their
+    /// IQR is a weaker estimate, but they still carry signal.
+    pub mode: String,
+}
+
+impl BenchRun {
+    /// Serializes to one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"rev\": ");
+        json::write_str(&mut out, &self.rev);
+        out.push_str(", \"bench\": ");
+        json::write_str(&mut out, &self.bench);
+        out.push_str(", \"median_ms\": ");
+        json::write_f64(&mut out, self.median_ms);
+        out.push_str(", \"iqr_ms\": ");
+        json::write_f64(&mut out, self.iqr_ms);
+        out.push_str(", \"mode\": ");
+        json::write_str(&mut out, &self.mode);
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSONL line. Errors name the missing/ill-typed field.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let doc = json::parse(line)?;
+        let str_field = |k: &str| -> Result<String, String> {
+            doc.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing/non-string field {k:?}"))
+        };
+        let num_field = |k: &str| -> Result<f64, String> {
+            doc.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing/non-number field {k:?}"))
+        };
+        Ok(Self {
+            rev: str_field("rev")?,
+            bench: str_field("bench")?,
+            median_ms: num_field("median_ms")?,
+            iqr_ms: num_field("iqr_ms")?,
+            mode: str_field("mode").unwrap_or_else(|_| "full".to_string()),
+        })
+    }
+}
+
+/// Parses a whole history file. Returns the runs plus the number of lines
+/// skipped (blank lines and unparseable records — a history file is
+/// append-only across many revisions of this tool, so old/partial lines must
+/// not poison the comparison).
+pub fn parse_history(text: &str) -> (Vec<BenchRun>, usize) {
+    let mut runs = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match BenchRun::from_json(line) {
+            Ok(run) => runs.push(run),
+            Err(_) => skipped += 1,
+        }
+    }
+    (runs, skipped)
+}
+
+/// Median and inter-quartile range of `samples` (nearest-rank quartiles,
+/// matching `bench_compute`'s median convention). Empty input yields zeros.
+pub fn median_iqr(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut xs = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let med = xs[xs.len() / 2];
+    let iqr = xs[(3 * xs.len()) / 4] - xs[xs.len() / 4];
+    (med, iqr)
+}
+
+/// The verdict on one benchmark between two revisions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Median slower by more than the threshold AND more than the noise.
+    Regressed,
+    /// Median faster by more than the threshold AND more than the noise.
+    Improved,
+    /// Within threshold or within noise.
+    Unchanged,
+}
+
+/// Per-benchmark comparison row.
+#[derive(Clone, Debug)]
+pub struct BenchVerdict {
+    /// Benchmark id.
+    pub bench: String,
+    /// Aggregated median at the base revision, ms.
+    pub base_ms: f64,
+    /// Aggregated median at the new revision, ms.
+    pub new_ms: f64,
+    /// Noise estimate used for the decision (max of both sides), ms.
+    pub noise_ms: f64,
+    /// `(new - base) / base`, percent.
+    pub delta_pct: f64,
+    /// The decision.
+    pub verdict: Verdict,
+}
+
+/// The full comparison between two revisions.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// One row per benchmark present at both revisions.
+    pub rows: Vec<BenchVerdict>,
+    /// Benchmarks present only at the base revision.
+    pub only_base: Vec<String>,
+    /// Benchmarks present only at the new revision.
+    pub only_new: Vec<String>,
+}
+
+impl CompareReport {
+    /// `true` when any row regressed.
+    pub fn has_regressions(&self) -> bool {
+        self.rows.iter().any(|r| r.verdict == Verdict::Regressed)
+    }
+}
+
+/// `true` when `run.rev` matches the query revision (exact or the stored
+/// SHA extends an abbreviated query).
+fn rev_matches(run_rev: &str, query: &str) -> bool {
+    run_rev == query || (query.len() >= 7 && run_rev.starts_with(query))
+}
+
+/// Pools every run of one bench at one revision into `(median, noise)`.
+///
+/// Center: median of the run medians. Noise: the largest per-run IQR, or the
+/// spread between the pooled run medians when that is bigger — repeated runs
+/// at the same revision are themselves a noise sample.
+fn pool(runs: &[&BenchRun]) -> (f64, f64) {
+    let medians: Vec<f64> = runs.iter().map(|r| r.median_ms).collect();
+    let (center, spread) = median_iqr(&medians);
+    let max_iqr = runs.iter().map(|r| r.iqr_ms).fold(0.0f64, f64::max);
+    (center, max_iqr.max(spread))
+}
+
+/// Compares all benchmarks between `rev_a` (base) and `rev_b` (new).
+///
+/// `threshold_pct` is the regression gate (the repo's CI uses 10.0): a bench
+/// regresses only when its median slows by more than this percentage **and**
+/// by more than the noise estimate.
+pub fn compare(
+    history: &[BenchRun],
+    rev_a: &str,
+    rev_b: &str,
+    threshold_pct: f64,
+) -> CompareReport {
+    let mut report = CompareReport::default();
+    // Stable bench order: first appearance in the history file.
+    let mut benches: Vec<&str> = Vec::new();
+    for run in history {
+        if !benches.contains(&run.bench.as_str()) {
+            benches.push(&run.bench);
+        }
+    }
+    for bench in benches {
+        let at = |rev: &str| -> Vec<&BenchRun> {
+            history.iter().filter(|r| r.bench == bench && rev_matches(&r.rev, rev)).collect()
+        };
+        let (base_runs, new_runs) = (at(rev_a), at(rev_b));
+        match (base_runs.is_empty(), new_runs.is_empty()) {
+            (true, true) => {}
+            (false, true) => report.only_base.push(bench.to_string()),
+            (true, false) => report.only_new.push(bench.to_string()),
+            (false, false) => {
+                let (base_ms, base_noise) = pool(&base_runs);
+                let (new_ms, new_noise) = pool(&new_runs);
+                let noise_ms = base_noise.max(new_noise);
+                let delta = new_ms - base_ms;
+                let delta_pct = if base_ms > 0.0 { delta / base_ms * 100.0 } else { 0.0 };
+                let verdict = if delta_pct > threshold_pct && delta > noise_ms {
+                    Verdict::Regressed
+                } else if delta_pct < -threshold_pct && -delta > noise_ms {
+                    Verdict::Improved
+                } else {
+                    Verdict::Unchanged
+                };
+                report.rows.push(BenchVerdict {
+                    bench: bench.to_string(),
+                    base_ms,
+                    new_ms,
+                    noise_ms,
+                    delta_pct,
+                    verdict,
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rev: &str, bench: &str, median: f64, iqr: f64) -> BenchRun {
+        BenchRun {
+            rev: rev.to_string(),
+            bench: bench.to_string(),
+            median_ms: median,
+            iqr_ms: iqr,
+            mode: "full".to_string(),
+        }
+    }
+
+    #[test]
+    fn bench_run_round_trips_through_jsonl() {
+        let r = run("abc123def4567", "solver_solve_6svc_ms", 12.5, 0.75);
+        let line = r.to_json();
+        assert_eq!(BenchRun::from_json(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn parse_history_skips_garbage_lines() {
+        let text = format!(
+            "{}\n\nnot json at all\n{}\n{{\"rev\": \"x\"}}\n",
+            run("a", "b1", 1.0, 0.1).to_json(),
+            run("a", "b2", 2.0, 0.2).to_json()
+        );
+        let (runs, skipped) = parse_history(&text);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(skipped, 2);
+    }
+
+    #[test]
+    fn median_iqr_nearest_rank() {
+        let (m, i) = median_iqr(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(m, 3.0); // sorted [1,2,3,4], index 4/2 = 2
+        assert_eq!(i, 4.0 - 2.0); // q3 at index 3, q1 at index 1
+        assert_eq!(median_iqr(&[]), (0.0, 0.0));
+        assert_eq!(median_iqr(&[7.0]), (7.0, 0.0));
+    }
+
+    #[test]
+    fn clear_regression_is_flagged() {
+        let hist = vec![
+            run("aaaaaaaa", "train_step_ms", 10.0, 0.2),
+            run("bbbbbbbb", "train_step_ms", 13.0, 0.3),
+        ];
+        let report = compare(&hist, "aaaaaaaa", "bbbbbbbb", 10.0);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].verdict, Verdict::Regressed);
+        assert!(report.has_regressions());
+        assert!((report.rows[0].delta_pct - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_within_noise_does_not_fail() {
+        // 30 % slower, but the base IQR is ±5 ms: the 3 ms delta is noise.
+        let hist = vec![run("aaaaaaaa", "sim_ms", 10.0, 5.0), run("bbbbbbbb", "sim_ms", 13.0, 0.3)];
+        let report = compare(&hist, "aaaaaaaa", "bbbbbbbb", 10.0);
+        assert_eq!(report.rows[0].verdict, Verdict::Unchanged);
+        assert!(!report.has_regressions());
+    }
+
+    #[test]
+    fn improvement_and_small_delta_are_not_regressions() {
+        let hist = vec![
+            run("aaaaaaaa", "fast_ms", 10.0, 0.1),
+            run("bbbbbbbb", "fast_ms", 7.0, 0.1),
+            run("aaaaaaaa", "flat_ms", 10.0, 0.1),
+            run("bbbbbbbb", "flat_ms", 10.5, 0.1),
+        ];
+        let report = compare(&hist, "aaaaaaaa", "bbbbbbbb", 10.0);
+        let by_name = |n: &str| report.rows.iter().find(|r| r.bench == n).unwrap();
+        assert_eq!(by_name("fast_ms").verdict, Verdict::Improved);
+        assert_eq!(by_name("flat_ms").verdict, Verdict::Unchanged);
+    }
+
+    #[test]
+    fn repeated_runs_pool_and_spread_counts_as_noise() {
+        // Same revision measured three times with spread 2.0; the cross-rev
+        // delta of 1.5 is inside that spread even though per-run IQRs are 0.
+        let hist = vec![
+            run("aaaaaaaa", "x_ms", 9.0, 0.0),
+            run("aaaaaaaa", "x_ms", 10.0, 0.0),
+            run("aaaaaaaa", "x_ms", 11.0, 0.0),
+            run("bbbbbbbb", "x_ms", 11.5, 0.0),
+        ];
+        let report = compare(&hist, "aaaaaaaa", "bbbbbbbb", 10.0);
+        assert_eq!(report.rows[0].verdict, Verdict::Unchanged);
+    }
+
+    #[test]
+    fn missing_revisions_produce_empty_or_partial_reports() {
+        let hist = vec![run("aaaaaaaa", "x_ms", 10.0, 0.1)];
+        let report = compare(&hist, "aaaaaaaa", "cccccccc", 10.0);
+        assert!(report.rows.is_empty());
+        assert_eq!(report.only_base, vec!["x_ms".to_string()]);
+        assert!(!report.has_regressions());
+        let empty = compare(&[], "aaaaaaaa", "bbbbbbbb", 10.0);
+        assert!(empty.rows.is_empty() && empty.only_base.is_empty() && empty.only_new.is_empty());
+    }
+
+    #[test]
+    fn abbreviated_revs_match_stored_full_shas() {
+        let hist = vec![
+            run("aaaaaaaa11112222", "x_ms", 10.0, 0.1),
+            run("bbbbbbbb33334444", "x_ms", 20.0, 0.1),
+        ];
+        let report = compare(&hist, "aaaaaaaa", "bbbbbbbb", 10.0);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].verdict, Verdict::Regressed);
+        // Too-short prefixes (< 7 chars) do not match: ambiguity guard.
+        let none = compare(&hist, "aaa", "bbb", 10.0);
+        assert!(none.rows.is_empty());
+    }
+}

@@ -40,6 +40,7 @@
 
 pub mod analyzer;
 pub mod anomaly;
+pub mod audit;
 pub mod baseline;
 pub mod collector;
 pub mod controller;
@@ -54,6 +55,7 @@ pub mod solver;
 
 pub use analyzer::WorkloadAnalyzer;
 pub use anomaly::{AnomalyGuard, AnomalyGuardConfig};
+pub use audit::{AuditRecord, AuditSolve, AuditTrail};
 pub use controller::{GrafController, GrafControllerConfig, PlanOutcome};
 pub use dataset::{Dataset, Split};
 pub use features::FeatureScaler;
@@ -62,4 +64,6 @@ pub use latency_model::{LatencyModel, NetKind, TrainConfig, TrainReport};
 pub use partition::{partition_graph, PartitionedLatencyModel};
 pub use resilient::{PolicyLevel, PolicyMode, ResilientConfig, ResilientController};
 pub use sample_collector::{Bounds, Sample, SampleCollector, SamplingConfig};
-pub use solver::{integer_refine, solve, solve_observed, SolveResult, SolverConfig};
+pub use solver::{
+    integer_refine, solve, solve_instrumented, solve_observed, SolveResult, SolverConfig,
+};

@@ -29,15 +29,17 @@
 //! `graf-obs` (`graf.resilient.*`).
 
 use std::collections::VecDeque;
+use std::path::PathBuf;
 
 use graf_chaos::{ChaosEngine, ChaosSchedule};
-use graf_obs::Obs;
+use graf_obs::{FlightRecorder, Obs};
 use graf_orchestrator::{Autoscaler, Cluster, HpaConfig, KubernetesHpa};
 use graf_sim::time::{SimDuration, SimTime};
 use graf_sim::topology::ServiceId;
 use graf_trace::Trace;
 
 use crate::analyzer::WorkloadAnalyzer;
+use crate::audit::{AuditRecord, AuditSolve, AuditTrail};
 use crate::controller::GrafController;
 
 /// The rung of the degradation ladder a tick executed at.
@@ -157,6 +159,12 @@ pub struct ResilientController {
     transitions: u64,
     interpolated_rows: u64,
     obs: Obs,
+    prof: graf_prof::Prof,
+    /// Tick sequence number feeding the audit trail.
+    ticks: u64,
+    audit: Option<AuditTrail>,
+    /// Flight-recorder ring plus the path it dumps to on ladder demotion.
+    flight: Option<(FlightRecorder, PathBuf)>,
 }
 
 impl ResilientController {
@@ -181,6 +189,10 @@ impl ResilientController {
             transitions: 0,
             interpolated_rows: 0,
             obs: Obs::disabled(),
+            prof: graf_prof::Prof::disabled(),
+            ticks: 0,
+            audit: None,
+            flight: None,
         }
     }
 
@@ -196,6 +208,43 @@ impl ResilientController {
     pub fn set_obs(&mut self, obs: Obs) {
         self.inner.set_obs(obs.clone());
         self.obs = obs;
+    }
+
+    /// Attaches a self-profiler handle (tick/solver/training phase
+    /// attribution), delegated to the wrapped controller. Profiling never
+    /// alters any decision.
+    pub fn set_prof(&mut self, prof: graf_prof::Prof) {
+        self.inner.set_prof(prof.clone());
+        self.prof = prof;
+    }
+
+    /// Enables the per-tick decision audit trail: every tick appends one
+    /// [`AuditRecord`] (inputs, chosen rung, solver stats, applied plan and
+    /// deltas). Auditing is write-only and never alters any decision.
+    pub fn set_audit(&mut self, trail: AuditTrail) {
+        self.audit = Some(trail);
+    }
+
+    /// The audit trail, when enabled.
+    pub fn audit(&self) -> Option<&AuditTrail> {
+        self.audit.as_ref()
+    }
+
+    /// Mutable audit trail (e.g. to flush its file sink).
+    pub fn audit_mut(&mut self) -> Option<&mut AuditTrail> {
+        self.audit.as_mut()
+    }
+
+    /// Attaches a flight recorder: every tick's audit record is pushed into
+    /// the ring, and any ladder **demotion** dumps the ring to `dump_path`
+    /// (the crash/incident black box). Recording never alters any decision.
+    pub fn set_flight(&mut self, recorder: FlightRecorder, dump_path: PathBuf) {
+        self.flight = Some((recorder, dump_path));
+    }
+
+    /// The flight recorder, when attached.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref().map(|(r, _)| r)
     }
 
     /// The rung the most recent tick executed at.
@@ -344,7 +393,16 @@ impl Autoscaler for ResilientController {
     }
 
     fn tick(&mut self, cluster: &mut Cluster) {
+        let _tick_scope = self.prof.enter("controller.resilient_tick");
         let now = cluster.world().now();
+        // Snapshot desired counts before acting, so the audit record can
+        // report the tick's implied deltas. Only taken when someone listens.
+        let want_audit = self.audit.is_some() || self.flight.is_some();
+        let desired_before: Vec<usize> = if want_audit {
+            cluster.deployments().iter().map(|d| d.desired).collect()
+        } else {
+            Vec::new()
+        };
 
         // 1. Scrape, remember, and pass the reading through the fault engine.
         let raw = self.inner.observed_rates(cluster);
@@ -416,7 +474,52 @@ impl Autoscaler for ResilientController {
             PolicyLevel::Freeze => {}
         }
 
-        // 6. Telemetry.
+        // 6. Decision audit + flight recorder. The record captures what the
+        //    tick saw (inputs, health), chose (rung, solver stats) and did
+        //    (desired counts and deltas); a demotion dumps the ring.
+        let demoted = next.severity() > self.level.severity();
+        if want_audit {
+            let solver = (next == PolicyLevel::Full)
+                .then_some(self.inner.last_solve.as_ref())
+                .flatten()
+                .map(|s| AuditSolve {
+                    iterations: s.iterations,
+                    loss: s.loss,
+                    predicted_ms: s.predicted_ms,
+                });
+            let desired: Vec<usize> = cluster.deployments().iter().map(|d| d.desired).collect();
+            let deltas: Vec<i64> =
+                desired.iter().zip(&desired_before).map(|(&a, &b)| a as i64 - b as i64).collect();
+            let rec = AuditRecord {
+                tick: self.ticks,
+                sim_time_s: now.as_secs_f64(),
+                level: next.name(),
+                rates: rates.clone(),
+                signal_age_s: age.as_secs_f64(),
+                rates_finite,
+                coverage_min: self.coverage.iter().copied().fold(1.0f64, f64::min),
+                creation_ok,
+                solver,
+                desired,
+                deltas,
+            };
+            if let Some((ring, _)) = &self.flight {
+                ring.record(&rec.to_json());
+            }
+            if let Some(trail) = &mut self.audit {
+                trail.push(rec);
+            }
+        }
+        if demoted {
+            if let Some((ring, path)) = &self.flight {
+                // Dump errors are swallowed: the black box must never take
+                // down the control loop.
+                let _ = ring.dump_to(path);
+            }
+        }
+        self.ticks += 1;
+
+        // 7. Telemetry.
         if next != self.level {
             self.transitions += 1;
             self.obs.counter_add(
@@ -563,6 +666,91 @@ mod tests {
         assert_eq!(rc.level(), PolicyLevel::Freeze);
         let desired_after: Vec<usize> = cluster.deployments().iter().map(|d| d.desired).collect();
         assert_eq!(desired_before, desired_after, "freeze holds the allocation");
+    }
+
+    #[test]
+    fn audit_trail_records_every_tick_and_flight_dumps_on_demotion() {
+        let cfg = ResilientConfig {
+            max_plan_age: SimDuration::from_secs(30.0),
+            max_signal_age: SimDuration::from_secs(10.0),
+            recovery_ticks: 2,
+            ..ResilientConfig::default()
+        };
+        let mut rc = ResilientController::new(tiny_controller(), cfg);
+        let schedule =
+            graf_chaos::ChaosSchedule::new(9).fault(FaultKind::MetricNan, t(20.0), t(60.0));
+        rc.arm_chaos(&schedule);
+        rc.set_audit(AuditTrail::in_memory());
+        let dump = std::env::temp_dir()
+            .join(format!("graf-flightrec-demotion-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&dump);
+        rc.set_flight(FlightRecorder::new(16), dump.clone());
+
+        let mut cluster = cluster2(31);
+        // Same timeline as `ladder_degrades_and_recovers_with_hysteresis` up
+        // to the fallback demotion: full, full, last_good, fallback.
+        for secs in [10.0, 15.0, 25.0, 48.0] {
+            cluster.world_mut().run_until(t(secs));
+            rc.tick(&mut cluster);
+        }
+
+        let trail = rc.audit().expect("audit attached");
+        assert_eq!(trail.len(), 4, "one record per tick");
+        let levels: Vec<&str> = trail.records().iter().map(|r| r.level).collect();
+        assert_eq!(levels, vec!["full", "full", "last_good", "fallback"]);
+        for (i, rec) in trail.records().iter().enumerate() {
+            assert_eq!(rec.tick, i as u64, "ticks are sequenced");
+            assert_eq!(rec.solver.is_some(), rec.level == "full", "solver stats iff a solve ran");
+            assert_eq!(rec.desired.len(), 2);
+            assert_eq!(rec.deltas.len(), 2);
+        }
+        assert!(!trail.records()[2].rates_finite, "the NaN fault is visible in the record");
+
+        // Both demotions dumped the ring; the file holds the state as of the
+        // last one: all four decisions, in order, each line parseable.
+        let dumped = std::fs::read_to_string(&dump).expect("demotion dumped the flight ring");
+        let lines: Vec<&str> = dumped.lines().collect();
+        assert_eq!(lines.len(), 4, "ring held every tick so far");
+        for (i, line) in lines.iter().enumerate() {
+            let doc = graf_obs::json::parse(line).expect("dumped line is valid JSON");
+            assert_eq!(doc.get("tick").and_then(|v| v.as_f64()), Some(i as f64));
+        }
+        let _ = std::fs::remove_file(&dump);
+    }
+
+    #[test]
+    fn audit_and_flight_do_not_perturb_decisions() {
+        let run = |instrument: bool| -> (Vec<usize>, Vec<PolicyLevel>) {
+            let cfg = ResilientConfig {
+                max_plan_age: SimDuration::from_secs(30.0),
+                max_signal_age: SimDuration::from_secs(10.0),
+                recovery_ticks: 2,
+                ..ResilientConfig::default()
+            };
+            let mut rc = ResilientController::new(tiny_controller(), cfg);
+            let schedule =
+                graf_chaos::ChaosSchedule::new(9).fault(FaultKind::MetricNan, t(20.0), t(60.0));
+            rc.arm_chaos(&schedule);
+            if instrument {
+                rc.set_audit(AuditTrail::in_memory());
+                rc.set_prof(graf_prof::Prof::enabled());
+                let dump = std::env::temp_dir()
+                    .join(format!("graf-flightrec-perturb-{}.jsonl", std::process::id()));
+                rc.set_flight(FlightRecorder::new(8), dump);
+            }
+            let mut cluster = cluster2(31);
+            let mut levels = Vec::new();
+            for secs in [10.0, 15.0, 25.0, 48.0, 65.0, 70.0] {
+                cluster.world_mut().run_until(t(secs));
+                rc.tick(&mut cluster);
+                levels.push(rc.level());
+            }
+            (cluster.deployments().iter().map(|d| d.desired).collect(), levels)
+        };
+        let plain = run(false);
+        let audited = run(true);
+        assert_eq!(plain.0, audited.0, "final plans are bit-identical");
+        assert_eq!(plain.1, audited.1, "ladder trajectory is bit-identical");
     }
 
     #[test]

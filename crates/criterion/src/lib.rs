@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! small API surface its benches use: [`Criterion::bench_function`] with a
+//! [`Bencher::iter`] closure, `sample_size`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: per benchmark, a short warmup then `sample_size`
+//! timed samples (each sample runs the closure enough times to exceed a
+//! minimum measurable duration); the median, min, and max per-iteration
+//! times are printed. No plots, no statistical regression analysis — this
+//! exists so `cargo bench` compiles and produces honest wall-clock numbers;
+//! the repo's tracked benchmarks live in `bench_compute` / `BENCH_HISTORY`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Benchmark driver: configuration plus result printing.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs `f` as the benchmark `id`, printing per-iteration timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples_ns: Vec::new(), target_samples: self.sample_size };
+        f(&mut b);
+        b.samples_ns.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = b.samples_ns.get(b.samples_ns.len() / 2).copied().unwrap_or(0.0);
+        let min = b.samples_ns.first().copied().unwrap_or(0.0);
+        let max = b.samples_ns.last().copied().unwrap_or(0.0);
+        println!(
+            "{id:<44} median {:>12} min {:>12} max {:>12} ({} samples)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+            b.samples_ns.len(),
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`: warmup, then `sample_size` samples of batched calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + batch sizing: run until ~5 ms elapsed to pick a batch
+        // size whose total runtime is comfortably measurable.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed().as_millis() < 5 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter_ns = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        // Target ≥1 ms per sample so Instant resolution is negligible.
+        let batch = ((1e6 / per_iter_ns).ceil() as u64).clamp(1, 1_000_000);
+        self.samples_ns.clear();
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_nanos() as f64;
+            self.samples_ns.push(dt / batch as f64);
+        }
+    }
+}
+
+/// Declares a benchmark group runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0, "closure executed");
+    }
+
+    #[test]
+    fn sample_size_floor() {
+        let c = Criterion::default().sample_size(1);
+        assert_eq!(c.sample_size, 3);
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(1.2e4).contains("µs"));
+        assert!(fmt_ns(3.4e6).contains("ms"));
+        assert!(fmt_ns(2.1e9).contains("s"));
+    }
+}

@@ -161,6 +161,20 @@ impl Histogram {
             .map(|(b, &c)| (Self::bucket_upper(b), c))
     }
 
+    /// Number of observations in buckets whose upper bound is ≤ `bound` —
+    /// the cumulative count a Prometheus `_bucket{le="bound"}` sample
+    /// reports. Bounds between buckets simply include every whole bucket
+    /// below them, so any ascending bound list yields a valid cumulative
+    /// series.
+    pub fn count_le(&self, bound: f64) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .take_while(|&(b, _)| Self::bucket_upper(b) <= bound)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if other.counts.len() > self.counts.len() {
@@ -283,6 +297,27 @@ mod tests {
         // The first bucket is the exact linear one for value 3.
         assert_eq!(buckets[0], (3.0, 2));
         assert_eq!(h.sum(), 3 + 3 + 500 + 90_000 + 90_000 + 90_001);
+    }
+
+    #[test]
+    fn count_le_is_cumulative_and_total_at_top() {
+        let mut h = Histogram::new();
+        for v in [3u64, 3, 500, 90_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count_le(2.0), 0);
+        assert_eq!(h.count_le(3.0), 2);
+        // A bound from another series' buckets still yields a valid
+        // cumulative count (every whole bucket below it).
+        assert_eq!(h.count_le(400.0), 2);
+        assert_eq!(h.count_le(1e12), h.count());
+        let mut prev = 0;
+        for (ub, _) in h.nonzero_buckets() {
+            let c = h.count_le(ub);
+            assert!(c >= prev, "cumulative counts ascend");
+            prev = c;
+        }
+        assert_eq!(prev, h.count());
     }
 
     #[test]

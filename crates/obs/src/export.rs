@@ -70,16 +70,24 @@ fn fmt_num(v: f64) -> String {
     }
 }
 
-fn render_histogram(out: &mut String, name: &str, labels: &[(String, String)], h: &Histogram) {
-    let mut cumulative = 0u64;
-    for (ub, count) in h.nonzero_buckets() {
-        cumulative += count;
+/// Renders one histogram series over `bounds` — the union of nonzero bucket
+/// bounds across *all* series of the metric, so every label set of one
+/// metric exposes the same `le` grid (Prometheus requires consistent bounds
+/// for `sum by (le)` aggregation across series).
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    h: &Histogram,
+    bounds: &[f64],
+) {
+    for &ub in bounds {
         let le = fmt_num(ub);
         out.push_str(&format!(
             "{}_bucket{} {}\n",
             name,
             prom_labels(labels, Some(("le", &le))),
-            cumulative
+            h.count_le(ub)
         ));
     }
     out.push_str(&format!(
@@ -98,6 +106,29 @@ impl Obs {
     /// histograms). Returns an empty string when disabled.
     pub fn render_prometheus(&self) -> String {
         self.with_registry(|reg| {
+            // Pre-pass: union of nonzero bucket bounds per histogram metric,
+            // so every label set of one metric exposes the same `le` grid.
+            let mut hist_bounds: Vec<(&str, Vec<f64>)> = Vec::new();
+            for (name, _labels, series) in reg.iter() {
+                if let Series::Hist(h) = series {
+                    let entry = match hist_bounds.iter_mut().find(|(n, _)| *n == name) {
+                        Some(e) => e,
+                        None => {
+                            hist_bounds.push((name, Vec::new()));
+                            hist_bounds.last_mut().expect("just pushed")
+                        }
+                    };
+                    for (ub, _) in h.nonzero_buckets() {
+                        if !entry.1.contains(&ub) {
+                            entry.1.push(ub);
+                        }
+                    }
+                }
+            }
+            for (_, bounds) in &mut hist_bounds {
+                bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds"));
+            }
+
             let mut out = String::new();
             let mut last_name = "";
             for (name, labels, series) in reg.iter() {
@@ -118,7 +149,14 @@ impl Obs {
                             fmt_num(*g)
                         ));
                     }
-                    Series::Hist(h) => render_histogram(&mut out, &pname, labels, h),
+                    Series::Hist(h) => {
+                        let bounds = hist_bounds
+                            .iter()
+                            .find(|(n, _)| *n == name)
+                            .map(|(_, b)| b.as_slice())
+                            .unwrap_or(&[]);
+                        render_histogram(&mut out, &pname, labels, h, bounds);
+                    }
                 }
             }
             out
@@ -376,6 +414,40 @@ mod tests {
         assert!(text.contains("h_bucket{le=\"2\"} 3"), "{text}");
         assert!(text.contains("h_bucket{le=\"3\"} 4"), "{text}");
         assert!(text.contains("h_bucket{le=\"+Inf\"} 4"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_histogram_series_share_bucket_bounds() {
+        // Two label sets of the same metric with disjoint value ranges: both
+        // series must expose the union of bounds so `sum by (le)` aggregates.
+        let obs = Obs::enabled();
+        obs.hist_record("lat", &[("svc", "a")], 2);
+        obs.hist_record("lat", &[("svc", "a")], 2);
+        obs.hist_record("lat", &[("svc", "b")], 9);
+        let text = obs.render_prometheus();
+        // Series a at its own bound and at b's (cumulative: all 2 obs ≤ 9).
+        assert!(text.contains("lat_bucket{svc=\"a\",le=\"2\"} 2"), "{text}");
+        assert!(text.contains("lat_bucket{svc=\"a\",le=\"9\"} 2"), "{text}");
+        // Series b at a's bound (nothing that small) and its own.
+        assert!(text.contains("lat_bucket{svc=\"b\",le=\"2\"} 0"), "{text}");
+        assert!(text.contains("lat_bucket{svc=\"b\",le=\"9\"} 1"), "{text}");
+        assert!(text.contains("lat_bucket{svc=\"a\",le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("lat_bucket{svc=\"b\",le=\"+Inf\"} 1"), "{text}");
+        // One TYPE header for the metric, not one per series.
+        assert_eq!(text.matches("# TYPE lat histogram").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn prometheus_histogram_sum_and_count_per_series() {
+        let obs = Obs::enabled();
+        obs.hist_record("lat", &[("svc", "a")], 5);
+        obs.hist_record("lat", &[("svc", "a")], 7);
+        obs.hist_record("lat", &[("svc", "b")], 100);
+        let text = obs.render_prometheus();
+        assert!(text.contains("lat_sum{svc=\"a\"} 12"), "{text}");
+        assert!(text.contains("lat_count{svc=\"a\"} 2"), "{text}");
+        assert!(text.contains("lat_sum{svc=\"b\"} 100"), "{text}");
+        assert!(text.contains("lat_count{svc=\"b\"} 1"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! A flight recorder: a bounded ring buffer of recent JSONL lines (audit
+//! records, events) that can be dumped to disk when something goes wrong —
+//! a panic, or a chaos-induced policy demotion.
+//!
+//! The recorder is the black box of the control loop: recording is cheap and
+//! continuous (one `VecDeque` push under a mutex, oldest line evicted when
+//! full), and the buffer is only ever written out on a trigger, so steady
+//! state does no I/O. Like every other telemetry surface in this workspace,
+//! the recorder is write-only — nothing reads it back to make a decision.
+//!
+//! ```
+//! use graf_obs::FlightRecorder;
+//!
+//! let rec = FlightRecorder::new(3);
+//! for i in 0..5 {
+//!     rec.record(&format!("{{\"tick\":{i}}}"));
+//! }
+//! // Only the most recent `capacity` lines are retained.
+//! assert_eq!(rec.len(), 3);
+//! assert_eq!(rec.dropped(), 2);
+//! assert_eq!(rec.snapshot().first().map(|s| s.as_str()), Some("{\"tick\":2}"));
+//! ```
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default ring capacity: enough for hours of control ticks at 15 s/tick.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
+struct FlightInner {
+    capacity: usize,
+    buf: Mutex<VecDeque<String>>,
+    dropped: AtomicU64,
+}
+
+/// A cheaply clonable handle to a shared bounded ring of JSONL lines.
+///
+/// All clones record into the same ring; see the module docs for the
+/// dump-on-trigger usage model.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<FlightInner>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining at most `capacity` lines (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Arc::new(FlightInner {
+                capacity,
+                buf: Mutex::new(VecDeque::with_capacity(capacity)),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Appends one line (a complete JSON document, no trailing newline);
+    /// evicts the oldest line when the ring is full.
+    pub fn record(&self, line: &str) {
+        let mut buf = self.inner.buf.lock().expect("flight buffer poisoned");
+        if buf.len() == self.inner.capacity {
+            buf.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(line.to_string());
+    }
+
+    /// Lines currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.buf.lock().expect("flight buffer poisoned").len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lines evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The retained lines, oldest first.
+    pub fn snapshot(&self) -> Vec<String> {
+        self.inner.buf.lock().expect("flight buffer poisoned").iter().cloned().collect()
+    }
+
+    /// Writes the retained lines (oldest first, one per line) to `path`,
+    /// creating parent directories as needed. Returns the number of lines
+    /// written. The ring is left intact, so several triggers can dump
+    /// overlapping windows.
+    pub fn dump_to(&self, path: &Path) -> std::io::Result<usize> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let lines = self.snapshot();
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for line in &lines {
+            f.write_all(line.as_bytes())?;
+            f.write_all(b"\n")?;
+        }
+        f.flush()?;
+        Ok(lines.len())
+    }
+
+    /// Installs a panic hook that dumps the ring to `path` before the
+    /// previous hook runs, so a crashing run leaves its last-seconds record
+    /// behind. The hook chains: existing panic behaviour is preserved.
+    pub fn arm_panic_dump(&self, path: PathBuf) {
+        let rec = self.clone();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // Ignore I/O errors: panicking inside a panic hook aborts.
+            let _ = rec.dump_to(&path);
+            prev(info);
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let rec = FlightRecorder::new(2);
+        rec.record("a");
+        rec.record("b");
+        rec.record("c");
+        assert_eq!(rec.snapshot(), vec!["b".to_string(), "c".to_string()]);
+        assert_eq!(rec.dropped(), 1);
+        assert_eq!(rec.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let rec = FlightRecorder::new(8);
+        let other = rec.clone();
+        rec.record("x");
+        other.record("y");
+        assert_eq!(rec.snapshot(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn dump_writes_jsonl_and_keeps_the_ring() {
+        let rec = FlightRecorder::new(4);
+        rec.record("{\"a\":1}");
+        rec.record("{\"a\":2}");
+        let dir = std::env::temp_dir().join("graf-flight-test");
+        let path = dir.join("dump.jsonl");
+        let n = rec.dump_to(&path).expect("dump");
+        assert_eq!(n, 2);
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(body, "{\"a\":1}\n{\"a\":2}\n");
+        assert_eq!(rec.len(), 2, "dumping does not drain");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let rec = FlightRecorder::new(0);
+        rec.record("only");
+        rec.record("kept");
+        assert_eq!(rec.snapshot(), vec!["kept".to_string()]);
+    }
+}

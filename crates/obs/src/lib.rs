@@ -48,8 +48,11 @@
 #![deny(missing_docs)]
 
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod registry;
+
+pub use flight::FlightRecorder;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};

@@ -1,0 +1,338 @@
+//! Offline stand-in for the `rand` 0.8 crate.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! workspace vendors the *exact* subset of `rand` 0.8 it uses:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ (what rand 0.8 uses on 64-bit
+//!   targets), with rand's SplitMix64-based [`SeedableRng::seed_from_u64`].
+//! * [`Rng::gen`] for `f64`/`u64`/`u32` via the `Standard` distribution
+//!   (f64 = top 53 bits of one `u64` draw, scaled by 2⁻⁵³).
+//! * [`Rng::gen_range`] over integer ranges (Lemire widening-multiply with
+//!   rand 0.8's exact rejection zone).
+//!
+//! Every algorithm matches rand 0.8.5 bit for bit (known-answer tests
+//! below), so seeded simulations produce identical draw sequences to builds
+//! against the real crate. Only the APIs the workspace calls are provided.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random-number generator core: raw integer draws.
+pub trait RngCore {
+    /// Next 64 uniform random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Next 32 uniform random bits.
+    fn next_u32(&mut self) -> u32;
+}
+
+/// A generator constructible from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64` seed (rand's generic
+    /// PCG32-based expansion; concrete RNGs may override).
+    fn seed_from_u64(mut state: u64) -> Self {
+        // rand_core 0.6's default: PCG32 output fills the seed 4 bytes at a
+        // time. SmallRng overrides this with SplitMix64 (see below).
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let bytes = x.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Sampling a value of type `T` from a distribution.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard (uniform) distribution over a type's natural range;
+/// `[0, 1)` for floats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // rand 0.8's multiply-based method: 53 most-significant bits.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// 128-bit widening multiply returning `(high, low)` 64-bit halves.
+fn wmul(x: u64, y: u64) -> (u64, u64) {
+    let p = x as u128 * y as u128;
+    ((p >> 64) as u64, p as u64)
+}
+
+/// Uniform draw from `[low, high]` inclusive — rand 0.8's
+/// `sample_single_inclusive` (Lemire's method with the exact rejection
+/// zone), bit-for-bit.
+fn sample_u64_inclusive<R: RngCore + ?Sized>(low: u64, high: u64, rng: &mut R) -> u64 {
+    assert!(low <= high, "cannot sample empty range");
+    let range = high.wrapping_sub(low).wrapping_add(1);
+    if range == 0 {
+        // Full u64 range.
+        return rng.next_u64();
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = wmul(v, range);
+        if lo <= zone {
+            return low.wrapping_add(hi);
+        }
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<u64> for RangeInclusive<u64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        sample_u64_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        sample_u64_inclusive(self.start, self.end - 1, rng)
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "cannot sample empty range");
+        sample_u64_inclusive(self.start as u64, (self.end - 1) as u64, rng) as usize
+    }
+}
+
+impl SampleRange<usize> for RangeInclusive<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        sample_u64_inclusive(*self.start() as u64, *self.end() as u64, rng) as usize
+    }
+}
+
+/// Convenience extension over [`RngCore`]: typed draws and ranges.
+pub trait Rng: RngCore {
+    /// Draws a value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The non-cryptographic generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// rand 0.8's `SmallRng` on 64-bit targets: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            // The low bits of xoshiro256++ have weak linear structure; rand
+            // takes the high half.
+            (self.next_u64() >> 32) as u32
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            SmallRng { s }
+        }
+
+        /// SplitMix64 seed expansion, exactly as rand 0.8's
+        /// `Xoshiro256PlusPlus::seed_from_u64`.
+        fn seed_from_u64(mut state: u64) -> Self {
+            const PHI: u64 = 0x9e3779b97f4a7c15;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_exact_mut(8) {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^= z >> 31;
+                chunk.copy_from_slice(&z.to_le_bytes());
+            }
+            Self::from_seed(seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    /// rand 0.8.5's own xoshiro256++ known-answer test (seed words 1,2,3,4).
+    #[test]
+    fn xoshiro256plusplus_reference_vector() {
+        let mut seed = [0u8; 32];
+        seed[0] = 1;
+        seed[8] = 2;
+        seed[16] = 3;
+        seed[24] = 4;
+        let mut rng = SmallRng::from_seed(seed);
+        let expected = [
+            41943041u64,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+            14011001112246962877,
+            12406186145184390807,
+            15849039046786891736,
+            10450023813501588000,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_splitmix_expansion() {
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+        let mut state = 7u64;
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&splitmix(&mut state).to_le_bytes());
+        }
+        let mut direct = SmallRng::seed_from_u64(7);
+        let mut expanded = SmallRng::from_seed(seed);
+        for _ in 0..16 {
+            assert_eq!(direct.next_u64(), expanded.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_is_top_53_bits() {
+        let mut a = SmallRng::seed_from_u64(99);
+        let mut b = a.clone();
+        for _ in 0..1000 {
+            let f = a.gen::<f64>();
+            let bits = b.gen::<u64>() >> 11;
+            assert_eq!(f, bits as f64 * (1.0 / (1u64 << 53) as f64));
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..=13);
+            assert!((10..=13).contains(&v));
+        }
+        // Degenerate single-point range.
+        assert_eq!(rng.gen_range(7u64..=7), 7);
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0u64..=3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn clone_preserves_stream() {
+        let mut a = SmallRng::seed_from_u64(1234);
+        a.next_u64();
+        let mut b = a.clone();
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

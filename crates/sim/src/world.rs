@@ -185,6 +185,18 @@ pub struct World {
     next_request: u64,
     stats: WorldStats,
     obs: graf_obs::Obs,
+    prof: graf_prof::Prof,
+}
+
+/// Profiler phase name for an event kind (one scope per dispatched event).
+fn event_phase(ev: &Event) -> &'static str {
+    match ev {
+        Event::Arrival { .. } => "sim.event_loop.arrival",
+        Event::RequestTimeout { .. } => "sim.event_loop.timeout",
+        Event::StartFrame { .. } => "sim.event_loop.start_frame",
+        Event::JobCheck { .. } => "sim.event_loop.job_check",
+        Event::InstanceReady { .. } => "sim.event_loop.instance_ready",
+    }
 }
 
 impl World {
@@ -219,6 +231,7 @@ impl World {
             next_request: 0,
             stats: WorldStats::default(),
             obs: graf_obs::Obs::disabled(),
+            prof: graf_prof::Prof::disabled(),
             cfg,
             topo,
         }
@@ -229,6 +242,14 @@ impl World {
     /// never influences simulation behaviour.
     pub fn set_obs(&mut self, obs: graf_obs::Obs) {
         self.obs = obs;
+    }
+
+    /// Attaches a profiler handle. The event loop then attributes wall time
+    /// to per-phase scopes (`sim.event_loop.*`, `sim.station.*`,
+    /// `sim.span_record`); profiling never influences simulation behaviour —
+    /// a disabled handle costs one branch per instrumentation point.
+    pub fn set_prof(&mut self, prof: graf_prof::Prof) {
+        self.prof = prof;
     }
 
     /// Current simulated time.
@@ -444,12 +465,23 @@ impl World {
     pub fn run_until(&mut self, t: SimTime) {
         assert!(t >= self.now, "cannot run backwards");
         let events_before = self.stats.events;
-        while let Some((et, ev)) = self.queue.pop_due(t) {
+        let _loop_scope = self.prof.enter("sim.event_loop");
+        // The loop alternates between exactly two scopes — heap_pop and the
+        // current event's phase — via `Prof::switch`, so every hand-off uses
+        // one shared clock read and no wall time leaks into the loop itself.
+        let mut scope = self.prof.enter("sim.event_loop.heap_pop");
+        loop {
+            let popped = self.queue.pop_due(t);
+            let Some((et, ev)) = popped else { break };
             debug_assert!(et >= self.now);
             self.now = et;
             self.stats.events += 1;
+            scope = self.prof.switch(scope, event_phase(&ev));
+            self.prof.work(1);
             self.dispatch(ev);
+            scope = self.prof.switch(scope, "sim.event_loop.heap_pop");
         }
+        drop(scope);
         self.now = t;
         if self.obs.is_enabled() {
             let delta = self.stats.events - events_before;
@@ -587,11 +619,14 @@ impl World {
         // work_ms is in full-core milliseconds: convert to millicore·µs.
         let mean_mc_us = spec.work_ms * 1_000_000.0 * node.work_scale * contention;
         let work = self.rng_work.lognormal_mean_cv(mean_mc_us.max(1e-6), spec.cv);
-        let inst = self.instances[iid.0 as usize].as_mut().expect("live instance");
-        let used = inst.advance(self.now);
-        inst.push_job(fid, work);
-        let epoch = inst.epoch;
-        let next = inst.next_completion(self.now);
+        let (used, epoch, next) = {
+            let _station = self.prof.enter("sim.station.assign");
+            self.prof.work(1);
+            let inst = self.instances[iid.0 as usize].as_mut().expect("live instance");
+            let used = inst.advance(self.now);
+            inst.push_job(fid, work);
+            (used, inst.epoch, inst.next_completion(self.now))
+        };
         self.services[service.0 as usize].cpu.add_usage(self.now.as_micros(), used);
         self.frames[fid.0 as usize].state = FrameState::Working;
         self.frames[fid.0 as usize].instance = Some(iid.0);
@@ -606,11 +641,13 @@ impl World {
             return; // superseded
         }
         let service = inst.service;
-        let used = inst.advance(self.now);
-        let finished = inst.take_finished();
-        let drained = inst.drained();
-        let epoch = inst.epoch;
-        let next = inst.next_completion(self.now);
+        let (used, finished, drained, epoch, next) = {
+            let _station = self.prof.enter("sim.station.advance");
+            self.prof.work(1);
+            let used = inst.advance(self.now);
+            let finished = inst.take_finished();
+            (used, finished, inst.drained(), inst.epoch, inst.next_completion(self.now))
+        };
         self.services[service.0 as usize].cpu.add_usage(self.now.as_micros(), used);
         if drained {
             self.delete_instance(iid);
@@ -731,14 +768,22 @@ impl World {
             let api = self.requests.get(&f.request).expect("live request").api;
             (api, f.plan_node, f.request)
         };
-        let calls =
-            self.plans[api.0 as usize].nodes[plan_node as usize].stages[stage as usize].clone();
-        let total: u32 =
-            calls.iter().map(|&c| self.plans[api.0 as usize].nodes[c as usize].repeat).sum();
+        // Iterate the stage's call list by index (re-reading through
+        // `self.plans` each step) so no clone of the list is needed: this
+        // function is steady-state hot and must stay allocation-free.
+        let plan = &self.plans[api.0 as usize];
+        let n_calls = plan.nodes[plan_node as usize].stages[stage as usize].len();
+        let mut total: u32 = 0;
+        for ci in 0..n_calls {
+            let c = plan.nodes[plan_node as usize].stages[stage as usize][ci];
+            total += plan.nodes[c as usize].repeat;
+        }
         debug_assert!(total > 0, "stages are non-empty by construction");
         self.frames[fid.0 as usize].state = FrameState::Children { stage, outstanding: total };
-        for c in calls {
-            let reps = self.plans[api.0 as usize].nodes[c as usize].repeat;
+        for ci in 0..n_calls {
+            let plan = &self.plans[api.0 as usize];
+            let c = plan.nodes[plan_node as usize].stages[stage as usize][ci];
+            let reps = plan.nodes[c as usize].repeat;
             for _ in 0..reps {
                 let child = self.alloc_frame(request, api, c, Some(fid));
                 self.schedule_frame_start(child);
@@ -792,6 +837,8 @@ impl World {
         if meta.sampled && drop_p > 0.0 && self.rng_trace.chance(drop_p) {
             self.stats.spans_dropped += 1;
         } else if meta.sampled {
+            let _span = self.prof.enter("sim.span_record");
+            self.prof.work(1);
             self.traces.push_span(Span {
                 trace_id: TraceId(request.0),
                 span_id: SpanId(span_id),

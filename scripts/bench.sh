@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Compute-backend benchmark driver. Run from anywhere; operates on the repo
-# root. Produces/updates BENCH_COMPUTE.json, preserving the stored baseline
-# section so speedup-vs-baseline stays comparable across PRs.
+# root. Produces/updates BENCH_COMPUTE.json (preserving the stored baseline
+# section so speedup-vs-baseline stays comparable across PRs), writes the
+# simulator headline to BENCH_SIM.json, and appends every measurement to
+# BENCH_HISTORY.jsonl tagged with the current git revision so
+# `graf-perf compare <revA> <revB>` can gate perf regressions.
 #
 # Usage:
-#   scripts/bench.sh                 # full run, updates BENCH_COMPUTE.json
-#   scripts/bench.sh --smoke         # fast sanity pass, writes nothing
+#   scripts/bench.sh                 # full run, updates BENCH_COMPUTE.json,
+#                                    # BENCH_SIM.json and BENCH_HISTORY.jsonl
+#   scripts/bench.sh --smoke         # fast sanity pass, writes no files
 #   scripts/bench.sh --as-baseline   # re-capture the baseline section
 #   scripts/bench.sh --threads 4     # thread the training measurements
 set -euo pipefail
@@ -27,4 +31,6 @@ if [[ "$SMOKE" == 1 ]]; then
   exec target/release/bench_compute --smoke "${EXTRA[@]+"${EXTRA[@]}"}"
 fi
 
-exec target/release/bench_compute --out BENCH_COMPUTE.json "${EXTRA[@]+"${EXTRA[@]}"}"
+exec target/release/bench_compute --out BENCH_COMPUTE.json \
+  --sim-out BENCH_SIM.json --history BENCH_HISTORY.jsonl \
+  "${EXTRA[@]+"${EXTRA[@]}"}"

@@ -32,6 +32,9 @@ cargo test -q -p graf-core --features sanitize --test sanitize
 echo "== cargo bench --no-run =="
 cargo bench --no-run
 
+echo "== graf-perf compare (perf gate; lenient when history is missing) =="
+cargo run --release -q -p graf-bench --bin graf-perf -- compare HEAD~1 HEAD
+
 echo "== bench smoke =="
 scripts/bench.sh --smoke
 

@@ -1,0 +1,98 @@
+//! Integration: the hierarchical self-profiler observes without perturbing —
+//! a profiled simulation is bit-identical to an unprofiled one, and when
+//! enabled the per-phase event-loop breakdown accounts for (nearly) all of
+//! the loop's wall time.
+
+use graf::apps::online_boutique;
+use graf::prof::Prof;
+use graf::sim::rng::DetRng;
+use graf::sim::time::SimTime;
+use graf::sim::topology::{ApiId, ServiceId};
+use graf::sim::world::{SimConfig, World, WorldStats};
+
+/// The bench scenario (`sim_boutique`): 10 s of Online Boutique at ~600 qps,
+/// returning every observable the world produces plus the latency stream.
+fn sim_boutique(prof: &Prof) -> (WorldStats, Vec<u64>) {
+    let topo = online_boutique();
+    let mut w = World::new(topo, SimConfig::default(), 9);
+    w.set_prof(prof.clone());
+    for s in 0..6u16 {
+        w.add_instances(ServiceId(s), 4, 250.0, SimTime::ZERO);
+    }
+    let mut rng = DetRng::new(9 ^ 0x51);
+    for (api, rate) in [(0u16, 180.0f64), (1, 180.0), (2, 240.0)] {
+        let mut t = 0.0;
+        loop {
+            t += rng.exp(1e6 / rate);
+            if t >= 10e6 {
+                break;
+            }
+            w.inject(ApiId(api), SimTime(t as u64));
+        }
+    }
+    w.run_until(SimTime::from_secs(10.0));
+    let latencies = w.drain_completions().iter().map(|c| c.latency_us()).collect();
+    (w.stats(), latencies)
+}
+
+#[test]
+fn profiling_does_not_perturb_the_simulation() {
+    let off = sim_boutique(&Prof::disabled());
+    let on = sim_boutique(&Prof::enabled());
+    assert_eq!(off.0.completed, on.0.completed, "completed counts match");
+    assert_eq!(off.0.events, on.0.events, "event counts match");
+    assert_eq!(off.0.spans, on.0.spans, "span counts match");
+    assert_eq!(off.1, on.1, "every latency is bit-identical");
+    assert!(off.0.completed > 1000, "the run actually did work ({})", off.0.completed);
+}
+
+#[test]
+fn event_loop_breakdown_covers_at_least_90_percent_of_wall_time() {
+    let prof = Prof::enabled();
+    let (stats, _) = sim_boutique(&prof);
+    let report = prof.report();
+
+    let root = report.find("sim.event_loop").expect("event-loop phase recorded");
+    assert!(root.total_ns > 0, "the loop took measurable time");
+
+    let children = report.children("sim.event_loop");
+    assert!(
+        children.iter().any(|c| c.name == "sim.event_loop.heap_pop"),
+        "heap operations are attributed:\n{}",
+        report.render()
+    );
+    let child_ns: u64 = children.iter().map(|c| c.total_ns).sum();
+    let coverage = child_ns as f64 / root.total_ns as f64;
+    assert!(
+        coverage >= 0.90,
+        "per-phase breakdown must cover >=90% of the event loop, got {:.1}%:\n{}",
+        coverage * 100.0,
+        report.render()
+    );
+
+    // The deterministic work counters account for every dispatched event:
+    // each event adds one unit inside its phase scope.
+    let dispatched: u64 =
+        children.iter().filter(|c| c.name != "sim.event_loop.heap_pop").map(|c| c.work).sum();
+    assert_eq!(dispatched, stats.events, "work counters match dispatched events exactly");
+
+    // Station math and span recording nest under their event phases.
+    assert!(
+        report.rows.iter().any(|r| r.name == "sim.station.advance" && r.calls > 0),
+        "station advance attributed:\n{}",
+        report.render()
+    );
+    assert!(
+        report.rows.iter().any(|r| r.name == "sim.span_record"),
+        "span recording attributed:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn disabled_profiler_records_nothing() {
+    let prof = Prof::disabled();
+    let _ = sim_boutique(&prof);
+    assert!(prof.report().rows.is_empty(), "disabled handle stays empty");
+    assert!(!prof.is_enabled());
+}
