@@ -18,8 +18,9 @@
 //!   (`{rev, bench, median_ms, iqr_ms, mode}`) for `graf-perf compare`.
 //! * `--rev <str>` — revision tag for `--history` records (default:
 //!   `git rev-parse HEAD`).
-//! * `--sim-out <path>` — write the simulator headline (median + IQR of the
-//!   10 s / ~600 qps Online Boutique run) to its own small JSON file.
+//! * `--sim-out <path>` — write the simulator tiers (headline: median + IQR
+//!   of the 10 s / ~600 qps Online Boutique run; `benches` array adds the
+//!   60 s / ~50k qps tier) to their own small JSON file.
 
 use std::time::Instant;
 
@@ -34,7 +35,7 @@ use graf_nn::{Adam, AsymmetricHuber, Matrix};
 use graf_sim::rng::DetRng;
 use graf_sim::time::SimTime;
 use graf_sim::topology::{ApiId, ServiceId};
-use graf_sim::world::{SimConfig, World};
+use graf_sim::world::{Completion, SimConfig, World};
 
 /// Runs `f` `reps` times (after `warmup` unmeasured runs) and returns the
 /// `(median, IQR)` wall-clock in milliseconds. The IQR is the per-run noise
@@ -162,8 +163,62 @@ fn bench_sim_10s(warmup: usize, reps: usize) -> (f64, f64) {
     })
 }
 
+/// The high-rate simulator tier: 60 s of Online Boutique at ~50k qps —
+/// ROADMAP item 1's "millions of users" traffic scale. Run like a real
+/// experiment: load injected and completions/traces drained in 1 s segments
+/// so memory stays bounded, 1 % trace sampling and a 1 ms CPU-checkpoint
+/// resolution (production-style observability settings at this rate).
+fn bench_sim_50k(warmup: usize, reps: usize) -> (f64, f64) {
+    struct ApiLoad {
+        api: u16,
+        rng: DetRng,
+        mean_us: f64,
+        next: f64,
+    }
+    time_stats_ms(warmup, reps, || {
+        let topo = graf_apps::online_boutique();
+        let cfg = SimConfig {
+            trace_sample: 0.01,
+            request_timeout_us: None,
+            cpu_checkpoint_us: 1_000,
+            ..SimConfig::default()
+        };
+        let mut w = World::new(topo, cfg, 11);
+        // Replica counts sized for ~50 % utilization at the offered load.
+        for (s, &n) in [50usize, 16, 26, 42, 70, 30].iter().enumerate() {
+            w.add_instances(ServiceId(s as u16), n, 1000.0, SimTime::ZERO);
+        }
+        let mut loads: Vec<ApiLoad> = [(0u16, 15_000.0f64), (1, 15_000.0), (2, 20_000.0)]
+            .iter()
+            .map(|&(api, rate)| {
+                let mut rng = DetRng::new(11 ^ (0x51 + api as u64));
+                let mean_us = 1e6 / rate;
+                let next = rng.exp(mean_us);
+                ApiLoad { api, rng, mean_us, next }
+            })
+            .collect();
+        let mut sink: Vec<Completion> = Vec::new();
+        for seg in 1..=60u64 {
+            let seg_end = seg as f64 * 1e6;
+            for l in &mut loads {
+                while l.next < seg_end {
+                    w.inject(ApiId(l.api), SimTime(l.next as u64));
+                    l.next += l.rng.exp(l.mean_us);
+                }
+            }
+            w.run_until(SimTime(seg * 1_000_000));
+            w.drain_completions_into(&mut sink);
+            w.traces_mut().drain_finished();
+        }
+        assert!(w.stats().completed > 2_500_000, "50k tier actually ran");
+    })
+}
+
 /// The simulator headline metric's bench id (also the `BENCH_SIM.json` key).
 const SIM_BENCH: &str = "sim_boutique_10s_600qps_ms";
+
+/// Bench id of the high-rate tier recorded alongside the headline.
+const SIM_BENCH_50K: &str = "sim_boutique_60s_50kqps_ms";
 
 fn measure(smoke: bool, threads: usize) -> Vec<(&'static str, f64, f64)> {
     let (w, r) = if smoke { (1, 3) } else { (3, 15) };
@@ -201,6 +256,12 @@ fn measure(smoke: bool, threads: usize) -> Vec<(&'static str, f64, f64)> {
     );
     eprintln!("measuring simulator...");
     push(&mut out, SIM_BENCH, bench_sim_10s(if smoke { 0 } else { 1 }, if smoke { 2 } else { 5 }));
+    eprintln!("measuring simulator (50k qps tier)...");
+    push(
+        &mut out,
+        SIM_BENCH_50K,
+        bench_sim_50k(if smoke { 0 } else { 1 }, if smoke { 1 } else { 5 }),
+    );
     out
 }
 
@@ -316,13 +377,25 @@ fn main() {
     }
 
     if let Some(path) = &sim_out_path {
+        let mode = if smoke { "smoke" } else { "full" };
         let (_, m, i) = stats.iter().find(|(k, _, _)| k == SIM_BENCH).expect("sim bench measured");
+        // Headline fields stay the 10 s tier (stable key for trend tooling);
+        // `benches` lists every sim tier including the 50k entry.
+        let entries: Vec<String> = stats
+            .iter()
+            .filter(|(k, _, _)| k.starts_with("sim_"))
+            .map(|(k, em, ei)| {
+                format!(
+                    "    {{ \"bench\": \"{k}\", \"median_ms\": {em:.4}, \"iqr_ms\": {ei:.4}, \"mode\": \"{mode}\" }}"
+                )
+            })
+            .collect();
         let json = format!(
-            "{{\n  \"bench\": \"{SIM_BENCH}\",\n  \"median_ms\": {m:.4},\n  \"iqr_ms\": {i:.4},\n  \"mode\": \"{}\"\n}}\n",
-            if smoke { "smoke" } else { "full" }
+            "{{\n  \"bench\": \"{SIM_BENCH}\",\n  \"median_ms\": {m:.4},\n  \"iqr_ms\": {i:.4},\n  \"mode\": \"{mode}\",\n  \"benches\": [\n{}\n  ]\n}}\n",
+            entries.join(",\n")
         );
         std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-        println!("simulator headline written to {path}");
+        println!("simulator tiers written to {path}");
     }
 
     let Some(path) = out_path else {

@@ -22,6 +22,10 @@ pub struct CpuAccount {
     /// Cumulative quota integral checkpoints: `(t_us, cumulative mc·us)`.
     quota_integral: Vec<(u64, f64)>,
     quota_acc: f64,
+    /// Usage-checkpoint resolution in µs: samples landing in the same
+    /// `t / res_us` cell replace the previous checkpoint instead of appending.
+    /// `1` stores one checkpoint per distinct microsecond (exact queries).
+    res_us: u64,
 }
 
 impl Default for CpuAccount {
@@ -40,14 +44,37 @@ impl CpuAccount {
             quota_since: 0,
             quota_integral: vec![(0, 0.0)],
             quota_acc: 0.0,
+            res_us: 1,
         }
     }
 
+    /// Sets the usage-checkpoint resolution (µs). At the default `1`, the
+    /// account stores one checkpoint per distinct timestamp — exact for any
+    /// query window. Coarser resolutions bound memory at high event rates:
+    /// cumulative totals stay exact (the running sum is carried forward);
+    /// only the placement of usage *within* one cell is approximated.
+    pub fn set_resolution(&mut self, res_us: u64) {
+        self.res_us = res_us.max(1);
+    }
+
     /// Adds `mc_us` millicore·µs of CPU work consumed, stamped at `t_us`.
+    ///
+    /// Zero-usage samples are skipped (they cannot change any integral), and
+    /// a sample in the same resolution cell as the last checkpoint replaces
+    /// it — so a burst of same-timestamp station advances costs one stored
+    /// checkpoint, not one per event.
     pub fn add_usage(&mut self, t_us: u64, mc_us: f64) {
         debug_assert!(mc_us >= -1e-6, "usage cannot be negative: {mc_us}");
-        self.used_acc += mc_us.max(0.0);
-        self.used.push((t_us, self.used_acc));
+        if mc_us <= 0.0 {
+            return;
+        }
+        self.used_acc += mc_us;
+        let last = self.used.last_mut().expect("series starts non-empty");
+        if last.0 / self.res_us == t_us / self.res_us {
+            *last = (t_us, self.used_acc);
+        } else {
+            self.used.push((t_us, self.used_acc));
+        }
     }
 
     /// Updates the total ready quota to `quota_mc` at time `t_us`.
@@ -173,6 +200,36 @@ mod tests {
         let u = a.utilization(0, 100).unwrap();
         assert!((u - 1.0).abs() < 1e-9);
         assert_eq!(a.utilization(100, 200), None, "zero quota window");
+    }
+
+    #[test]
+    fn same_timestamp_samples_collapse_exactly() {
+        // A burst of samples at one timestamp stores one checkpoint and every
+        // query is identical to the append-always behaviour.
+        let mut a = CpuAccount::new();
+        a.set_quota(0, 100.0);
+        a.add_usage(10, 5.0);
+        a.add_usage(10, 7.0);
+        a.add_usage(10, 9.0);
+        a.add_usage(20, 1.0);
+        assert_eq!(a.used.len(), 1 + 2, "initial + one per distinct t");
+        assert!((a.used_in(0, 15) - 21.0).abs() < 1e-9);
+        assert!((a.used_in(15, 25) - 1.0).abs() < 1e-9);
+        a.add_usage(30, 0.0); // zero usage cannot move any integral: skipped
+        assert_eq!(a.used.len(), 3);
+    }
+
+    #[test]
+    fn coarse_resolution_keeps_cumulative_totals_exact() {
+        let mut a = CpuAccount::new();
+        a.set_resolution(1_000);
+        a.set_quota(0, 100.0);
+        for t in 0..100u64 {
+            a.add_usage(t * 50, 2.0); // 100 samples over 5 ms → 5 cells
+        }
+        assert!(a.used.len() <= 1 + 5 + 1, "bounded by cell count, got {}", a.used.len());
+        // Totals across any boundary beyond the last sample are exact.
+        assert!((a.used_in(0, 10_000) - 200.0).abs() < 1e-9);
     }
 
     #[test]

@@ -18,6 +18,72 @@ const GROWTH: f64 = 1.02;
 /// Latencies below this resolve exactly; beyond it buckets grow geometrically.
 const LINEAR_CUTOFF: u64 = 128;
 
+/// Precomputed geometric-bucket boundaries.
+///
+/// `bounds[i]` is the smallest value whose geometric bucket index is
+/// `LINEAR_CUTOFF + i`; `cnt_le_pow2[k]` counts the bounds `<= 2^k`, which
+/// narrows a lookup to the ~35 buckets of one octave. The table is built once
+/// per process from the *same* float expression the bucketer historically
+/// evaluated per record (`ln(v / cutoff) / ln(growth)`, floored), and each
+/// boundary is adjusted against that expression, so table lookups reproduce
+/// the float bucketing bit-for-bit — without the per-record `ln`.
+struct BucketTable {
+    bounds: Vec<u64>,
+    cnt_le_pow2: [u32; 64],
+}
+
+static BUCKET_TABLE: std::sync::OnceLock<BucketTable> = std::sync::OnceLock::new();
+
+impl BucketTable {
+    fn get() -> &'static BucketTable {
+        BUCKET_TABLE.get_or_init(BucketTable::build)
+    }
+
+    /// The historical per-record formula; the reference the table must match.
+    fn float_extra(value: u64) -> usize {
+        let extra = ((value as f64) / (LINEAR_CUTOFF as f64)).ln() / GROWTH.ln();
+        extra.floor() as usize
+    }
+
+    fn build() -> Self {
+        let mut bounds = vec![LINEAR_CUTOFF];
+        loop {
+            let i = bounds.len();
+            // First guess from the closed form, then nudge until it is the
+            // exact smallest value the float formula maps to bucket `i`.
+            let est = (LINEAR_CUTOFF as f64) * GROWTH.powi(i as i32);
+            if est >= u64::MAX as f64 {
+                break;
+            }
+            let mut c = (est as u64).max(LINEAR_CUTOFF + 1);
+            while c > LINEAR_CUTOFF + 1 && Self::float_extra(c - 1) >= i {
+                c -= 1;
+            }
+            while Self::float_extra(c) < i {
+                c += 1;
+            }
+            bounds.push(c);
+        }
+        let mut cnt_le_pow2 = [0u32; 64];
+        for (k, slot) in cnt_le_pow2.iter_mut().enumerate() {
+            *slot = bounds.partition_point(|&b| b <= (1u64 << k)) as u32;
+        }
+        Self { bounds, cnt_le_pow2 }
+    }
+
+    /// Geometric bucket offset of `value` (which must be `>= LINEAR_CUTOFF`).
+    #[inline]
+    fn extra_of(&self, value: u64) -> usize {
+        let k = value.ilog2() as usize;
+        let lo = self.cnt_le_pow2[k] as usize;
+        let hi = if k + 1 < 64 { self.cnt_le_pow2[k + 1] as usize } else { self.bounds.len() };
+        // The octave holds ≤ ~36 bounds: a branchless count vectorizes and
+        // beats a binary search's unpredictable branches.
+        let in_octave: usize = self.bounds[lo..hi].iter().map(|&b| (b <= value) as usize).sum();
+        lo + in_octave - 1
+    }
+}
+
 /// A log-bucketed histogram of `u64` values (simulation microseconds).
 ///
 /// Recording is O(1); percentile queries are O(#buckets). Buckets are
@@ -38,12 +104,15 @@ impl Histogram {
     }
 
     /// Maps a value to its bucket index.
+    ///
+    /// Table-driven (one octave-narrowed binary search) but bit-identical to
+    /// the original `ln`-per-call mapping — see [`BucketTable`].
+    #[inline]
     fn bucket_of(value: u64) -> usize {
         if value < LINEAR_CUTOFF {
             value as usize
         } else {
-            let extra = ((value as f64) / (LINEAR_CUTOFF as f64)).ln() / GROWTH.ln();
-            LINEAR_CUTOFF as usize + extra.floor() as usize
+            LINEAR_CUTOFF as usize + BucketTable::get().extra_of(value)
         }
     }
 
@@ -204,6 +273,41 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bucket_table_matches_float_formula() {
+        // Exhaustive over the low range, boundary-neighborhood and strided
+        // probes above: the table must reproduce the ln-based mapping exactly.
+        for v in LINEAR_CUTOFF..100_000 {
+            assert_eq!(
+                Histogram::bucket_of(v),
+                LINEAR_CUTOFF as usize + BucketTable::float_extra(v),
+                "value {v}"
+            );
+        }
+        for &b in &BucketTable::get().bounds {
+            for v in [b.saturating_sub(1), b, b + 1] {
+                assert_eq!(
+                    Histogram::bucket_of(v.max(LINEAR_CUTOFF)),
+                    LINEAR_CUTOFF as usize + BucketTable::float_extra(v.max(LINEAR_CUTOFF)),
+                    "boundary neighbor {v}"
+                );
+            }
+        }
+        let mut v: u64 = 100_000;
+        while let Some(next) = v.checked_mul(3) {
+            assert_eq!(
+                Histogram::bucket_of(v),
+                LINEAR_CUTOFF as usize + BucketTable::float_extra(v),
+                "stride {v}"
+            );
+            v = next.wrapping_add(12_345);
+        }
+        assert_eq!(
+            Histogram::bucket_of(u64::MAX),
+            LINEAR_CUTOFF as usize + BucketTable::float_extra(u64::MAX)
+        );
+    }
 
     #[test]
     fn empty_histogram_has_no_percentiles() {

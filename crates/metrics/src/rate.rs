@@ -39,11 +39,21 @@ impl RateCounter {
             self.windows[pos].1 += 1;
             return;
         }
+        // New window. Evict the oldest *before* inserting so the deque never
+        // exceeds `retain` entries: once its capacity is warm, the
+        // steady-state record path performs zero allocations.
+        if self.windows.len() >= self.retain {
+            match self.windows.front() {
+                // Below the retention horizon: the old code inserted the
+                // window and immediately evicted it again — a no-op.
+                Some(&(front, _)) if idx < front => return,
+                _ => {
+                    self.windows.pop_front();
+                }
+            }
+        }
         let at = self.windows.iter().position(|(i, _)| *i > idx).unwrap_or(self.windows.len());
         self.windows.insert(at, (idx, 1));
-        while self.windows.len() > self.retain {
-            self.windows.pop_front();
-        }
     }
 
     /// Events counted in the window containing `t_us`.

@@ -53,15 +53,27 @@ impl WindowedLatency {
             self.windows[pos].1.record(latency_us);
             return;
         }
-        // New window. Insert in order (usually at the back).
-        let mut h = Histogram::new();
+        // New window. At retention, recycle the evicted oldest histogram
+        // (clear keeps its bucket capacity) so the steady-state record path
+        // performs zero allocations once the deque and buckets are warm.
+        let mut h = if self.windows.len() >= self.retain {
+            match self.windows.front() {
+                // Below the retention horizon: the old code inserted the
+                // window and immediately evicted it again — a no-op.
+                Some(&(front, _)) if idx < front => return,
+                _ => {
+                    let (_, mut old) = self.windows.pop_front().expect("retain > 0");
+                    old.clear();
+                    old
+                }
+            }
+        } else {
+            Histogram::new()
+        };
         h.record(latency_us);
         let insert_at =
             self.windows.iter().position(|(i, _)| *i > idx).unwrap_or(self.windows.len());
         self.windows.insert(insert_at, (idx, h));
-        while self.windows.len() > self.retain {
-            self.windows.pop_front();
-        }
     }
 
     /// Percentile over the single window containing `t_us`, if any data exists.

@@ -36,6 +36,9 @@ pub fn run_experiment(
     hooks: &mut ExperimentHooks<'_>,
 ) {
     let mut next_control = cluster.world().now() + scaler.interval();
+    // One completions buffer for the whole run: the per-segment drain swaps
+    // it with the world's internal vector instead of allocating.
+    let mut completions: Vec<Completion> = Vec::new();
     while cluster.world().now() < until {
         let now = cluster.world().now();
         let seg_end = SimTime((now + SEGMENT).0.min(until.0).min(next_control.0));
@@ -43,7 +46,7 @@ pub fn run_experiment(
             cluster.world_mut().inject(api, t);
         }
         cluster.world_mut().run_until(seg_end);
-        let completions = cluster.world_mut().drain_completions();
+        cluster.world_mut().drain_completions_into(&mut completions);
         loadgen.on_completions(&completions);
         if let Some(cb) = hooks.on_segment.as_mut() {
             cb(cluster, &completions);

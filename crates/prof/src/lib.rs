@@ -198,6 +198,7 @@ impl Prof {
     }
 
     /// `true` when this handle records anything.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
     }
@@ -205,6 +206,7 @@ impl Prof {
     /// Opens a phase scope nested under the innermost open scope; wall time
     /// accumulates into the phase when the returned guard drops. No-op (no
     /// allocation, no clock read) when disabled.
+    #[inline]
     pub fn enter(&self, name: &'static str) -> ProfScope {
         match &self.inner {
             Some(inner) => {
@@ -221,6 +223,7 @@ impl Prof {
     /// instant the new one begins, so a hand-off between back-to-back hot
     /// phases (an event loop switching per-event scopes) leaves no
     /// unattributed gap in the parent. No-op when disabled.
+    #[inline]
     pub fn switch(&self, mut scope: ProfScope, name: &'static str) -> ProfScope {
         if self.inner.is_none() {
             // Disabled handle: the guard (if recording) closes via Drop.
@@ -241,6 +244,7 @@ impl Prof {
     /// Adds `units` to the innermost open scope's deterministic work counter
     /// (events dispatched, rows trained, …). No-op when disabled or when no
     /// scope is open.
+    #[inline]
     pub fn work(&self, units: u64) {
         if let Some(inner) = &self.inner {
             inner.tree.lock().expect("prof tree").add_work(units);
@@ -276,6 +280,7 @@ impl ProfScope {
 }
 
 impl Drop for ProfScope {
+    #[inline]
     fn drop(&mut self) {
         if let Some(s) = self.state.take() {
             let mut tree = s.inner.tree.lock().expect("prof tree");

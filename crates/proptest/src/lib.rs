@@ -64,6 +64,18 @@ impl Strategy for RangeInclusive<f64> {
     }
 }
 
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!((A / 0, B / 1), (A / 0, B / 1, C / 2), (A / 0, B / 1, C / 2, D / 3));
+
 /// Collection strategies.
 pub mod collection {
     use super::{SmallRng, Strategy};
@@ -261,6 +273,15 @@ mod tests {
         fn vec_strategy_respects_length(v in collection::vec(0u64..100, 2..7)) {
             prop_assert!(v.len() >= 2 && v.len() < 7);
             prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn tuple_strategies_sample_componentwise(
+            pair in (0u8..4, 10u64..20),
+            v in collection::vec((0u32..3, -1.0f64..1.0), 1..5),
+        ) {
+            prop_assert!(pair.0 < 4 && (10..20).contains(&pair.1));
+            prop_assert!(v.iter().all(|&(k, x)| k < 3 && (-1.0..1.0).contains(&x)));
         }
     }
 

@@ -43,6 +43,9 @@ pub enum FrameState {
 pub struct Frame {
     /// Owning request.
     pub request: RequestId,
+    /// Slot of the owning request in the world's request slab — a direct
+    /// index that avoids a map lookup per frame event on the hot path.
+    pub req_slot: u32,
     /// API plan node index (into the flattened plan, see `world::ApiPlan`).
     pub plan_node: u16,
     /// Service executing this frame.
@@ -79,6 +82,7 @@ mod tests {
     fn frame_state_transitions_are_plain_data() {
         let mut f = Frame {
             request: RequestId(1),
+            req_slot: 0,
             plan_node: 0,
             service: ServiceId(0),
             parent: None,

@@ -63,6 +63,7 @@
 
 pub mod events;
 pub mod frame;
+pub mod loadidx;
 pub mod rng;
 pub mod service;
 pub mod station;
@@ -70,6 +71,7 @@ pub mod time;
 pub mod topology;
 pub mod world;
 
+pub use events::QueueKind;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
 pub use topology::{ApiId, ApiSpec, AppTopology, CallNode, ChildMode, ServiceId, ServiceSpec};

@@ -90,7 +90,7 @@ impl DetRng {
         -mean * u.ln()
     }
 
-    /// Standard normal via Box–Muller.
+    /// Standard normal via Box–Muller (cosine branch).
     pub fn std_normal(&mut self) -> f64 {
         let u1 = (1.0 - self.unit()).max(f64::MIN_POSITIVE);
         let u2 = self.unit();

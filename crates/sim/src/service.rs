@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use graf_metrics::{CpuAccount, RateCounter, WindowedLatency};
 
 use crate::frame::FrameId;
+use crate::loadidx::MinLoadTree;
 use crate::station::InstanceId;
 use crate::time::SimTime;
 use crate::topology::ServiceSpec;
@@ -30,6 +31,9 @@ pub struct ServiceRuntime {
     /// While a window covers the current time, every request's CPU demand is
     /// multiplied — the §6 "unexpected contention in resources" anomaly.
     pub slowdowns: Vec<(u64, u64, f64)>,
+    /// Min-load index over this service's ready replicas; reproduces the
+    /// `min_by_key((jobs, id))` dispatch scan in O(log n).
+    pub load: MinLoadTree,
 }
 
 impl ServiceRuntime {
@@ -43,11 +47,15 @@ impl ServiceRuntime {
             latency: WindowedLatency::new(window_us, retain),
             arrivals: RateCounter::new(window_us, retain),
             slowdowns: Vec::new(),
+            load: MinLoadTree::new(),
         }
     }
 
     /// The contention work-multiplier in effect at `t_us` (1.0 = none).
     pub fn slowdown_at(&self, t_us: u64) -> f64 {
+        if self.slowdowns.is_empty() {
+            return 1.0;
+        }
         self.slowdowns
             .iter()
             .filter(|&&(from, until, _)| t_us >= from && t_us < until)

@@ -61,6 +61,12 @@ pub struct Instance {
     pub epoch: u64,
     /// Per-job rate cap in millicores (1 core = 1000 by default).
     per_job_cap_mc: f64,
+    /// Cached `min(jobs.remaining_mc_us)` (`f64::INFINITY` when idle) so
+    /// [`Instance::next_completion`] is O(1) instead of a per-event scan.
+    /// Processor sharing burns every job by the same amount per advance, so
+    /// the minimum element never changes between job-set mutations and the
+    /// cache stays bitwise equal to a fresh fold over the jobs.
+    min_remaining: f64,
 }
 
 impl Instance {
@@ -82,6 +88,7 @@ impl Instance {
             last_advance: now,
             epoch: 0,
             per_job_cap_mc,
+            min_remaining: f64::INFINITY,
         }
     }
 
@@ -115,13 +122,16 @@ impl Instance {
             return 0.0;
         }
         let rate = self.rate_per_job();
+        let burn = rate * dt;
         let mut used = 0.0;
         for j in &mut self.jobs {
-            let burn = rate * dt;
             let actual = burn.min(j.remaining_mc_us.max(0.0));
             j.remaining_mc_us -= burn;
             used += actual;
         }
+        // Every job burned the same amount: the cached minimum is the minimum
+        // job's value, so the same subtraction keeps it bitwise in sync.
+        self.min_remaining -= burn;
         used
     }
 
@@ -131,38 +141,52 @@ impl Instance {
     pub fn push_job(&mut self, frame: FrameId, work_mc_us: f64) {
         debug_assert!(work_mc_us > 0.0);
         self.jobs.push(Job { frame, remaining_mc_us: work_mc_us });
+        self.min_remaining = self.min_remaining.min(work_mc_us);
         self.epoch += 1;
     }
 
     /// Removes and returns frames whose work is complete. Bumps the epoch if
     /// anything finished. Caller must have advanced to `now` first.
+    ///
+    /// Allocating convenience wrapper over [`Instance::take_finished_into`];
+    /// the event loop uses the `_into` form with a pooled buffer.
     pub fn take_finished(&mut self) -> Vec<FrameId> {
         let mut done = Vec::new();
+        self.take_finished_into(&mut done);
+        done
+    }
+
+    /// Appends frames whose work is complete to `done`, removing them from
+    /// the job set. Bumps the epoch if anything finished. Caller must have
+    /// advanced to `now` first.
+    pub fn take_finished_into(&mut self, done: &mut Vec<FrameId>) {
+        let before = done.len();
+        let mut min_rem = f64::INFINITY;
         self.jobs.retain(|j| {
             if j.remaining_mc_us <= WORK_EPS {
                 done.push(j.frame);
                 false
             } else {
+                min_rem = min_rem.min(j.remaining_mc_us);
                 true
             }
         });
-        if !done.is_empty() {
+        self.min_remaining = min_rem;
+        if done.len() != before {
             self.epoch += 1;
         }
-        done
     }
 
     /// Predicts when the next job will finish, given current rates.
     ///
     /// Returns `None` when idle. The returned time is strictly after `now`
-    /// (rounded up to the next microsecond).
+    /// (rounded up to the next microsecond). O(1) via the cached minimum.
     pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
         let rate = self.rate_per_job();
         if rate <= 0.0 {
             return None;
         }
-        let min_rem =
-            self.jobs.iter().map(|j| j.remaining_mc_us.max(0.0)).fold(f64::INFINITY, f64::min);
+        let min_rem = self.min_remaining.max(0.0);
         if !min_rem.is_finite() {
             return None;
         }
@@ -178,6 +202,8 @@ impl Instance {
         self.jobs.retain(|j| j.frame != frame);
         let removed = self.jobs.len() != before;
         if removed {
+            self.min_remaining =
+                self.jobs.iter().map(|j| j.remaining_mc_us).fold(f64::INFINITY, f64::min);
             self.epoch += 1;
         }
         removed

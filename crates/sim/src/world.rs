@@ -13,13 +13,12 @@
 //! Determinism: all events are processed in `(time, schedule-order)` order and
 //! all randomness derives from the seed passed to [`World::new`].
 
-use std::collections::BTreeMap;
-
 use graf_metrics::{RateCounter, WindowedLatency};
-use graf_trace::{Span, SpanId, TraceId, TraceStore};
+use graf_trace::{OpenTrace, Span, SpanId, TraceId, TraceStore};
 
-use crate::events::EventQueue;
+use crate::events::{Queue, QueueKind};
 use crate::frame::{Frame, FrameId, FrameState, RequestId};
+use crate::loadidx;
 use crate::rng::DetRng;
 use crate::service::ServiceRuntime;
 use crate::station::{Instance, InstanceId, InstanceState};
@@ -44,6 +43,18 @@ pub struct SimConfig {
     /// 30 s default: a timed-out request is abandoned — its in-flight work is
     /// cancelled and its completion records the capped latency.
     pub request_timeout_us: Option<u64>,
+    /// Event-queue implementation. [`QueueKind::Calendar`] (default) is the
+    /// fast hierarchical calendar queue; [`QueueKind::Heap`] keeps the
+    /// reference `BinaryHeap` for differential testing. Both produce
+    /// bit-identical simulations.
+    pub event_queue: QueueKind,
+    /// CPU-usage checkpoint resolution in µs: usage samples landing in the
+    /// same `t / cpu_checkpoint_us` cell collapse into one stored checkpoint.
+    /// `1` (default) keeps one checkpoint per distinct microsecond — exact
+    /// for any query. Coarser values bound the cAdvisor account's memory at
+    /// high event rates; integrals between checkpoints stay exact because the
+    /// cumulative value is carried, only intra-cell query resolution drops.
+    pub cpu_checkpoint_us: u64,
 }
 
 impl Default for SimConfig {
@@ -55,6 +66,8 @@ impl Default for SimConfig {
             trace_sample: 1.0,
             trace_capacity: 200_000,
             request_timeout_us: Some(30_000_000),
+            event_queue: QueueKind::Calendar,
+            cpu_checkpoint_us: 1,
         }
     }
 }
@@ -106,12 +119,23 @@ struct PlanNode {
     repeat: u32,
     /// Child stages: executed in order; calls within a stage run in parallel.
     stages: Vec<Vec<u16>>,
+    /// Cached `(spec.work_ms · 1e6 · work_scale).max(1e-6)` — the lognormal
+    /// mean under no contention, precomputed so the per-assignment sampling
+    /// path skips two `ln` calls (see [`World::assign_job`]).
+    work_mean_mc_us: f64,
+    /// Cached `ln(work_mean_mc_us) − σ²/2` for the same fast path. Bitwise
+    /// identical to computing it per call: the inputs never change.
+    work_mu: f64,
 }
 
 #[derive(Clone, Debug)]
 struct ApiPlan {
     nodes: Vec<PlanNode>,
     root: u16,
+    /// Total frames (= spans when fully sampled) one request of this API
+    /// creates — fixed by the call tree's fan-outs and repeats. Used to
+    /// right-size trace span buffers in one reservation.
+    span_budget: u32,
 }
 
 fn flatten(tree: &CallNode) -> ApiPlan {
@@ -122,6 +146,8 @@ fn flatten(tree: &CallNode) -> ApiPlan {
             work_scale: node.work_scale,
             repeat: node.repeat,
             stages: Vec::new(),
+            work_mean_mc_us: 0.0,
+            work_mu: 0.0,
         });
         let mut stages = Vec::with_capacity(node.stages.len());
         for stage in &node.stages {
@@ -134,29 +160,71 @@ fn flatten(tree: &CallNode) -> ApiPlan {
         nodes[idx as usize].stages = stages;
         idx
     }
+    // Frames one execution of `node` creates: itself plus, per stage, each
+    // child times its repeat count.
+    fn frames(nodes: &[PlanNode], idx: u16) -> u32 {
+        let node = &nodes[idx as usize];
+        let mut total = 1;
+        for stage in &node.stages {
+            for &c in stage {
+                total += nodes[c as usize].repeat * frames(nodes, c);
+            }
+        }
+        total
+    }
     let mut nodes = Vec::new();
     let root = walk(tree, &mut nodes);
-    ApiPlan { nodes, root }
+    let span_budget = frames(&nodes, root);
+    ApiPlan { nodes, root, span_budget }
 }
 
-/// Per-request bookkeeping while the request is in flight.
+/// Sentinel marking a free slot in the request slab. Real request ids are
+/// assigned from a monotone counter starting at 0 and are never reused, so
+/// they can never collide with the sentinel.
+const FREE_REQUEST: RequestId = RequestId(u64::MAX);
+
+/// Per-request bookkeeping while the request is in flight. Slots live in a
+/// slab (`World::requests` + free-list) so the steady-state request path
+/// allocates nothing: freed slots — including their `frames` buffers — are
+/// reused for later requests.
 #[derive(Debug)]
-struct RequestMeta {
+struct RequestSlot {
+    /// Owning request, [`FREE_REQUEST`] while the slot is on the free-list.
+    /// Events referencing a slot carry the id and compare against this to
+    /// detect staleness after reuse.
+    request: RequestId,
     api: ApiId,
     start: SimTime,
     next_span: u32,
     sampled: bool,
+    /// Trace-store slab handle while `sampled` (dead once the request ends).
+    trace: OpenTrace,
     /// Live frames of this request: `(frame, generation)`.
     frames: Vec<(FrameId, u32)>,
 }
 
 #[derive(Debug)]
 enum Event {
-    Arrival { api: ApiId },
-    RequestTimeout { request: RequestId },
-    StartFrame { frame: FrameId, generation: u32 },
-    JobCheck { instance: InstanceId, epoch: u64 },
-    InstanceReady { instance: InstanceId },
+    Arrival {
+        api: ApiId,
+    },
+    /// Carries the slab slot so the handler needs no map lookup; `request`
+    /// doubles as the staleness check (slot freed or reused → ignore).
+    RequestTimeout {
+        request: RequestId,
+        slot: u32,
+    },
+    StartFrame {
+        frame: FrameId,
+        generation: u32,
+    },
+    JobCheck {
+        instance: InstanceId,
+        epoch: u64,
+    },
+    InstanceReady {
+        instance: InstanceId,
+    },
 }
 
 /// The simulated cluster: application, replicas, in-flight requests, metrics.
@@ -164,14 +232,27 @@ pub struct World {
     cfg: SimConfig,
     topo: AppTopology,
     plans: Vec<ApiPlan>,
+    /// Per-service `√ln(1 + cv²)` — the lognormal σ of the work
+    /// distribution, paired with the cached per-node mean/µ so the
+    /// no-contention sampling path avoids recomputing logarithms per job.
+    work_sigma: Vec<f64>,
     services: Vec<ServiceRuntime>,
     instances: Vec<Option<Instance>>,
+    /// Slot of each instance in its service's [`loadidx::MinLoadTree`]
+    /// (parallel to `instances`; `u32::MAX` after deletion).
+    load_slots: Vec<u32>,
     frames: Vec<Frame>,
     free_frames: Vec<u32>,
-    // Ordered map so any future iteration over in-flight requests is
-    // deterministic by construction (`unordered-map-iteration` lint).
-    requests: BTreeMap<RequestId, RequestMeta>,
-    queue: EventQueue<Event>,
+    /// Request slab: iteration order is never relied on (only direct slot
+    /// indexing), so the slab replaces the former ordered map.
+    requests: Vec<RequestSlot>,
+    free_requests: Vec<u32>,
+    live_requests: usize,
+    queue: Queue<Event>,
+    /// Scratch for `Instance::take_finished_into` (reused across events).
+    scratch_finished: Vec<FrameId>,
+    /// Scratch instance-id list for `resize_instances`/`remove_instances`.
+    scratch_ids: Vec<InstanceId>,
     now: SimTime,
     rng_work: DetRng,
     rng_trace: DetRng,
@@ -203,23 +284,44 @@ impl World {
     /// Creates a world for `topo` with the given config and seed.
     pub fn new(topo: AppTopology, cfg: SimConfig, seed: u64) -> Self {
         let root_rng = DetRng::new(seed);
-        let plans = topo.apis.iter().map(|a| flatten(&a.tree)).collect();
-        let services = topo
+        let mut plans: Vec<ApiPlan> = topo.apis.iter().map(|a| flatten(&a.tree)).collect();
+        // Precompute the lognormal parameters of each plan node's work draw
+        // (the values `assign_job` would otherwise derive per assignment).
+        for plan in &mut plans {
+            for node in &mut plan.nodes {
+                let spec = &topo.services[node.service.0 as usize];
+                let sigma2 = (1.0 + spec.cv * spec.cv).ln();
+                node.work_mean_mc_us = (spec.work_ms * 1_000_000.0 * node.work_scale).max(1e-6);
+                node.work_mu = node.work_mean_mc_us.ln() - 0.5 * sigma2;
+            }
+        }
+        let work_sigma = topo.services.iter().map(|s| (1.0 + s.cv * s.cv).ln().sqrt()).collect();
+        let services: Vec<ServiceRuntime> = topo
             .services
             .iter()
-            .map(|s| ServiceRuntime::new(s.clone(), cfg.window_us, cfg.retain_windows))
+            .map(|s| {
+                let mut rt = ServiceRuntime::new(s.clone(), cfg.window_us, cfg.retain_windows);
+                rt.cpu.set_resolution(cfg.cpu_checkpoint_us);
+                rt
+            })
             .collect();
         let e2e = WindowedLatency::new(cfg.window_us, cfg.retain_windows);
         let api_arrivals =
             topo.apis.iter().map(|_| RateCounter::new(cfg.window_us, cfg.retain_windows)).collect();
         Self {
             plans,
+            work_sigma,
             services,
             instances: Vec::new(),
+            load_slots: Vec::new(),
             frames: Vec::new(),
             free_frames: Vec::new(),
-            requests: BTreeMap::new(),
-            queue: EventQueue::new(),
+            requests: Vec::new(),
+            free_requests: Vec::new(),
+            live_requests: 0,
+            queue: Queue::new(cfg.event_queue),
+            scratch_finished: Vec::new(),
+            scratch_ids: Vec::new(),
             now: SimTime::ZERO,
             rng_work: root_rng.fork(seed ^ 0x1),
             rng_trace: root_rng.fork(seed ^ 0x2),
@@ -297,11 +399,33 @@ impl World {
                 self.cfg.per_job_cap_mc,
                 self.now,
             )));
+            // Starting instances are not schedulable: they enter the load
+            // index with the EMPTY key and start competing on readiness.
+            self.load_slots.push(self.services[service.0 as usize].load.insert(loadidx::EMPTY));
             self.services[service.0 as usize].instances.push(id);
             self.queue.schedule(ready_at, Event::InstanceReady { instance: id });
             ids.push(id);
         }
+        debug_assert_eq!(self.load_slots.len(), self.instances.len());
         ids
+    }
+
+    /// Re-derives the load-index key of `iid` from its current state: ready
+    /// instances compete as `(job_count, id)`, everything else is parked on
+    /// the EMPTY sentinel. Must be called after every mutation that changes
+    /// an instance's job count or schedulability.
+    fn refresh_load(&mut self, iid: InstanceId) {
+        let slot = self.load_slots[iid.0 as usize];
+        if slot == u32::MAX {
+            return; // deleted
+        }
+        let Some(inst) = self.instances[iid.0 as usize].as_ref() else { return };
+        let key = if inst.accepts_jobs() {
+            loadidx::pack(inst.job_count() as u32, iid.0)
+        } else {
+            loadidx::EMPTY
+        };
+        self.services[inst.service.0 as usize].load.update(slot, key);
     }
 
     /// Removes up to `n` instances from `service`.
@@ -314,39 +438,32 @@ impl World {
     pub fn remove_instances(&mut self, service: ServiceId, n: usize) -> usize {
         let mut removed = 0;
         // Pass 1: cancel Starting instances (newest first, as k8s does).
-        let starting: Vec<InstanceId> = self.services[service.0 as usize]
-            .instances
-            .iter()
-            .rev()
-            .copied()
-            .filter(|id| {
+        // The candidate list reuses the world's scratch buffer.
+        let mut starting = std::mem::take(&mut self.scratch_ids);
+        starting.clear();
+        starting.extend(self.services[service.0 as usize].instances.iter().rev().copied().filter(
+            |id| {
                 matches!(
                     self.instances[id.0 as usize].as_ref().map(|i| i.state),
                     Some(InstanceState::Starting { .. })
                 )
-            })
-            .collect();
-        for id in starting {
+            },
+        ));
+        for &id in &starting {
             if removed >= n {
                 break;
             }
             self.delete_instance(id);
             removed += 1;
         }
-        // Pass 2: drain ready instances with the fewest jobs.
+        starting.clear();
+        self.scratch_ids = starting;
+        // Pass 2: drain ready instances with the fewest jobs. The load index
+        // holds exactly the ready instances keyed by (jobs, id), so its
+        // minimum is the old linear scan's pick.
         while removed < n {
-            let victim = self.services[service.0 as usize]
-                .instances
-                .iter()
-                .copied()
-                .filter_map(|id| {
-                    self.instances[id.0 as usize]
-                        .as_ref()
-                        .filter(|i| i.state == InstanceState::Ready)
-                        .map(|i| (id, i.job_count()))
-                })
-                .min_by_key(|&(id, jobs)| (jobs, id.0));
-            let Some((id, jobs)) = victim else { break };
+            let Some(key) = self.services[service.0 as usize].load.min_key() else { break };
+            let (jobs, id) = (((key >> 32) as u32) as usize, InstanceId(key as u32));
             {
                 let inst = self.instances[id.0 as usize].as_mut().expect("live instance");
                 let used = inst.advance(self.now);
@@ -360,6 +477,7 @@ impl World {
                     self.queue.schedule(t, Event::JobCheck { instance: id, epoch });
                 }
             }
+            self.refresh_load(id); // no longer schedulable
             self.sync_quota(service);
             if jobs == 0 {
                 self.delete_instance(id);
@@ -371,10 +489,15 @@ impl World {
 
     fn delete_instance(&mut self, id: InstanceId) {
         if let Some(inst) = self.instances[id.0 as usize].take() {
-            let svc = &mut self.services[inst.service.0 as usize];
+            let service = inst.service;
+            let svc = &mut self.services[service.0 as usize];
             svc.instances.retain(|&x| x != id);
+            svc.load.remove(self.load_slots[id.0 as usize]);
+            self.load_slots[id.0 as usize] = u32::MAX;
             drop(inst);
-            self.sync_quota_of(id, None);
+            // The instance's service is known before the drop, so the quota
+            // integral recompute is O(one service), not all of them.
+            self.sync_quota(service);
         }
     }
 
@@ -390,25 +513,16 @@ impl World {
         self.services[service.0 as usize].cpu.set_quota(self.now.as_micros(), total);
     }
 
-    fn sync_quota_of(&mut self, _id: InstanceId, service: Option<ServiceId>) {
-        if let Some(s) = service {
-            self.sync_quota(s);
-        } else {
-            // Service unknown after deletion; recompute all (cheap: few services).
-            for s in 0..self.services.len() {
-                self.sync_quota(ServiceId(s as u16));
-            }
-        }
-    }
-
     /// Vertically rescales every ready instance of `service` to `quota_mc`
     /// millicores (the paper's footnote-1 alternative to horizontal scaling;
     /// bounded in reality by the node's capacity, which is why GRAF scales
     /// horizontally).
     pub fn resize_instances(&mut self, service: ServiceId, quota_mc: f64) {
         assert!(quota_mc > 0.0);
-        let ids: Vec<InstanceId> = self.services[service.0 as usize].instances.clone();
-        for id in ids {
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        ids.extend_from_slice(&self.services[service.0 as usize].instances);
+        for &id in &ids {
             let Some(inst) = self.instances[id.0 as usize].as_mut() else { continue };
             if inst.state != InstanceState::Ready {
                 continue;
@@ -422,6 +536,8 @@ impl World {
                 self.queue.schedule(t, Event::JobCheck { instance: id, epoch });
             }
         }
+        ids.clear();
+        self.scratch_ids = ids;
         self.sync_quota(service);
     }
 
@@ -466,22 +582,38 @@ impl World {
         assert!(t >= self.now, "cannot run backwards");
         let events_before = self.stats.events;
         let _loop_scope = self.prof.enter("sim.event_loop");
-        // The loop alternates between exactly two scopes — heap_pop and the
-        // current event's phase — via `Prof::switch`, so every hand-off uses
-        // one shared clock read and no wall time leaks into the loop itself.
-        let mut scope = self.prof.enter("sim.event_loop.heap_pop");
-        loop {
-            let popped = self.queue.pop_due(t);
-            let Some((et, ev)) = popped else { break };
-            debug_assert!(et >= self.now);
-            self.now = et;
-            self.stats.events += 1;
-            scope = self.prof.switch(scope, event_phase(&ev));
-            self.prof.work(1);
-            self.dispatch(ev);
-            scope = self.prof.switch(scope, "sim.event_loop.heap_pop");
+        if self.prof.is_enabled() {
+            // The loop alternates between exactly two scopes — queue_pop and
+            // the current event's phase — via `Prof::switch`, so every
+            // hand-off uses one shared clock read and no wall time leaks into
+            // the loop itself.
+            let mut scope = self.prof.enter("sim.event_loop.queue_pop");
+            loop {
+                let popped = self.queue.pop_due(t);
+                let Some((et, ev)) = popped else { break };
+                debug_assert!(et >= self.now);
+                self.now = et;
+                self.stats.events += 1;
+                scope = self.prof.switch(scope, event_phase(&ev));
+                self.prof.work(1);
+                self.dispatch(ev);
+                scope = self.prof.switch(scope, "sim.event_loop.queue_pop");
+            }
+            drop(scope);
+        } else {
+            // Identical dispatch without the per-event scope hand-offs: with
+            // the profiler disabled a switch is only a few moves and branches,
+            // but two per event is measurable at millions of events/s. The
+            // event counter accumulates locally and lands once at the end.
+            let mut n = 0u64;
+            while let Some((et, ev)) = self.queue.pop_due(t) {
+                debug_assert!(et >= self.now);
+                self.now = et;
+                n += 1;
+                self.dispatch(ev);
+            }
+            self.stats.events += n;
         }
-        drop(scope);
         self.now = t;
         if self.obs.is_enabled() {
             let delta = self.stats.events - events_before;
@@ -506,7 +638,7 @@ impl World {
     fn dispatch(&mut self, ev: Event) {
         match ev {
             Event::Arrival { api } => self.on_arrival(api),
-            Event::RequestTimeout { request } => self.on_request_timeout(request),
+            Event::RequestTimeout { request, slot } => self.on_request_timeout(request, slot),
             Event::StartFrame { frame, generation } => self.on_start_frame(frame, generation),
             Event::JobCheck { instance, epoch } => self.on_job_check(instance, epoch),
             Event::InstanceReady { instance } => self.on_instance_ready(instance),
@@ -519,32 +651,95 @@ impl World {
         self.next_request += 1;
         self.stats.injected += 1;
         let sampled = self.rng_trace.chance(self.cfg.trace_sample);
-        self.requests.insert(
-            rid,
-            RequestMeta { api, start: self.now, next_span: 0, sampled, frames: Vec::new() },
-        );
+        let slot = self.alloc_request(rid, api, sampled);
         if let Some(to) = self.cfg.request_timeout_us {
-            self.queue.schedule(SimTime(self.now.0 + to), Event::RequestTimeout { request: rid });
+            self.queue
+                .schedule(SimTime(self.now.0 + to), Event::RequestTimeout { request: rid, slot });
         }
-        let root = self.plans[api.0 as usize].root;
-        let fid = self.alloc_frame(rid, api, root, None);
+        let plan = &self.plans[api.0 as usize];
+        let root = plan.root;
+        let root_service = plan.nodes[root as usize].service;
+        let fid = self.alloc_frame(rid, slot, api, root, None, root_service);
         self.schedule_frame_start(fid);
     }
 
+    /// Claims a request slab slot, reusing a freed one (and its `frames`
+    /// buffer) when available.
+    fn alloc_request(&mut self, rid: RequestId, api: ApiId, sampled: bool) -> u32 {
+        self.live_requests += 1;
+        // A sampled request owns a trace-store slab slot; unsampled requests
+        // carry a dead handle that is never passed back to the store.
+        let span_budget = self.plans[api.0 as usize].span_budget as usize;
+        let trace = if sampled { self.traces.open_trace(span_budget) } else { OpenTrace(u32::MAX) };
+        let slot = if let Some(slot) = self.free_requests.pop() {
+            let s = &mut self.requests[slot as usize];
+            debug_assert_eq!(s.request, FREE_REQUEST, "slot on free-list must be free");
+            debug_assert!(s.frames.is_empty(), "freed slot keeps a cleared frames buffer");
+            s.request = rid;
+            s.api = api;
+            s.start = self.now;
+            s.next_span = 0;
+            s.sampled = sampled;
+            s.trace = trace;
+            slot
+        } else {
+            // Slab growth: only while the in-flight high-water mark rises,
+            // never in steady state.
+            self.requests.push(RequestSlot {
+                request: rid,
+                api,
+                start: self.now,
+                next_span: 0,
+                sampled,
+                trace,
+                frames: Vec::new(), // graf-lint: allow(hot-path-alloc, slab growth is amortized and stops at the in-flight high-water mark)
+            });
+            (self.requests.len() - 1) as u32
+        };
+        // The frame list holds every frame the request will create — exactly
+        // `span_budget`, fixed by the API's call tree. One up-front reservation
+        // replaces the per-frame growth chain (slots recycled from the
+        // free-list usually carry enough capacity already, making this free).
+        let frames = &mut self.requests[slot as usize].frames;
+        if frames.capacity() < span_budget {
+            frames.reserve(span_budget - frames.len());
+        }
+        slot
+    }
+
+    /// Releases `slot` back to the slab free-list, keeping its `frames`
+    /// buffer capacity for the next occupant.
+    fn free_request(&mut self, slot: u32) {
+        let s = &mut self.requests[slot as usize];
+        s.request = FREE_REQUEST;
+        s.frames.clear();
+        self.free_requests.push(slot);
+        self.live_requests -= 1;
+    }
+
+    /// `service` must be `plans[api].nodes[plan_node].service` — callers
+    /// already hold the plan node, so passing it in saves the re-walk.
     fn alloc_frame(
         &mut self,
         request: RequestId,
+        req_slot: u32,
         api: ApiId,
         plan_node: u16,
         parent: Option<FrameId>,
+        service: ServiceId,
     ) -> FrameId {
-        let meta = self.requests.get_mut(&request).expect("request meta");
-        let span_id = meta.next_span;
-        meta.next_span += 1;
+        debug_assert_eq!(service, self.plans[api.0 as usize].nodes[plan_node as usize].service);
+        let span_id = {
+            let meta = &mut self.requests[req_slot as usize];
+            debug_assert_eq!(meta.request, request);
+            let id = meta.next_span;
+            meta.next_span += 1;
+            id
+        };
         let parent_span = parent.map(|p| self.frames[p.0 as usize].span_id);
-        let service = self.plans[api.0 as usize].nodes[plan_node as usize].service;
         let frame = Frame {
             request,
+            req_slot,
             plan_node,
             service,
             parent,
@@ -564,7 +759,7 @@ impl World {
             FrameId((self.frames.len() - 1) as u32)
         };
         let generation = self.frames[fid.0 as usize].generation;
-        self.requests.get_mut(&request).expect("request meta").frames.push((fid, generation));
+        self.requests[req_slot as usize].frames.push((fid, generation));
         fid
     }
 
@@ -591,34 +786,38 @@ impl World {
         }
     }
 
-    /// Least-loaded ready instance of `service`.
+    /// Least-loaded ready instance of `service` — O(1) via the per-service
+    /// min-load index, which orders exactly like the former
+    /// `min_by_key((jobs, id))` linear scan.
     fn pick_instance(&self, service: ServiceId) -> Option<InstanceId> {
-        self.services[service.0 as usize]
-            .instances
-            .iter()
-            .copied()
-            .filter_map(|id| {
-                self.instances[id.0 as usize]
-                    .as_ref()
-                    .filter(|i| i.accepts_jobs())
-                    .map(|i| (id, i.job_count()))
-            })
-            .min_by_key(|&(id, jobs)| (jobs, id.0))
-            .map(|(id, _)| id)
+        self.services[service.0 as usize].load.min_key().map(|key| InstanceId(key as u32))
     }
 
     fn assign_job(&mut self, iid: InstanceId, fid: FrameId) {
         let (api, plan_node, service) = {
             let f = &self.frames[fid.0 as usize];
-            let api = self.requests.get(&f.request).expect("live request").api;
+            let api = self.requests[f.req_slot as usize].api;
             (api, f.plan_node, f.service)
         };
         let node = &self.plans[api.0 as usize].nodes[plan_node as usize];
-        let spec = &self.services[service.0 as usize].spec;
         let contention = self.services[service.0 as usize].slowdown_at(self.now.as_micros());
-        // work_ms is in full-core milliseconds: convert to millicore·µs.
-        let mean_mc_us = spec.work_ms * 1_000_000.0 * node.work_scale * contention;
-        let work = self.rng_work.lognormal_mean_cv(mean_mc_us.max(1e-6), spec.cv);
+        // work_ms is in full-core milliseconds: convert to millicore·µs. The
+        // common no-contention draw uses the parameters cached at plan build
+        // (bitwise identical to deriving them here, and two `ln` cheaper);
+        // an active contention window shifts the mean, so that path derives
+        // them per call exactly as before.
+        let work = if contention == 1.0 {
+            let sigma = self.work_sigma[service.0 as usize];
+            if sigma == 0.0 {
+                node.work_mean_mc_us
+            } else {
+                (node.work_mu + sigma * self.rng_work.std_normal()).exp()
+            }
+        } else {
+            let spec = &self.services[service.0 as usize].spec;
+            let mean_mc_us = spec.work_ms * 1_000_000.0 * node.work_scale * contention;
+            self.rng_work.lognormal_mean_cv(mean_mc_us.max(1e-6), spec.cv)
+        };
         let (used, epoch, next) = {
             let _station = self.prof.enter("sim.station.assign");
             self.prof.work(1);
@@ -630,33 +829,48 @@ impl World {
         self.services[service.0 as usize].cpu.add_usage(self.now.as_micros(), used);
         self.frames[fid.0 as usize].state = FrameState::Working;
         self.frames[fid.0 as usize].instance = Some(iid.0);
+        self.refresh_load(iid);
         if let Some(t) = next {
             self.queue.schedule(t, Event::JobCheck { instance: iid, epoch });
         }
     }
 
     fn on_job_check(&mut self, iid: InstanceId, epoch: u64) {
-        let Some(inst) = self.instances[iid.0 as usize].as_mut() else { return };
-        if inst.epoch != epoch {
-            return; // superseded
+        {
+            let Some(inst) = self.instances[iid.0 as usize].as_ref() else { return };
+            if inst.epoch != epoch {
+                return; // superseded
+            }
         }
+        // Finished-frame list reuses the world scratch buffer: a burst of
+        // same-timestamp completions costs zero allocations.
+        let mut finished = std::mem::take(&mut self.scratch_finished);
+        debug_assert!(finished.is_empty());
+        let inst = self.instances[iid.0 as usize].as_mut().expect("checked above");
         let service = inst.service;
-        let (used, finished, drained, epoch, next) = {
+        let (used, drained, epoch, next) = {
             let _station = self.prof.enter("sim.station.advance");
             self.prof.work(1);
             let used = inst.advance(self.now);
-            let finished = inst.take_finished();
-            (used, finished, inst.drained(), inst.epoch, inst.next_completion(self.now))
+            inst.take_finished_into(&mut finished);
+            (used, inst.drained(), inst.epoch, inst.next_completion(self.now))
         };
         self.services[service.0 as usize].cpu.add_usage(self.now.as_micros(), used);
         if drained {
             self.delete_instance(iid);
-        } else if let Some(t) = next {
-            self.queue.schedule(t, Event::JobCheck { instance: iid, epoch });
+        } else {
+            if !finished.is_empty() {
+                self.refresh_load(iid);
+            }
+            if let Some(t) = next {
+                self.queue.schedule(t, Event::JobCheck { instance: iid, epoch });
+            }
         }
-        for fid in finished {
-            self.frame_work_done(fid);
+        for &f in &finished {
+            self.frame_work_done(f);
         }
+        finished.clear();
+        self.scratch_finished = finished;
     }
 
     fn on_instance_ready(&mut self, iid: InstanceId) {
@@ -666,6 +880,7 @@ impl World {
         }
         inst.state = InstanceState::Ready;
         let service = inst.service;
+        self.refresh_load(iid);
         self.sync_quota(service);
         // Admit everything that was waiting; PS stations have no admission cap.
         while let Some(fid) = self.services[service.0 as usize].pending.pop_front() {
@@ -683,25 +898,29 @@ impl World {
     /// torn down (queued ones dequeued, running jobs cancelled — the client
     /// hung up, and upstream cancellation propagates in a service mesh), the
     /// trace is aborted, and a completion is emitted with the capped latency.
-    fn on_request_timeout(&mut self, request: RequestId) {
-        let Some(meta) = self.requests.remove(&request) else {
-            return; // completed before the deadline
-        };
-        for (fid, generation) in &meta.frames {
+    fn on_request_timeout(&mut self, request: RequestId, slot: u32) {
+        if self.requests[slot as usize].request != request {
+            return; // completed before the deadline (slot freed or reused)
+        }
+        // Tear down by index: nothing below appends to this slot's frame
+        // list, and indexing avoids borrowing the slab across the mutations.
+        let n_frames = self.requests[slot as usize].frames.len();
+        for i in 0..n_frames {
+            let (fid, generation) = self.requests[slot as usize].frames[i];
             let f = &self.frames[fid.0 as usize];
-            if f.generation != *generation || f.is_done() {
+            if f.generation != generation || f.is_done() {
                 continue;
             }
             let service = f.service;
             match f.state {
                 FrameState::PendingInstance => {
-                    self.services[service.0 as usize].pending.retain(|&x| x != *fid);
+                    self.services[service.0 as usize].pending.retain(|&x| x != fid);
                 }
                 FrameState::Working => {
                     if let Some(iid) = f.instance {
                         if let Some(inst) = self.instances[iid as usize].as_mut() {
                             let used = inst.advance(self.now);
-                            let removed = inst.remove_job(*fid);
+                            let removed = inst.remove_job(fid);
                             let epoch = inst.epoch;
                             let next = inst.next_completion(self.now);
                             let drained = inst.drained();
@@ -711,11 +930,14 @@ impl World {
                             if removed {
                                 if drained {
                                     self.delete_instance(InstanceId(iid));
-                                } else if let Some(t) = next {
-                                    self.queue.schedule(
-                                        t,
-                                        Event::JobCheck { instance: InstanceId(iid), epoch },
-                                    );
+                                } else {
+                                    self.refresh_load(InstanceId(iid));
+                                    if let Some(t) = next {
+                                        self.queue.schedule(
+                                            t,
+                                            Event::JobCheck { instance: InstanceId(iid), epoch },
+                                        );
+                                    }
                                 }
                             }
                         }
@@ -726,16 +948,15 @@ impl World {
             self.frames[fid.0 as usize].state = FrameState::Done;
             self.free_frames.push(fid.0);
         }
-        if meta.sampled {
-            self.traces.abort_trace(TraceId(request.0));
-        }
-        let completion = Completion {
-            request,
-            api: meta.api,
-            start: meta.start,
-            end: self.now,
-            timed_out: true,
+        let (api, start, sampled, trace) = {
+            let meta = &self.requests[slot as usize];
+            (meta.api, meta.start, meta.sampled, meta.trace)
         };
+        if sampled {
+            self.traces.abort_open(trace);
+        }
+        self.free_request(slot);
+        let completion = Completion { request, api, start, end: self.now, timed_out: true };
         self.e2e.record(self.now.as_micros(), completion.latency_us());
         self.completions.push(completion);
         self.stats.timeouts += 1;
@@ -749,7 +970,7 @@ impl World {
     fn frame_work_done(&mut self, fid: FrameId) {
         let (api, plan_node) = {
             let f = &self.frames[fid.0 as usize];
-            let api = self.requests.get(&f.request).expect("live request").api;
+            let api = self.requests[f.req_slot as usize].api;
             (api, f.plan_node)
         };
         let node = &self.plans[api.0 as usize].nodes[plan_node as usize];
@@ -763,18 +984,41 @@ impl World {
     /// Launches stage `stage` of frame `fid`: all calls of the stage (each
     /// child × its repeat count) start in parallel.
     fn start_stage(&mut self, fid: FrameId, stage: u16) {
-        let (api, plan_node, request) = {
+        let (api, plan_node, request, req_slot) = {
             let f = &self.frames[fid.0 as usize];
-            let api = self.requests.get(&f.request).expect("live request").api;
-            (api, f.plan_node, f.request)
+            let api = self.requests[f.req_slot as usize].api;
+            (api, f.plan_node, f.request, f.req_slot)
         };
-        // Iterate the stage's call list by index (re-reading through
-        // `self.plans` each step) so no clone of the list is needed: this
-        // function is steady-state hot and must stay allocation-free.
+        // Snapshot the stage's call list (child, repeat, service) into a
+        // stack buffer: the per-child loop needs `&mut self` for
+        // `alloc_frame`, and without the snapshot each child re-walks four
+        // levels of `self.plans` indexing. Stays allocation-free either way —
+        // wider stages (rare) fall back to the index re-walk.
+        const STACK_CALLS: usize = 8;
         let plan = &self.plans[api.0 as usize];
-        let n_calls = plan.nodes[plan_node as usize].stages[stage as usize].len();
+        let stage_calls = &plan.nodes[plan_node as usize].stages[stage as usize];
+        let n_calls = stage_calls.len();
+        if n_calls <= STACK_CALLS {
+            let mut calls = [(0u16, 0u32, ServiceId(0)); STACK_CALLS];
+            let mut total: u32 = 0;
+            for (ci, &c) in stage_calls.iter().enumerate() {
+                let node = &plan.nodes[c as usize];
+                calls[ci] = (c, node.repeat, node.service);
+                total += node.repeat;
+            }
+            debug_assert!(total > 0, "stages are non-empty by construction");
+            self.frames[fid.0 as usize].state = FrameState::Children { stage, outstanding: total };
+            for &(c, reps, service) in &calls[..n_calls] {
+                for _ in 0..reps {
+                    let child = self.alloc_frame(request, req_slot, api, c, Some(fid), service);
+                    self.schedule_frame_start(child);
+                }
+            }
+            return;
+        }
         let mut total: u32 = 0;
         for ci in 0..n_calls {
+            let plan = &self.plans[api.0 as usize];
             let c = plan.nodes[plan_node as usize].stages[stage as usize][ci];
             total += plan.nodes[c as usize].repeat;
         }
@@ -784,8 +1028,9 @@ impl World {
             let plan = &self.plans[api.0 as usize];
             let c = plan.nodes[plan_node as usize].stages[stage as usize][ci];
             let reps = plan.nodes[c as usize].repeat;
+            let service = plan.nodes[c as usize].service;
             for _ in 0..reps {
-                let child = self.alloc_frame(request, api, c, Some(fid));
+                let child = self.alloc_frame(request, req_slot, api, c, Some(fid), service);
                 self.schedule_frame_start(child);
             }
         }
@@ -802,7 +1047,7 @@ impl World {
         }
         let (api, plan_node) = {
             let f = &self.frames[fid.0 as usize];
-            let api = self.requests.get(&f.request).expect("live request").api;
+            let api = self.requests[f.req_slot as usize].api;
             (api, f.plan_node)
         };
         let n_stages = self.plans[api.0 as usize].nodes[plan_node as usize].stages.len();
@@ -814,40 +1059,48 @@ impl World {
     }
 
     fn complete_frame(&mut self, fid: FrameId) {
-        let (request, service, parent, span_id, parent_span, start) = {
+        let (request, req_slot, service, parent, span_id, parent_span, start) = {
             let f = &mut self.frames[fid.0 as usize];
             f.state = FrameState::Done;
-            (f.request, f.service, f.parent, f.span_id, f.parent_span, f.start)
+            (f.request, f.req_slot, f.service, f.parent, f.span_id, f.parent_span, f.start)
         };
         let latency = (self.now - start).as_micros();
         self.services[service.0 as usize].record_latency(self.now, latency);
 
-        let meta = self.requests.get(&request).expect("live request");
+        let meta = &self.requests[req_slot as usize];
         let api = meta.api;
+        let sampled = meta.sampled;
+        let trace = meta.trace;
         // Trace fault: drop the span with the window's probability. The
         // chance is drawn from `rng_trace` only while a window is active, so
         // runs without trace faults consume exactly the baseline draws.
         let now_us = self.now.as_micros();
-        let drop_p = self
-            .span_faults
-            .iter()
-            .filter(|&&(from, until, _)| from <= now_us && now_us < until)
-            .map(|&(_, _, p)| p)
-            .fold(0.0f64, f64::max);
-        if meta.sampled && drop_p > 0.0 && self.rng_trace.chance(drop_p) {
+        let drop_p = if self.span_faults.is_empty() {
+            0.0
+        } else {
+            self.span_faults
+                .iter()
+                .filter(|&&(from, until, _)| from <= now_us && now_us < until)
+                .map(|&(_, _, p)| p)
+                .fold(0.0f64, f64::max)
+        };
+        if sampled && drop_p > 0.0 && self.rng_trace.chance(drop_p) {
             self.stats.spans_dropped += 1;
-        } else if meta.sampled {
+        } else if sampled {
             let _span = self.prof.enter("sim.span_record");
             self.prof.work(1);
-            self.traces.push_span(Span {
-                trace_id: TraceId(request.0),
-                span_id: SpanId(span_id),
-                parent: parent_span.map(SpanId),
-                service: service.0,
-                api: api.0,
-                start_us: start.as_micros(),
-                end_us: self.now.as_micros(),
-            });
+            self.traces.push_span(
+                trace,
+                Span {
+                    trace_id: TraceId(request.0),
+                    span_id: SpanId(span_id),
+                    parent: parent_span.map(SpanId),
+                    service: service.0,
+                    api: api.0,
+                    start_us: start.as_micros(),
+                    end_us: self.now.as_micros(),
+                },
+            );
             self.stats.spans += 1;
         }
 
@@ -857,14 +1110,15 @@ impl World {
         match parent {
             Some(p) => self.child_completed(p),
             None => {
-                let meta = self.requests.remove(&request).expect("live request");
+                let req_start = self.requests[req_slot as usize].start;
+                self.free_request(req_slot);
                 let completion =
-                    Completion { request, api, start: meta.start, end: self.now, timed_out: false };
+                    Completion { request, api, start: req_start, end: self.now, timed_out: false };
                 self.e2e.record(self.now.as_micros(), completion.latency_us());
                 self.completions.push(completion);
                 self.stats.completed += 1;
-                if meta.sampled {
-                    self.traces.finish_trace(TraceId(request.0), api.0);
+                if sampled {
+                    self.traces.finish_open(trace, TraceId(request.0), api.0);
                 }
             }
         }
@@ -875,13 +1129,24 @@ impl World {
     // ------------------------------------------------------------------
 
     /// Completed requests since the last drain.
+    ///
+    /// Allocating convenience wrapper; steady-state callers should use
+    /// [`World::drain_completions_into`] with a reused buffer.
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completions)
     }
 
+    /// Moves completed requests since the last drain into `out` (cleared
+    /// first). The buffers swap, so a caller draining in a loop settles into
+    /// two recycled allocations regardless of traffic volume.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.clear();
+        std::mem::swap(out, &mut self.completions);
+    }
+
     /// Number of requests currently in flight.
     pub fn in_flight(&self) -> usize {
-        self.requests.len()
+        self.live_requests
     }
 
     /// The trace store (Jaeger analog).

@@ -1,6 +1,6 @@
 //! Property-based tests for the simulator's core invariants.
 
-use graf_sim::events::EventQueue;
+use graf_sim::events::{CalendarQueue, EventQueue};
 use graf_sim::frame::FrameId;
 use graf_sim::station::{Instance, InstanceState};
 use graf_sim::time::SimTime;
@@ -94,6 +94,66 @@ proptest! {
             prop_assert!(c.latency_us() > 0);
             // The 30 s client timeout bounds every reported latency.
             prop_assert!(c.latency_us() <= 30_000_000);
+        }
+    }
+
+    /// Differential: for any interleaving of schedules and pops — offsets
+    /// spanning every wheel level, same-timestamp ties, zero-delay events and
+    /// far-overflow horizons — the calendar queue pops exactly what the
+    /// reference `BinaryHeap` queue pops, in the same order.
+    #[test]
+    fn calendar_queue_matches_reference_heap(
+        ops in proptest::collection::vec((0u8..5, 0u64..u64::MAX), 1..400),
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = EventQueue::new();
+        let mut now = 0u64;
+        let mut queued = 0usize;
+        for (i, &(kind, x)) in ops.iter().enumerate() {
+            match kind {
+                // Schedule at now + an offset chosen to exercise one level:
+                // ties (0), L0 (<64 µs), L1 (<~65 ms), L2 (<~67 s), overflow.
+                0..=3 => {
+                    let spread = match kind {
+                        0 => x % 2,             // tie or 1 µs
+                        1 => x % (1 << 6),      // within L0
+                        2 => x % 60_000,        // within L1
+                        _ => x % (1 << 38),     // L2 and the overflow list
+                    };
+                    cal.schedule(SimTime(now + spread), i);
+                    heap.schedule(SimTime(now + spread), i);
+                    queued += 1;
+                }
+                _ if x % 3 == 0 && queued > 0 => {
+                    // Far horizon: drain everything (crosses overflow paths).
+                    let a = cal.pop();
+                    let b = heap.pop();
+                    prop_assert_eq!(a, b, "pop diverged at op {}", i);
+                    let Some((t, _)) = a else { unreachable!() };
+                    now = now.max(t.0);
+                    queued -= 1;
+                }
+                _ => {
+                    // Bounded pop: may return None, advancing the cursor.
+                    let horizon = now + x % 70_000_000;
+                    let a = cal.pop_due(SimTime(horizon));
+                    let b = heap.pop_due(SimTime(horizon));
+                    prop_assert_eq!(a, b, "pop_due diverged at op {}", i);
+                    match a {
+                        Some((t, _)) => { now = now.max(t.0); queued -= 1; }
+                        None => now = now.max(horizon),
+                    }
+                }
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+            prop_assert_eq!(cal.peek_time(), heap.peek_time(), "peek diverged at op {}", i);
+        }
+        // Drain the tail: order must match to the last event.
+        loop {
+            let a = cal.pop();
+            let b = heap.pop();
+            prop_assert_eq!(a, b, "tail drain diverged");
+            if a.is_none() { break; }
         }
     }
 

@@ -31,4 +31,4 @@ pub mod store;
 
 pub use span::{Span, SpanId, TraceId};
 pub use stats::{ApiProfile, CallStats, Edge};
-pub use store::{Trace, TraceStore};
+pub use store::{OpenTrace, Trace, TraceStore};

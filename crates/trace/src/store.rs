@@ -1,7 +1,5 @@
 //! Trace assembly and retention.
 
-use std::collections::HashMap;
-
 use crate::span::{Span, TraceId};
 
 /// A fully assembled trace: all spans of one end-to-end request.
@@ -33,15 +31,29 @@ impl Trace {
     }
 }
 
+/// Handle to a trace being assembled, returned by [`TraceStore::open_trace`].
+///
+/// The producer (the simulator) keeps the handle in its per-request state and
+/// passes it back for every span — a slab index, so the hot span path does no
+/// hashing. A handle is dead after `finish_open`/`abort_open`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpenTrace(pub u32);
+
 /// Collects spans, assembles completed traces, and bounds memory.
 ///
-/// The simulator pushes spans as service frames finish and calls
-/// [`TraceStore::finish_trace`] when the root span completes. Completed traces
-/// are kept in a bounded FIFO (the Jaeger retention analog); consumers drain
-/// or inspect them.
+/// The simulator opens a slab slot per sampled request
+/// ([`TraceStore::open_trace`]), pushes spans against the returned handle as
+/// service frames finish, and calls [`TraceStore::finish_open`] when the root
+/// span completes. Completed traces are kept in a bounded FIFO (the Jaeger
+/// retention analog); consumers drain or inspect them.
 #[derive(Debug)]
 pub struct TraceStore {
-    open: HashMap<TraceId, Vec<Span>>,
+    /// Span buffers of in-flight traces, indexed by [`OpenTrace`]. Free
+    /// slots (on `free`) keep their buffer, so an abort→open cycle reuses
+    /// the allocation.
+    open: Vec<Vec<Span>>,
+    free: Vec<u32>,
+    open_count: usize,
     finished: Vec<Trace>,
     capacity: usize,
     dropped: u64,
@@ -50,32 +62,64 @@ pub struct TraceStore {
 impl TraceStore {
     /// Creates a store retaining up to `capacity` finished traces.
     pub fn new(capacity: usize) -> Self {
-        Self { open: HashMap::new(), finished: Vec::new(), capacity, dropped: 0 }
-    }
-
-    /// Records a span for an in-flight trace.
-    pub fn push_span(&mut self, span: Span) {
-        self.open.entry(span.trace_id).or_default().push(span);
-    }
-
-    /// Marks a trace complete, moving it to the finished set.
-    ///
-    /// Unknown trace ids are ignored (the trace may not have been sampled).
-    pub fn finish_trace(&mut self, id: TraceId, api: u16) {
-        if let Some(spans) = self.open.remove(&id) {
-            if self.finished.len() >= self.capacity {
-                // FIFO eviction; bulk-drain half to amortize the shift.
-                let drop_n = (self.capacity / 2).max(1);
-                self.finished.drain(0..drop_n);
-                self.dropped += drop_n as u64;
-            }
-            self.finished.push(Trace { id, api, spans });
+        Self {
+            open: Vec::new(),
+            free: Vec::new(),
+            open_count: 0,
+            finished: Vec::new(),
+            capacity,
+            dropped: 0,
         }
     }
 
-    /// Discards an in-flight trace without finishing it (request failure).
-    pub fn abort_trace(&mut self, id: TraceId) {
-        self.open.remove(&id);
+    /// Opens a slab slot for a new trace, reserving room for `span_budget`
+    /// spans (one right-sized allocation instead of a growth chain when the
+    /// producer knows the call tree's size; pass 0 when unknown).
+    pub fn open_trace(&mut self, span_budget: usize) -> OpenTrace {
+        self.open_count += 1;
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.open.push(Vec::new());
+                (self.open.len() - 1) as u32
+            }
+        };
+        let buf = &mut self.open[slot as usize];
+        debug_assert!(buf.is_empty(), "free slot holds a cleared buffer");
+        if buf.capacity() < span_budget {
+            buf.reserve(span_budget - buf.len());
+        }
+        OpenTrace(slot)
+    }
+
+    /// Records a span for the in-flight trace behind `handle`.
+    pub fn push_span(&mut self, handle: OpenTrace, span: Span) {
+        self.open[handle.0 as usize].push(span);
+    }
+
+    /// Marks the trace behind `handle` complete, moving its spans to the
+    /// finished set under `id`. The handle is dead afterwards.
+    pub fn finish_open(&mut self, handle: OpenTrace, id: TraceId, api: u16) {
+        let spans = std::mem::take(&mut self.open[handle.0 as usize]);
+        self.free.push(handle.0);
+        self.open_count -= 1;
+        if self.finished.len() >= self.capacity {
+            // FIFO eviction; bulk-drain half to amortize the shift.
+            let drop_n = (self.capacity / 2).max(1);
+            self.finished.drain(0..drop_n);
+            self.dropped += drop_n as u64;
+        }
+        self.finished.push(Trace { id, api, spans });
+    }
+
+    /// Discards the in-flight trace behind `handle` without finishing it
+    /// (request failure). The span buffer stays with the slab slot and is
+    /// reused by a later [`TraceStore::open_trace`]. The handle is dead
+    /// afterwards.
+    pub fn abort_open(&mut self, handle: OpenTrace) {
+        self.open[handle.0 as usize].clear();
+        self.free.push(handle.0);
+        self.open_count -= 1;
     }
 
     /// Completed traces currently retained, oldest first.
@@ -95,12 +139,14 @@ impl TraceStore {
 
     /// Number of traces still being assembled.
     pub fn open_count(&self) -> usize {
-        self.open.len()
+        self.open_count
     }
 
-    /// Clears all state.
+    /// Clears all state. Outstanding [`OpenTrace`] handles are invalidated.
     pub fn clear(&mut self) {
         self.open.clear();
+        self.free.clear();
+        self.open_count = 0;
         self.finished.clear();
     }
 }
@@ -125,9 +171,11 @@ mod tests {
     #[test]
     fn assembles_traces() {
         let mut st = TraceStore::new(16);
-        st.push_span(span(1, 0, None, 0, 0, 100));
-        st.push_span(span(1, 1, Some(0), 1, 10, 60));
-        st.finish_trace(TraceId(1), 0);
+        let h = st.open_trace(2);
+        assert_eq!(st.open_count(), 1);
+        st.push_span(h, span(1, 0, None, 0, 0, 100));
+        st.push_span(h, span(1, 1, Some(0), 1, 10, 60));
+        st.finish_open(h, TraceId(1), 0);
         assert_eq!(st.finished().len(), 1);
         let t = &st.finished()[0];
         assert_eq!(t.spans.len(), 2);
@@ -147,18 +195,24 @@ mod tests {
     }
 
     #[test]
-    fn finishing_unknown_trace_is_noop() {
+    fn span_budget_reserves_once() {
         let mut st = TraceStore::new(4);
-        st.finish_trace(TraceId(7), 0);
-        assert!(st.finished().is_empty());
+        let h = st.open_trace(13);
+        for i in 0..13u32 {
+            st.push_span(h, span(1, i, (i > 0).then(|| i - 1), 0, 0, 1));
+        }
+        st.finish_open(h, TraceId(1), 0);
+        assert_eq!(st.finished()[0].spans.len(), 13);
+        assert!(st.finished()[0].spans.capacity() <= 16, "no growth chain");
     }
 
     #[test]
     fn capacity_evicts_oldest() {
         let mut st = TraceStore::new(4);
         for i in 0..6u64 {
-            st.push_span(span(i, 0, None, 0, 0, 1));
-            st.finish_trace(TraceId(i), 0);
+            let h = st.open_trace(1);
+            st.push_span(h, span(i, 0, None, 0, 0, 1));
+            st.finish_open(h, TraceId(i), 0);
         }
         assert!(st.finished().len() <= 4 + 1);
         assert!(st.dropped() >= 2);
@@ -169,18 +223,33 @@ mod tests {
     #[test]
     fn abort_discards_open_trace() {
         let mut st = TraceStore::new(4);
-        st.push_span(span(3, 0, None, 0, 0, 1));
-        st.abort_trace(TraceId(3));
-        st.finish_trace(TraceId(3), 0);
+        let h = st.open_trace(1);
+        st.push_span(h, span(3, 0, None, 0, 0, 1));
+        st.abort_open(h);
         assert!(st.finished().is_empty());
         assert_eq!(st.open_count(), 0);
     }
 
     #[test]
+    fn aborted_buffers_are_recycled() {
+        let mut st = TraceStore::new(4);
+        let h = st.open_trace(2);
+        st.push_span(h, span(1, 0, None, 0, 0, 1));
+        st.push_span(h, span(1, 1, Some(0), 1, 0, 1));
+        st.abort_open(h);
+        let h2 = st.open_trace(0);
+        assert_eq!(h2, h, "new trace reuses the freed slot (and its buffer)");
+        st.push_span(h2, span(2, 0, None, 0, 0, 1));
+        st.finish_open(h2, TraceId(2), 0);
+        assert_eq!(st.finished()[0].spans.len(), 1, "recycled buffer starts empty");
+    }
+
+    #[test]
     fn drain_empties_store() {
         let mut st = TraceStore::new(4);
-        st.push_span(span(1, 0, None, 0, 0, 1));
-        st.finish_trace(TraceId(1), 0);
+        let h = st.open_trace(1);
+        st.push_span(h, span(1, 0, None, 0, 0, 1));
+        st.finish_open(h, TraceId(1), 0);
         let traces = st.drain_finished();
         assert_eq!(traces.len(), 1);
         assert!(st.finished().is_empty());

@@ -28,6 +28,7 @@ echo "== sanitizer: zero-allocation steady state =="
 cargo test -q -p graf-nn --features sanitize
 cargo test -q -p graf-gnn --features sanitize --test sanitize
 cargo test -q -p graf-core --features sanitize --test sanitize
+cargo test -q --features sanitize --test sim_sanitize
 
 echo "== cargo bench --no-run =="
 cargo bench --no-run

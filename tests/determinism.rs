@@ -7,13 +7,19 @@ use graf::loadgen::ClosedLoop;
 use graf::orchestrator::{
     run_experiment, Cluster, CreationModel, Deployment, ExperimentHooks, HpaConfig, KubernetesHpa,
 };
+use graf::sim::events::QueueKind;
 use graf::sim::time::SimTime;
 use graf::sim::topology::{ApiId, ServiceId};
 use graf::sim::world::{SimConfig, World};
 
 fn run_once(seed: u64) -> (u64, u64, Vec<u64>, usize) {
+    run_once_with(seed, QueueKind::Calendar)
+}
+
+fn run_once_with(seed: u64, kind: QueueKind) -> (u64, u64, Vec<u64>, usize) {
     let topo = online_boutique();
-    let world = World::new(topo.clone(), SimConfig::default(), seed);
+    let world =
+        World::new(topo.clone(), SimConfig { event_queue: kind, ..SimConfig::default() }, seed);
     let deployments =
         (0..topo.num_services()).map(|s| Deployment::new(ServiceId(s as u16), 100.0, 3)).collect();
     let mut cluster = Cluster::new(world, deployments, CreationModel::default());
@@ -42,6 +48,23 @@ fn same_seed_same_everything() {
     assert_eq!(a.2, b.2, "every latency matches bit-for-bit");
     assert_eq!(a.3, b.3, "final instance counts match");
     assert!(a.0 > 1000, "the run actually did work ({} completions)", a.0);
+}
+
+/// Seed × queue-implementation matrix: the calendar-queue event core and the
+/// reference binary-heap core must produce bit-identical completion streams
+/// (latencies and counts), event totals, and scaling trajectories for the
+/// full pilot-style experiment — the acceptance bar for swapping the queue.
+#[test]
+fn calendar_and_heap_cores_are_bit_identical() {
+    for seed in [7, 77, 402] {
+        let cal = run_once_with(seed, QueueKind::Calendar);
+        let heap = run_once_with(seed, QueueKind::Heap);
+        assert_eq!(cal.0, heap.0, "completed counts match (seed {seed})");
+        assert_eq!(cal.1, heap.1, "event counts match (seed {seed})");
+        assert_eq!(cal.2, heap.2, "every latency matches bit-for-bit (seed {seed})");
+        assert_eq!(cal.3, heap.3, "final instance counts match (seed {seed})");
+        assert!(cal.0 > 1000, "the run actually did work ({} completions)", cal.0);
+    }
 }
 
 #[test]

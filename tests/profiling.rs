@@ -5,6 +5,7 @@
 
 use graf::apps::online_boutique;
 use graf::prof::Prof;
+use graf::sim::events::QueueKind;
 use graf::sim::rng::DetRng;
 use graf::sim::time::SimTime;
 use graf::sim::topology::{ApiId, ServiceId};
@@ -13,8 +14,12 @@ use graf::sim::world::{SimConfig, World, WorldStats};
 /// The bench scenario (`sim_boutique`): 10 s of Online Boutique at ~600 qps,
 /// returning every observable the world produces plus the latency stream.
 fn sim_boutique(prof: &Prof) -> (WorldStats, Vec<u64>) {
+    sim_boutique_with(prof, QueueKind::Calendar)
+}
+
+fn sim_boutique_with(prof: &Prof, kind: QueueKind) -> (WorldStats, Vec<u64>) {
     let topo = online_boutique();
-    let mut w = World::new(topo, SimConfig::default(), 9);
+    let mut w = World::new(topo, SimConfig { event_queue: kind, ..SimConfig::default() }, 9);
     w.set_prof(prof.clone());
     for s in 0..6u16 {
         w.add_instances(ServiceId(s), 4, 250.0, SimTime::ZERO);
@@ -37,13 +42,33 @@ fn sim_boutique(prof: &Prof) -> (WorldStats, Vec<u64>) {
 
 #[test]
 fn profiling_does_not_perturb_the_simulation() {
-    let off = sim_boutique(&Prof::disabled());
-    let on = sim_boutique(&Prof::enabled());
+    // Profiling on/off crossed with both queue implementations: all four
+    // cells must be bit-identical.
+    let off = sim_boutique_with(&Prof::disabled(), QueueKind::Calendar);
+    let on = sim_boutique_with(&Prof::enabled(), QueueKind::Calendar);
+    let heap_off = sim_boutique_with(&Prof::disabled(), QueueKind::Heap);
+    let heap_on = sim_boutique_with(&Prof::enabled(), QueueKind::Heap);
     assert_eq!(off.0.completed, on.0.completed, "completed counts match");
     assert_eq!(off.0.events, on.0.events, "event counts match");
     assert_eq!(off.0.spans, on.0.spans, "span counts match");
     assert_eq!(off.1, on.1, "every latency is bit-identical");
+    assert_eq!(off.1, heap_off.1, "calendar matches the reference heap");
+    assert_eq!(heap_off.1, heap_on.1, "heap core is also profile-invariant");
+    assert_eq!(off.0.events, heap_off.0.events, "event counts match across queues");
     assert!(off.0.completed > 1000, "the run actually did work ({})", off.0.completed);
+}
+
+#[test]
+fn event_loop_breakdown_holds_for_the_heap_queue_too() {
+    // The reference heap core shares the instrumented loop: its breakdown
+    // must also cover ≥90% of wall time so A/B profiles stay comparable.
+    let prof = Prof::enabled();
+    let _ = sim_boutique_with(&prof, QueueKind::Heap);
+    let report = prof.report();
+    let root = report.find("sim.event_loop").expect("event-loop phase recorded");
+    let child_ns: u64 = report.children("sim.event_loop").iter().map(|c| c.total_ns).sum();
+    let coverage = child_ns as f64 / root.total_ns as f64;
+    assert!(coverage >= 0.90, "heap-core coverage {:.1}%:\n{}", coverage * 100.0, report.render());
 }
 
 #[test]
@@ -57,8 +82,8 @@ fn event_loop_breakdown_covers_at_least_90_percent_of_wall_time() {
 
     let children = report.children("sim.event_loop");
     assert!(
-        children.iter().any(|c| c.name == "sim.event_loop.heap_pop"),
-        "heap operations are attributed:\n{}",
+        children.iter().any(|c| c.name == "sim.event_loop.queue_pop"),
+        "queue operations are attributed:\n{}",
         report.render()
     );
     let child_ns: u64 = children.iter().map(|c| c.total_ns).sum();
@@ -73,7 +98,7 @@ fn event_loop_breakdown_covers_at_least_90_percent_of_wall_time() {
     // The deterministic work counters account for every dispatched event:
     // each event adds one unit inside its phase scope.
     let dispatched: u64 =
-        children.iter().filter(|c| c.name != "sim.event_loop.heap_pop").map(|c| c.work).sum();
+        children.iter().filter(|c| c.name != "sim.event_loop.queue_pop").map(|c| c.work).sum();
     assert_eq!(dispatched, stats.events, "work counters match dispatched events exactly");
 
     // Station math and span recording nest under their event phases.

@@ -1,0 +1,145 @@
+//! Zero-allocation steady state for the simulator's request path
+//! (`--features sanitize`).
+//!
+//! The event core recycles everything it touches per request — calendar-queue
+//! buckets, the request slab, the frame slab, station job vectors, the
+//! min-load index and the completion buffer — so once every pool has reached
+//! its high-water mark, driving a request from arrival to completion must not
+//! touch the heap at all. The counting global allocator proves it: a measured
+//! steady-state window performs **zero** allocations, for both the calendar
+//! queue and the reference binary-heap core.
+//!
+//! Tracing is sampled out (`trace_sample: 0.0`) and request timeouts are
+//! disabled: span recording intentionally allocates (per sampled trace), and
+//! both are off the steady-state bar defined by the perf issue. CPU
+//! checkpointing runs at its coarsest resolution so the usage series
+//! collapses into a single in-place cell.
+
+#![cfg(feature = "sanitize")]
+
+use graf::apps::online_boutique;
+use graf::nn::sanitize::alloc_delta;
+use graf::sim::events::QueueKind;
+use graf::sim::rng::DetRng;
+use graf::sim::time::SimTime;
+use graf::sim::topology::{ApiId, ApiSpec, AppTopology, CallNode, ServiceId, ServiceSpec};
+use graf::sim::world::{Completion, SimConfig, World};
+
+/// A two-service pipeline with deterministic (cv = 0) service times: under
+/// fixed-interval arrivals the in-flight population is constant, so every
+/// pool reaches its final size during warmup.
+fn pipeline_topo() -> AppTopology {
+    AppTopology::new(
+        "sanitize",
+        vec![ServiceSpec::new("a", 0.8, 150).cv(0.0), ServiceSpec::new("b", 1.2, 150).cv(0.0)],
+        vec![ApiSpec::new("get", CallNode::new(0).call(CallNode::new(1)))],
+    )
+}
+
+fn sanitize_config(kind: QueueKind) -> SimConfig {
+    SimConfig {
+        event_queue: kind,
+        trace_sample: 0.0,
+        request_timeout_us: None,
+        cpu_checkpoint_us: u64::MAX,
+        // Small windows and a short retention horizon: the metric deques
+        // reach retention during warmup, after which window rotation recycles
+        // evicted histograms instead of allocating new ones.
+        window_us: 10_000,
+        retain_windows: 8,
+        ..SimConfig::default()
+    }
+}
+
+/// Heap allocations made while simulating a 2 s steady-state window at
+/// 500 qps (≤ 38% utilization on both services), after a 2 s warmup that
+/// fills every slab, bucket and scratch buffer. Arrivals for the measured
+/// window are pre-scheduled: injection may grow far-future wheel buckets,
+/// but the request path being certified starts at the event pop.
+fn steady_state_allocs(kind: QueueKind) -> u64 {
+    let mut w = World::new(pipeline_topo(), sanitize_config(kind), 17);
+    w.add_instances(ServiceId(0), 2, 800.0, SimTime::ZERO);
+    w.add_instances(ServiceId(1), 2, 800.0, SimTime::ZERO);
+    // Two warmup windows with a drain between them: `drain_completions_into`
+    // swaps buffers with the world, so BOTH vectors in rotation must reach
+    // their high-water capacity before the measured window (the experiment
+    // driver's persistent buffer reaches this steady state the same way).
+    // The warmup spans 10 s because the arrival-to-wheel-slot alignment
+    // pattern repeats every lcm(2 ms, 64 µs · 1024) = 8.192 s — one full
+    // period establishes the high-water mark of every level-0 bucket.
+    let mut sink: Vec<Completion> = Vec::new();
+    for i in 0..5_000u64 {
+        w.inject(ApiId(0), SimTime(i * 2_000));
+    }
+    w.run_until(SimTime::from_secs(5.0));
+    w.drain_completions_into(&mut sink);
+    w.run_until(SimTime::from_secs(10.0));
+    w.drain_completions_into(&mut sink);
+    assert!(w.stats().completed > 4_990, "warmup did work ({})", w.stats().completed);
+
+    for i in 5_000..6_000u64 {
+        w.inject(ApiId(0), SimTime(i * 2_000));
+    }
+    let ((), allocs) = alloc_delta(|| w.run_until(SimTime::from_secs(12.0)));
+    w.drain_completions_into(&mut sink);
+    assert!(w.stats().completed > 5_990, "measured window did work ({})", w.stats().completed);
+    allocs
+}
+
+#[test]
+fn request_path_is_allocation_free_on_the_calendar_queue() {
+    assert_eq!(
+        steady_state_allocs(QueueKind::Calendar),
+        0,
+        "steady-state request path must not allocate (calendar core)"
+    );
+}
+
+#[test]
+fn request_path_is_allocation_free_on_the_reference_heap() {
+    assert_eq!(
+        steady_state_allocs(QueueKind::Heap),
+        0,
+        "steady-state request path must not allocate (heap core)"
+    );
+}
+
+/// Online Boutique under Poisson load: stochastic bursts can keep raising a
+/// high-water mark (a deeper wheel bucket, a new slab slot), so finite runs
+/// never hit exactly zero — but allocations must taper to a trickle once the
+/// pools are warm: later windows allocate no more than earlier ones, and the
+/// final 2 s window (≈1200 requests, ≈15k events) stays under a few dozen.
+#[test]
+fn boutique_steady_state_allocations_taper_off() {
+    let mut w = World::new(online_boutique(), sanitize_config(QueueKind::Calendar), 9);
+    for s in 0..6u16 {
+        w.add_instances(ServiceId(s), 4, 250.0, SimTime::ZERO);
+    }
+    // Pre-generate all arrivals for 8 s of ~600 qps mixed load, so the
+    // measured windows contain only event processing.
+    let mut rng = DetRng::new(9 ^ 0x51);
+    for (api, rate) in [(0u16, 180.0f64), (1, 180.0), (2, 240.0)] {
+        let mut t = 0.0;
+        loop {
+            t += rng.exp(1e6 / rate);
+            if t >= 8e6 {
+                break;
+            }
+            w.inject(ApiId(api), SimTime(t as u64));
+        }
+    }
+    let mut sink: Vec<Completion> = Vec::new();
+    let mut windows = [0u64; 4];
+    for (i, slot) in windows.iter_mut().enumerate() {
+        let end = SimTime::from_secs(2.0 * (i + 1) as f64);
+        let ((), n) = alloc_delta(|| w.run_until(end));
+        w.drain_completions_into(&mut sink);
+        *slot = n;
+    }
+    assert!(w.stats().completed > 4_000, "the run did work ({})", w.stats().completed);
+    assert!(windows[3] <= windows[1], "allocations must not grow once warm: windows {windows:?}");
+    assert!(
+        windows[3] <= 64,
+        "steady state tapers to a trickle (high-water growth only): windows {windows:?}"
+    );
+}
