@@ -62,17 +62,15 @@ fn chain3() -> AppTopology {
     )
 }
 
+/// The canonical fault catalog, with `latency_spike` pointed at the chain's
+/// hottest service (the backend).
 fn fault_classes() -> Vec<(&'static str, Vec<FaultKind>)> {
-    vec![
-        ("none", vec![]),
-        ("trace_drop", vec![FaultKind::TraceDrop { drop_prob: 0.75 }]),
-        ("metric_nan", vec![FaultKind::MetricNan]),
-        ("metric_stale", vec![FaultKind::MetricStale { delay: SimDuration::from_secs(60.0) }]),
-        ("stale_model", vec![FaultKind::StaleModel]),
-        ("creation_fail", vec![FaultKind::CreationFail { prob: 1.0 }]),
-        ("slow_start", vec![FaultKind::SlowStart { factor: 4.0 }]),
-        ("latency_spike", vec![FaultKind::LatencySpike { service: ServiceId(2), factor: 3.0 }]),
-    ]
+    graf_chaos::CATALOG
+        .iter()
+        .map(|&name| {
+            (name, graf_chaos::named_faults(name, ServiceId(2)).expect("catalog name resolves"))
+        })
+        .collect()
 }
 
 fn schedule(kinds: &[FaultKind], seed: u64) -> ChaosSchedule {

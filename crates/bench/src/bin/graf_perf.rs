@@ -1,13 +1,25 @@
 //! `graf-perf` — the perf-regression gate over `BENCH_HISTORY.jsonl`.
 //!
 //! ```text
-//! graf-perf compare <revA> <revB> [--history PATH] [--threshold PCT]
+//! graf-perf compare <revA> <revB> [--history PATH] [--threshold PCT] [--strict]
+//! graf-perf headline [--sim PATH]
 //! ```
 //!
-//! Compares every benchmark recorded for `revA` (base) against `revB` (new)
-//! and prints a per-bench table. Exits nonzero only when a median regresses
-//! by more than the threshold (default 10 %) **and** by more than the
-//! run-to-run noise (IQR) — see `graf_bench::perf` for the decision rule.
+//! `compare` compares every benchmark recorded for `revA` (base) against
+//! `revB` (new) and prints a per-bench table. Exits nonzero only when a
+//! median regresses by more than the threshold (default 10 %) **and** by
+//! more than the run-to-run noise (IQR) — see `graf_bench::perf` for the
+//! decision rule.
+//!
+//! Benchmarks measured at only one of the two revisions are warned about
+//! **loudly on stderr** — a silently shrinking bench set is how perf
+//! coverage rots. `--strict` upgrades that warning to a failure, but only
+//! when *both* revisions have history: a revision with no runs at all (fresh
+//! clone, or a commit whose history was appended pre-commit) stays lenient
+//! so CI's `compare HEAD~1 HEAD` cannot wedge itself.
+//!
+//! `headline` resolves `BENCH_SIM.json`'s headline pointer and prints the
+//! headline tier — shell tooling reads it from here instead of parsing JSON.
 //!
 //! Revisions are resolved through `git rev-parse` so symbolic names
 //! (`HEAD~1`, branch names, abbreviated SHAs) work; when `git` is
@@ -20,7 +32,10 @@ use std::process::Command;
 use graf_bench::perf::{self, Verdict};
 
 fn usage() -> ! {
-    eprintln!("usage: graf-perf compare <revA> <revB> [--history PATH] [--threshold PCT]");
+    eprintln!(
+        "usage: graf-perf compare <revA> <revB> [--history PATH] [--threshold PCT] [--strict]\n\
+         \x20      graf-perf headline [--sim PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -36,14 +51,48 @@ fn resolve_rev(rev: &str) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("compare") {
-        usage();
+    match args.first().map(String::as_str) {
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("headline") => cmd_headline(&args[1..]),
+        _ => usage(),
     }
+}
+
+fn cmd_headline(args: &[String]) {
+    let mut sim_path = "BENCH_SIM.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sim" => sim_path = it.next().unwrap_or_else(|| usage()).clone(),
+            _ => usage(),
+        }
+    }
+    let text = std::fs::read_to_string(&sim_path).unwrap_or_else(|e| {
+        eprintln!("graf-perf: cannot read {sim_path}: {e}");
+        std::process::exit(1);
+    });
+    let report = perf::parse_bench_sim(&text).unwrap_or_else(|e| {
+        eprintln!("graf-perf: {sim_path}: {e}");
+        std::process::exit(1);
+    });
+    let h = report.headline_run();
+    println!(
+        "{} median_ms={} iqr_ms={} mode={} ({} tier(s) in {sim_path})",
+        h.bench,
+        h.median_ms,
+        h.iqr_ms,
+        h.mode,
+        report.benches.len()
+    );
+}
+
+fn cmd_compare(args: &[String]) {
     let mut rev_a: Option<String> = None;
     let mut rev_b: Option<String> = None;
     let mut history_path = "BENCH_HISTORY.jsonl".to_string();
     let mut threshold = 10.0f64;
-    let mut it = args[1..].iter();
+    let mut strict = false;
+    let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--history" => {
@@ -52,6 +101,7 @@ fn main() {
             "--threshold" => {
                 threshold = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--strict" => strict = true,
             other if rev_a.is_none() => rev_a = Some(other.to_string()),
             other if rev_b.is_none() => rev_b = Some(other.to_string()),
             _ => usage(),
@@ -72,21 +122,20 @@ fn main() {
     let full_b = resolve_rev(&rev_b);
     let short = |s: &str| if s.len() > 12 { s[..12].to_string() } else { s.to_string() };
     println!(
-        "graf-perf compare  base={} ({})  new={} ({})  threshold={threshold}%",
+        "graf-perf compare  base={} ({})  new={} ({})  threshold={threshold}%{}",
         rev_a,
         short(&full_a),
         rev_b,
-        short(&full_b)
+        short(&full_b),
+        if strict { "  [strict]" } else { "" }
     );
 
     let report = perf::compare(&history, &full_a, &full_b, threshold);
-    if report.rows.is_empty() {
-        let have_a = history.iter().any(|r| r.rev == full_a || r.rev.starts_with(&full_a));
-        let have_b = history.iter().any(|r| r.rev == full_b || r.rev.starts_with(&full_b));
+    if report.rows.is_empty() && !report.has_coverage_gaps() {
         println!(
             "no overlapping benchmarks (base history: {}, new history: {}); nothing to gate (ok)",
-            if have_a { "yes" } else { "none" },
-            if have_b { "yes" } else { "none" }
+            if perf::rev_has_runs(&history, &full_a) { "yes" } else { "none" },
+            if perf::rev_has_runs(&history, &full_b) { "yes" } else { "none" }
         );
         return;
     }
@@ -107,15 +156,29 @@ fn main() {
         );
     }
     for b in &report.only_base {
-        println!("{b:<34} (only measured at base)");
+        eprintln!(
+            "graf-perf: WARNING: {b} measured at base but MISSING at new — perf coverage shrank"
+        );
     }
     for b in &report.only_new {
-        println!("{b:<34} (only measured at new)");
+        eprintln!("graf-perf: WARNING: {b} measured at new but missing at base (new bench?)");
     }
 
+    let mut fail = false;
     if report.has_regressions() {
         let n = report.rows.iter().filter(|r| r.verdict == Verdict::Regressed).count();
         eprintln!("graf-perf: {n} benchmark(s) regressed beyond {threshold}% + noise");
+        fail = true;
+    }
+    if strict && perf::strict_coverage_failure(&history, &full_a, &full_b, &report) {
+        eprintln!(
+            "graf-perf: --strict: bench sets differ between revisions ({} only at base, {} only at new)",
+            report.only_base.len(),
+            report.only_new.len()
+        );
+        fail = true;
+    }
+    if fail {
         std::process::exit(1);
     }
     println!("graf-perf: no regressions beyond {threshold}% + noise");

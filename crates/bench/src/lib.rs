@@ -10,6 +10,9 @@
 //!   regression comparator behind the `graf-perf` binary,
 //! * [`pricing`] — the AWS EC2 on-demand prices of Table 3 and the
 //!   cost-benefit arithmetic of Figure 19,
+//! * [`sweepgrid`] — the axis mapping behind the `graf-sweep` binary: grid
+//!   axes (`app`/`slo`/`surge`/`chaos`/`policy`/`load`) onto concrete
+//!   scenarios, with per-worker model caches,
 //! * [`standard`] — the standard experiment configurations: per-application
 //!   probe workloads, SLOs, CPU units and pre-built GRAF pipelines, so every
 //!   figure binary trains against the same artifacts the way the paper
@@ -29,6 +32,7 @@ pub mod args;
 pub mod perf;
 pub mod pricing;
 pub mod standard;
+pub mod sweepgrid;
 pub mod timeline;
 
 pub use args::Args;

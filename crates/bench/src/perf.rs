@@ -154,6 +154,30 @@ impl CompareReport {
     pub fn has_regressions(&self) -> bool {
         self.rows.iter().any(|r| r.verdict == Verdict::Regressed)
     }
+
+    /// `true` when the two revisions did not measure the same bench set.
+    pub fn has_coverage_gaps(&self) -> bool {
+        !self.only_base.is_empty() || !self.only_new.is_empty()
+    }
+}
+
+/// `true` when `history` holds at least one run for `rev` (prefix-tolerant).
+pub fn rev_has_runs(history: &[BenchRun], rev: &str) -> bool {
+    history.iter().any(|r| rev_matches(&r.rev, rev))
+}
+
+/// Whether a `--strict` compare must fail on coverage: only when **both**
+/// revisions have history and their bench sets still differ. A revision with
+/// no history at all (fresh clone, or a commit whose history was appended
+/// pre-commit and so never lists its own SHA) stays lenient — otherwise
+/// strict mode would permanently fail `compare HEAD~1 HEAD` in CI.
+pub fn strict_coverage_failure(
+    history: &[BenchRun],
+    rev_a: &str,
+    rev_b: &str,
+    report: &CompareReport,
+) -> bool {
+    report.has_coverage_gaps() && rev_has_runs(history, rev_a) && rev_has_runs(history, rev_b)
 }
 
 /// `true` when `run.rev` matches the query revision (exact or the stored
@@ -227,6 +251,73 @@ pub fn compare(
         }
     }
     report
+}
+
+/// The parsed `BENCH_SIM.json` report: every simulator tier plus the name of
+/// the headline tier.
+///
+/// The file's top level is a *pointer* (`"headline": "<bench name>"`) into
+/// the `benches` array — the headline numbers exist exactly once, so the two
+/// can never drift apart (the failure mode of the old shape, which
+/// duplicated the headline entry at top level).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimReport {
+    /// Name of the headline bench (must appear in [`SimReport::benches`]).
+    pub headline: String,
+    /// Every simulator tier (`rev` is empty — the file is per-checkout).
+    pub benches: Vec<BenchRun>,
+}
+
+impl SimReport {
+    /// The headline tier's measurement.
+    pub fn headline_run(&self) -> &BenchRun {
+        self.benches
+            .iter()
+            .find(|b| b.bench == self.headline)
+            .expect("parse_bench_sim verified the pointer resolves")
+    }
+}
+
+/// Parses `BENCH_SIM.json`. Accepts the current headline-pointer shape and
+/// the legacy shape (headline fields duplicated at top level) so old
+/// checkouts keep working; in both cases the headline must resolve to an
+/// entry of `benches`.
+pub fn parse_bench_sim(text: &str) -> Result<SimReport, String> {
+    let doc = json::parse(text)?;
+    let headline = doc
+        .get("headline")
+        .or_else(|| doc.get("bench"))
+        .and_then(Json::as_str)
+        .ok_or("missing \"headline\" (or legacy \"bench\") field")?
+        .to_string();
+    let Some(Json::Arr(items)) = doc.get("benches") else {
+        return Err("missing/non-array field \"benches\"".to_string());
+    };
+    let mut benches = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let bench = item
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("benches[{i}]: missing/non-string \"bench\""))?
+            .to_string();
+        let num = |k: &str| {
+            item.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("benches[{i}]: missing/non-number {k:?}"))
+        };
+        let mode = item.get("mode").and_then(Json::as_str).unwrap_or("full").to_string();
+        benches.push(BenchRun {
+            rev: String::new(),
+            bench,
+            median_ms: num("median_ms")?,
+            iqr_ms: num("iqr_ms")?,
+            mode,
+        });
+    }
+    if !benches.iter().any(|b| b.bench == headline) {
+        return Err(format!("headline {headline:?} not present in benches[]"));
+    }
+    Ok(SimReport { headline, benches })
 }
 
 #[cfg(test)]
@@ -330,6 +421,64 @@ mod tests {
         assert!(!report.has_regressions());
         let empty = compare(&[], "aaaaaaaa", "bbbbbbbb", 10.0);
         assert!(empty.rows.is_empty() && empty.only_base.is_empty() && empty.only_new.is_empty());
+    }
+
+    #[test]
+    fn strict_fails_only_when_both_revisions_have_history() {
+        let hist = vec![
+            run("aaaaaaaa", "x_ms", 10.0, 0.1),
+            run("aaaaaaaa", "gone_ms", 5.0, 0.1),
+            run("bbbbbbbb", "x_ms", 10.0, 0.1),
+        ];
+        let report = compare(&hist, "aaaaaaaa", "bbbbbbbb", 10.0);
+        assert!(report.has_coverage_gaps());
+        assert!(strict_coverage_failure(&hist, "aaaaaaaa", "bbbbbbbb", &report));
+        // The new revision has NO history at all (the CI `compare HEAD~1
+        // HEAD` case — history is appended pre-commit): strict stays green.
+        let report = compare(&hist, "aaaaaaaa", "cccccccc", 10.0);
+        assert!(report.has_coverage_gaps());
+        assert!(!strict_coverage_failure(&hist, "aaaaaaaa", "cccccccc", &report));
+        // Identical bench sets: nothing to fail on.
+        let report = compare(&hist, "bbbbbbbb", "bbbbbbbb", 10.0);
+        assert!(!report.has_coverage_gaps());
+        assert!(!strict_coverage_failure(&hist, "bbbbbbbb", "bbbbbbbb", &report));
+    }
+
+    #[test]
+    fn bench_sim_headline_is_a_pointer_into_benches() {
+        let text = r#"{
+          "headline": "sim_10s_ms",
+          "benches": [
+            { "bench": "sim_10s_ms", "median_ms": 13.3, "iqr_ms": 0.5, "mode": "full" },
+            { "bench": "sim_50k_ms", "median_ms": 5903.6, "iqr_ms": 227.9, "mode": "full" }
+          ]
+        }"#;
+        let report = parse_bench_sim(text).unwrap();
+        assert_eq!(report.headline, "sim_10s_ms");
+        assert_eq!(report.benches.len(), 2);
+        assert_eq!(report.headline_run().median_ms, 13.3);
+    }
+
+    #[test]
+    fn bench_sim_legacy_duplicate_shape_still_parses() {
+        let text = r#"{
+          "bench": "sim_10s_ms", "median_ms": 13.3, "iqr_ms": 0.5, "mode": "full",
+          "benches": [
+            { "bench": "sim_10s_ms", "median_ms": 13.3, "iqr_ms": 0.5, "mode": "full" }
+          ]
+        }"#;
+        let report = parse_bench_sim(text).unwrap();
+        assert_eq!(report.headline, "sim_10s_ms");
+        assert_eq!(report.headline_run().iqr_ms, 0.5);
+    }
+
+    #[test]
+    fn bench_sim_dangling_headline_is_rejected() {
+        let text = r#"{ "headline": "nope_ms", "benches": [
+            { "bench": "sim_10s_ms", "median_ms": 1.0, "iqr_ms": 0.1 } ] }"#;
+        assert!(parse_bench_sim(text).unwrap_err().contains("not present"));
+        assert!(parse_bench_sim("{}").is_err());
+        assert!(parse_bench_sim(r#"{ "headline": "x" }"#).is_err());
     }
 
     #[test]

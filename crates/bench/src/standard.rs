@@ -5,7 +5,7 @@
 //! pin the per-application probe workloads, SLOs and CPU units so all
 //! binaries evaluate against the same artifacts.
 
-use graf_apps::{online_boutique, social_network};
+use graf_apps::{bookinfo, online_boutique, robot_shop, social_network};
 use graf_core::{Graf, GrafBuildConfig, SamplingConfig, TrainConfig};
 use graf_sim::topology::AppTopology;
 
@@ -37,6 +37,21 @@ pub fn boutique_setup() -> AppSetup {
 /// Social Network under Vegeta post-compose load.
 pub fn social_setup() -> AppSetup {
     AppSetup { topo: social_network(), probe_qps: vec![600.0], slo_ms: 80.0, cpu_unit_mc: 100.0 }
+}
+
+/// Robot Shop under a browse-heavy three-API mix (browse/user/cart).
+pub fn robot_shop_setup() -> AppSetup {
+    AppSetup {
+        topo: robot_shop(),
+        probe_qps: vec![240.0, 120.0, 120.0],
+        slo_ms: 80.0,
+        cpu_unit_mc: 100.0,
+    }
+}
+
+/// Bookinfo under product-page load.
+pub fn bookinfo_setup() -> AppSetup {
+    AppSetup { topo: bookinfo(), probe_qps: vec![400.0], slo_ms: 80.0, cpu_unit_mc: 100.0 }
 }
 
 /// The standard sampling configuration for a setup, scaled by `args`.
@@ -93,10 +108,14 @@ mod tests {
 
     #[test]
     fn setups_are_consistent() {
-        let b = boutique_setup();
-        assert_eq!(b.probe_qps.len(), b.topo.num_apis());
-        let s = social_setup();
-        assert_eq!(s.probe_qps.len(), s.topo.num_apis());
+        for setup in [boutique_setup(), social_setup(), robot_shop_setup(), bookinfo_setup()] {
+            assert_eq!(
+                setup.probe_qps.len(),
+                setup.topo.num_apis(),
+                "{}: one probe rate per API",
+                setup.topo.name
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,431 @@
+//! Maps `graf-sweep` grid axes onto concrete GRAF scenarios.
+//!
+//! The sweep machinery (`crates/sweep`) is scenario-agnostic — axes and
+//! values are strings. This module gives those strings meaning:
+//!
+//! | axis | values | default |
+//! |---|---|---|
+//! | `app` | `boutique`, `social`, `robot_shop`, `bookinfo` | `boutique` |
+//! | `slo` | end-to-end p99 SLO in ms (any positive number) | the app's standard SLO |
+//! | `surge` | `none`, `step`, `ramp`, `spike` | `none` |
+//! | `chaos` | the `graf_chaos::CATALOG` names | `none` |
+//! | `policy` | `hpa`, `firm`, `static`, `graf`, `ladder` | — (required) |
+//! | `load` | base-load multiplier (any positive number) | `1` |
+//!
+//! Every cell replays the Figure-21-style scenario: warm up at a base user
+//! population, optionally surge at `SURGE_S`, inject the cell's fault class
+//! over a window bracketing the surge, and report post-surge tail latency,
+//! convergence time and instance usage.
+//!
+//! **Seed discipline.** The cell seed (derived by `graf-sweep` from
+//! `(grid_seed, cell key)`) drives the simulated world and the load
+//! generator. Model training uses the *grid* seed: the paper trains one
+//! model per application and reuses it for every result, so all cells of a
+//! sweep share per-app models and a cell's result cannot depend on which
+//! other cells trained first.
+
+use std::collections::BTreeMap;
+
+use graf_chaos::ChaosSchedule;
+use graf_core::{Graf, PolicyMode, ResilientConfig, ResilientController};
+use graf_loadgen::ClosedLoop;
+use graf_orchestrator::{
+    Autoscaler, Cluster, CreationModel, Deployment, FirmLike, HpaConfig, KubernetesHpa,
+    StaticScaler,
+};
+use graf_sim::time::{SimDuration, SimTime};
+use graf_sim::topology::{ApiId, ServiceId};
+use graf_sim::world::{SimConfig, World};
+use graf_sweep::{Cell, CellResult, Grid};
+
+use crate::standard::{
+    bookinfo_setup, boutique_setup, build_graf, robot_shop_setup, social_setup, AppSetup,
+};
+use crate::timeline::{convergence_time_s, percentile_between, run_with_timeline};
+use crate::Args;
+
+/// Axis names this mapper understands, sorted.
+pub const KNOWN_AXES: &[&str] = &["app", "chaos", "load", "policy", "slo", "surge"];
+
+/// Application axis values.
+pub const APPS: &[&str] = &["boutique", "social", "robot_shop", "bookinfo"];
+
+/// Surge-shape axis values.
+pub const SURGES: &[&str] = &["none", "step", "ramp", "spike"];
+
+/// Controller-policy axis values.
+pub const POLICIES: &[&str] = &["hpa", "firm", "static", "graf", "ladder"];
+
+/// Named grid presets (`--grid @smoke` etc.).
+///
+/// * `@smoke` — 2×2 cells, HPA only (no model training): the CI
+///   worker-count-invariance check.
+/// * `@default` — the everyday sweep: GRAF vs HPA across SLOs and surge
+///   shapes on Online Boutique.
+/// * `@fleet` — the full matrix: every app, four policies, surges and the
+///   high-signal fault classes.
+pub const PRESETS: &[(&str, &str)] = &[
+    ("@smoke", "app=boutique;policy=hpa;slo=60,90;surge=none,step"),
+    ("@default", "app=boutique;policy=graf,hpa;slo=60,90;surge=none,step,spike"),
+    (
+        "@fleet",
+        "app=boutique,social,robot_shop,bookinfo;policy=graf,hpa,firm,ladder;\
+         slo=60,90;surge=step,spike;chaos=none,trace_drop,creation_fail",
+    ),
+];
+
+/// Scenario clock: warmup until the surge fires, then a measurement window.
+const SURGE_S: f64 = 180.0;
+const END_S: f64 = 480.0;
+/// Quick mode shrinks the whole timeline (budget knob, not a claim knob).
+const QUICK_SURGE_S: f64 = 60.0;
+const QUICK_END_S: f64 = 180.0;
+/// Fault window bracketing the surge, relative to the surge time.
+const FAULT_LEAD_S: f64 = 30.0;
+const FAULT_TAIL_S: f64 = 120.0;
+
+/// Resolves a grid spec — either a `@preset` name or a literal
+/// `axis=v1,v2;axis2=v3` spec — and validates every axis and value.
+pub fn resolve_grid(spec: &str) -> Result<Grid, String> {
+    let literal = if spec.starts_with('@') {
+        PRESETS.iter().find(|(name, _)| *name == spec).map(|&(_, s)| s).ok_or_else(|| {
+            let names: Vec<&str> = PRESETS.iter().map(|&(n, _)| n).collect();
+            format!("unknown preset {spec:?}; available: {}", names.join(", "))
+        })?
+    } else {
+        spec
+    };
+    let grid = Grid::parse(literal)?;
+    validate(&grid)?;
+    Ok(grid)
+}
+
+/// Validates axis names and values so typos fail before the fleet spins up.
+pub fn validate(grid: &Grid) -> Result<(), String> {
+    let mut has_policy = false;
+    for axis in grid.axes() {
+        match axis.name.as_str() {
+            "app" => check_values(&axis.values, APPS, "app")?,
+            "surge" => check_values(&axis.values, SURGES, "surge")?,
+            "policy" => {
+                has_policy = true;
+                check_values(&axis.values, POLICIES, "policy")?;
+            }
+            "chaos" => check_values(&axis.values, graf_chaos::CATALOG, "chaos")?,
+            "slo" => check_numbers(&axis.values, "slo")?,
+            "load" => check_numbers(&axis.values, "load")?,
+            other => {
+                return Err(format!(
+                    "unknown axis {other:?}; known axes: {}",
+                    KNOWN_AXES.join(", ")
+                ))
+            }
+        }
+    }
+    if !has_policy {
+        return Err("grid must include a `policy` axis".to_string());
+    }
+    Ok(())
+}
+
+fn check_values(values: &[String], known: &[&str], axis: &str) -> Result<(), String> {
+    for v in values {
+        if !known.contains(&v.as_str()) {
+            return Err(format!("unknown {axis} value {v:?}; known: {}", known.join(", ")));
+        }
+    }
+    Ok(())
+}
+
+fn check_numbers(values: &[String], axis: &str) -> Result<(), String> {
+    for v in values {
+        let ok = v.parse::<f64>().map(|x| x.is_finite() && x > 0.0).unwrap_or(false);
+        if !ok {
+            return Err(format!("{axis} value {v:?} is not a positive number"));
+        }
+    }
+    Ok(())
+}
+
+/// Scale knobs shared by every cell of a sweep (budget, never claims).
+#[derive(Clone, Debug)]
+pub struct SweepScale {
+    /// Shrink timelines and training budgets for smoke runs.
+    pub quick: bool,
+    /// Explicit training-sample override.
+    pub samples: Option<usize>,
+    /// Training worker threads (deterministic for any value).
+    pub threads: usize,
+}
+
+impl Default for SweepScale {
+    fn default() -> Self {
+        Self { quick: false, samples: None, threads: 1 }
+    }
+}
+
+/// One worker's cell evaluator: owns a per-worker cache of trained GRAF
+/// models (lazy, keyed by app — only `graf`/`ladder` cells pay for
+/// training, and training is deterministic per `(app, grid_seed)` so every
+/// worker's cache holds identical models).
+pub struct CellRunner {
+    grid_seed: u64,
+    scale: SweepScale,
+    models: BTreeMap<String, Graf>,
+}
+
+impl CellRunner {
+    /// Creates a runner for one worker of a sweep seeded with `grid_seed`.
+    pub fn new(grid_seed: u64, scale: SweepScale) -> Self {
+        Self { grid_seed, scale, models: BTreeMap::new() }
+    }
+
+    fn model_for(&mut self, app: &str, setup: &AppSetup) -> &Graf {
+        if !self.models.contains_key(app) {
+            let args = Args {
+                seed: self.grid_seed,
+                quick: self.scale.quick,
+                samples: self.scale.samples,
+                threads: Some(self.scale.threads),
+                ..Args::default()
+            };
+            let graf = build_graf(setup, &args);
+            self.models.insert(app.to_string(), graf);
+        }
+        &self.models[app]
+    }
+
+    /// Evaluates one cell under its derived seed. Errors (unknown values —
+    /// normally caught by [`validate`] — or degenerate scenarios) become
+    /// error records; the fleet keeps going.
+    pub fn run_cell(&mut self, cell: &Cell, seed: u64) -> Result<CellResult, String> {
+        let app = cell.get("app").unwrap_or("boutique");
+        let setup = match app {
+            "boutique" => boutique_setup(),
+            "social" => social_setup(),
+            "robot_shop" => robot_shop_setup(),
+            "bookinfo" => bookinfo_setup(),
+            other => return Err(format!("unknown app {other:?}")),
+        };
+        let slo_ms = match cell.get("slo") {
+            Some(v) => v.parse::<f64>().map_err(|_| format!("slo value {v:?} is not a number"))?,
+            None => setup.slo_ms,
+        };
+        let load = match cell.get("load") {
+            Some(v) => v.parse::<f64>().map_err(|_| format!("load value {v:?} is not a number"))?,
+            None => 1.0,
+        };
+        if !(slo_ms > 0.0 && load > 0.0) {
+            return Err(format!("slo ({slo_ms}) and load ({load}) must be positive"));
+        }
+        let surge = cell.get("surge").unwrap_or("none");
+        let chaos = cell.get("chaos").unwrap_or("none");
+        let policy = cell.get("policy").ok_or("cell has no policy axis")?.to_string();
+
+        let (surge_s, end_s) =
+            if self.scale.quick { (QUICK_SURGE_S, QUICK_END_S) } else { (SURGE_S, END_S) };
+
+        let topo = setup.topo.clone();
+        let num_services = topo.num_services();
+        let sched = chaos_schedule(chaos, &setup, seed, surge_s)?;
+
+        let world = World::new(topo, SimConfig::default(), seed);
+        let deployments = (0..num_services)
+            .map(|s| Deployment::new(ServiceId(s as u16), setup.cpu_unit_mc, 4))
+            .collect();
+        let mut cluster = Cluster::new(world, deployments, CreationModel::default());
+        if !sched.is_empty() {
+            cluster.arm_chaos(&sched);
+        }
+
+        let mut users = users_loadgen(&setup, surge, load, surge_s, seed)?;
+
+        let mut scaler: Box<dyn Autoscaler> = match policy.as_str() {
+            "static" => Box::new(StaticScaler),
+            "hpa" => Box::new(KubernetesHpa::new(HpaConfig::with_threshold(0.5), num_services)),
+            "firm" => Box::new(FirmLike {
+                latency_ceiling: SimDuration::from_millis(slo_ms * 1.5),
+                ..FirmLike::default()
+            }),
+            "graf" => Box::new(self.model_for(app, &setup).controller(slo_ms)),
+            "ladder" => {
+                let ctrl = self.model_for(app, &setup).controller(slo_ms);
+                let mut rc = ResilientController::new(
+                    ctrl,
+                    ResilientConfig { mode: PolicyMode::Ladder, ..ResilientConfig::default() },
+                );
+                if !sched.is_empty() {
+                    rc.arm_chaos(&sched);
+                }
+                Box::new(rc)
+            }
+            other => return Err(format!("unknown policy {other:?}")),
+        };
+
+        let (tl, comps) = run_with_timeline(
+            &mut cluster,
+            &mut users,
+            scaler.as_mut(),
+            SimTime::from_secs(end_s),
+            SimDuration::from_secs(5.0),
+        );
+
+        // All window metrics cover [surge_s, end_s) — the post-surge period,
+        // or simply the steady tail when surge=none.
+        let window: Vec<&graf_sim::world::Completion> = comps
+            .iter()
+            .filter(|c| {
+                let t = c.end.as_secs_f64();
+                t >= surge_s && t < end_s
+            })
+            .collect();
+        let completed = window.len();
+        let timeouts = window.iter().filter(|c| c.timed_out).count();
+        let within_slo = window
+            .iter()
+            .filter(|c| !c.timed_out && c.latency_us() as f64 / 1000.0 <= slo_ms)
+            .count();
+        let post = |p: &&crate::timeline::TimelinePoint| p.t_s >= surge_s;
+
+        let mut r = CellResult::default();
+        r.push("completed", completed as f64);
+        r.push("timeouts", timeouts as f64);
+        r.push("p99_ms", percentile_between(&comps, surge_s, end_s, 0.99).unwrap_or(-1.0));
+        r.push("converge_s", convergence_time_s(&tl, surge_s, slo_ms, 4).unwrap_or(-1.0));
+        r.push(
+            "slo_attained",
+            if completed > 0 { within_slo as f64 / completed as f64 } else { -1.0 },
+        );
+        r.push("final_instances", tl.last().map_or(0, |p| p.total_instances) as f64);
+        r.push(
+            "peak_instances",
+            tl.iter().filter(post).map(|p| p.total_instances).max().unwrap_or(0) as f64,
+        );
+        let post_points: Vec<f64> =
+            tl.iter().filter(post).map(|p| p.total_instances as f64).collect();
+        r.push(
+            "mean_instances",
+            if post_points.is_empty() {
+                -1.0
+            } else {
+                post_points.iter().sum::<f64>() / post_points.len() as f64
+            },
+        );
+        Ok(r)
+    }
+}
+
+/// Builds the cell's fault schedule: the named catalog fault over a window
+/// bracketing the surge, `latency_spike` pointed at the app's hottest
+/// (highest per-request CPU) service.
+fn chaos_schedule(
+    name: &str,
+    setup: &AppSetup,
+    seed: u64,
+    surge_s: f64,
+) -> Result<ChaosSchedule, String> {
+    let hot = setup
+        .topo
+        .services
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.work_ms.partial_cmp(&b.1.work_ms).expect("finite work_ms"))
+        .map(|(i, _)| ServiceId(i as u16))
+        .expect("topology has services");
+    let faults =
+        graf_chaos::named_faults(name, hot).ok_or_else(|| format!("unknown chaos {name:?}"))?;
+    let mut sched = ChaosSchedule::new(seed);
+    for kind in faults {
+        sched = sched.fault(
+            kind,
+            SimTime::from_secs((surge_s - FAULT_LEAD_S).max(0.0)),
+            SimTime::from_secs(surge_s + FAULT_TAIL_S),
+        );
+    }
+    Ok(sched)
+}
+
+/// Builds the cell's closed-loop population: a base population sized to the
+/// app's trained operating point (scaled by `load`), then the surge shape.
+fn users_loadgen(
+    setup: &AppSetup,
+    surge: &str,
+    load: f64,
+    surge_s: f64,
+    seed: u64,
+) -> Result<ClosedLoop, String> {
+    let mix: Vec<(ApiId, f64)> =
+        setup.probe_qps.iter().enumerate().map(|(i, &q)| (ApiId(i as u16), q)).collect();
+    // ~2.5 users per probe req/s puts the population at the trained
+    // operating point (think time U[0, 5 s]); base load holds at half that.
+    let base = ((setup.probe_qps.iter().sum::<f64>() * 1.25 * load).round() as usize).max(1);
+    let mut users = ClosedLoop::with_mix(mix, base, seed ^ 0x21);
+    match surge {
+        "none" => {}
+        "step" => users.set_users(SimTime::from_secs(surge_s), base * 2),
+        "ramp" => {
+            // Linear climb to 2× over eight 15 s steps.
+            for k in 1..=8usize {
+                users.set_users(
+                    SimTime::from_secs(surge_s + (k as f64 - 1.0) * 15.0),
+                    base + base * k / 8,
+                );
+            }
+        }
+        "spike" => {
+            users.set_users(SimTime::from_secs(surge_s), base * 3);
+            users.set_users(SimTime::from_secs(surge_s + 60.0), base);
+        }
+        other => return Err(format!("unknown surge {other:?}")),
+    }
+    Ok(users)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graf_sweep::derive_seed;
+
+    #[test]
+    fn presets_resolve_and_validate() {
+        for (name, _) in PRESETS {
+            let grid = resolve_grid(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!grid.cells().is_empty());
+        }
+        assert_eq!(resolve_grid("@smoke").unwrap().cells().len(), 4);
+        assert!(resolve_grid("@bogus").unwrap_err().contains("unknown preset"));
+    }
+
+    #[test]
+    fn validation_rejects_typos() {
+        let bad_axis = Grid::parse("policy=hpa;zone=us").unwrap();
+        assert!(validate(&bad_axis).unwrap_err().contains("unknown axis"));
+        let bad_value = Grid::parse("policy=hpa;app=buotique").unwrap();
+        assert!(validate(&bad_value).unwrap_err().contains("unknown app value"));
+        let bad_slo = Grid::parse("policy=hpa;slo=-5").unwrap();
+        assert!(validate(&bad_slo).unwrap_err().contains("positive number"));
+        let no_policy = Grid::parse("app=boutique").unwrap();
+        assert!(validate(&no_policy).unwrap_err().contains("policy"));
+    }
+
+    #[test]
+    fn smoke_cell_runs_deterministically() {
+        let grid = resolve_grid("@smoke").unwrap();
+        let cell = &grid.cells()[0];
+        let seed = derive_seed(7, &cell.key());
+        let scale = SweepScale { quick: true, ..SweepScale::default() };
+        let a = CellRunner::new(7, scale.clone()).run_cell(cell, seed).unwrap();
+        let b = CellRunner::new(7, scale).run_cell(cell, seed).unwrap();
+        assert_eq!(a, b, "same cell + seed → identical metrics");
+        assert!(a.get("completed").unwrap_or(0.0) > 0.0, "requests completed");
+    }
+
+    #[test]
+    fn unknown_cell_values_are_runtime_errors_not_panics() {
+        let mut runner = CellRunner::new(7, SweepScale { quick: true, ..SweepScale::default() });
+        let cell = Cell::from_key("app=nope/policy=hpa").expect("parseable key");
+        assert!(runner.run_cell(&cell, 1).is_err());
+        let cell = Cell::from_key("policy=nope").expect("parseable key");
+        assert!(runner.run_cell(&cell, 1).is_err());
+    }
+}

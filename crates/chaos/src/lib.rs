@@ -63,9 +63,11 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod catalog;
 pub mod engine;
 pub mod spec;
 
+pub use catalog::{named_faults, CATALOG};
 pub use engine::ChaosEngine;
 pub use spec::{ChaosSchedule, FaultKind, FaultSpec};
 

@@ -368,6 +368,61 @@ impl Obs {
     }
 }
 
+/// An append-as-you-go JSON Lines sink: one self-contained JSON object per
+/// line, streamed through a buffered writer so long-running producers (sweep
+/// workers, per-worker telemetry) never hold their whole stream in memory.
+///
+/// The sink owns the file; [`JsonlSink::finish`] (or drop) flushes it.
+/// Callers pass fully serialized JSON objects — the sink only enforces the
+/// one-object-per-line framing.
+pub struct JsonlSink {
+    w: io::BufWriter<std::fs::File>,
+    path: std::path::PathBuf,
+    lines: usize,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) the sink file.
+    pub fn create(path: &std::path::Path) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self { w: io::BufWriter::new(file), path: path.to_path_buf(), lines: 0 })
+    }
+
+    /// Opens the sink file in append mode (history files).
+    pub fn append(path: &std::path::Path) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self { w: io::BufWriter::new(file), path: path.to_path_buf(), lines: 0 })
+    }
+
+    /// Writes one record (a serialized JSON object, no trailing newline).
+    pub fn record(&mut self, json_obj: &str) -> io::Result<()> {
+        debug_assert!(!json_obj.contains('\n'), "JSONL records must be single-line: {json_obj:?}");
+        self.lines += 1;
+        writeln!(self.w, "{json_obj}")
+    }
+
+    /// Number of records written so far.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// The path the sink writes to.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Flushes and closes the sink.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -522,5 +577,31 @@ mod tests {
         obs.write_jsonl(&mut buf).unwrap();
         assert!(buf.is_empty());
         assert!(obs.summary().contains("disabled"));
+    }
+
+    #[test]
+    fn jsonl_sink_streams_lines_and_appends() {
+        let dir = std::env::temp_dir().join(format!("graf-obs-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.jsonl");
+
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.record(r#"{"a": 1}"#).unwrap();
+        sink.record(r#"{"a": 2}"#).unwrap();
+        assert_eq!(sink.lines(), 2);
+        assert_eq!(sink.path(), path.as_path());
+        sink.finish().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\": 1}\n{\"a\": 2}\n");
+
+        // Append mode adds to the existing stream; create mode truncates.
+        let mut app = JsonlSink::append(&path).unwrap();
+        app.record(r#"{"a": 3}"#).unwrap();
+        app.finish().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 3);
+        let mut fresh = JsonlSink::create(&path).unwrap();
+        fresh.record(r#"{"b": 1}"#).unwrap();
+        drop(fresh); // drop flushes too
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"b\": 1}\n");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

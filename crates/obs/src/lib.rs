@@ -52,6 +52,7 @@ pub mod flight;
 pub mod json;
 pub mod registry;
 
+pub use export::JsonlSink;
 pub use flight::FlightRecorder;
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
 # Runs every table/figure binary and collects outputs under results/.
+#
+# Keep-going semantics: a failing binary no longer aborts the run — every
+# binary gets its turn, failures are collected, a summary is printed, and
+# the exit code is nonzero iff anything failed. Binaries run in a small
+# parallel pool (GRAF_JOBS, default 4; set GRAF_JOBS=1 for serial).
+#
 # Pass flags through, e.g.:  ./run_all_experiments.sh --paper-scale
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")"
 
 ARGS=("$@")
 OUT=results
+JOBS="${GRAF_JOBS:-4}"
 mkdir -p "$OUT"
 
 BINS=(
@@ -35,12 +42,45 @@ BINS=(
   ablation_partition
 )
 
-cargo build --release -p graf-bench --bins
+# Build once up front; running from target/ afterwards keeps the pool free
+# of cargo lock contention. A build failure is fatal — nothing can run.
+cargo build --release -p graf-bench --bins || exit 1
+
+# Each job drops a marker file on failure; the summary is collected after
+# the whole pool drains, so one bad binary never silences the rest.
+FAILDIR="$(mktemp -d)"
+trap 'rm -rf "$FAILDIR"' EXIT
+
+run_one() {
+  local bin="$1"
+  if "target/release/$bin" "${ARGS[@]}" >"$OUT/$bin.txt" 2>"$OUT/$bin.err"; then
+    rm -f "$OUT/$bin.err"
+    echo "ok   $bin"
+  else
+    touch "$FAILDIR/$bin"
+    echo "FAIL $bin (output: $OUT/$bin.txt, stderr: $OUT/$bin.err)"
+  fi
+}
 
 for bin in "${BINS[@]}"; do
-  echo "== $bin =="
-  cargo run --quiet --release -p graf-bench --bin "$bin" -- "${ARGS[@]}" \
-    | tee "$OUT/$bin.txt"
+  # Throttle to $JOBS concurrent binaries.
+  while (( $(jobs -rp | wc -l) >= JOBS )); do
+    wait -n || true
+  done
+  run_one "$bin" &
 done
+wait
 
-echo "All outputs in $OUT/"
+echo
+FAILED=()
+for bin in "${BINS[@]}"; do
+  [[ -e "$FAILDIR/$bin" ]] && FAILED+=("$bin")
+done
+if (( ${#FAILED[@]} > 0 )); then
+  echo "${#FAILED[@]}/${#BINS[@]} experiment(s) FAILED:"
+  for bin in "${FAILED[@]}"; do
+    echo "  - $bin (see $OUT/$bin.err)"
+  done
+  exit 1
+fi
+echo "All ${#BINS[@]} experiments passed; outputs in $OUT/"

@@ -2,7 +2,9 @@
 # Compute-backend benchmark driver. Run from anywhere; operates on the repo
 # root. Produces/updates BENCH_COMPUTE.json (preserving the stored baseline
 # section so speedup-vs-baseline stays comparable across PRs), writes the
-# simulator headline to BENCH_SIM.json, and appends every measurement to
+# simulator tiers to BENCH_SIM.json (a "headline" name pointing into the
+# "benches" array — resolve it with `graf-perf headline`, don't duplicate
+# it), and appends every measurement to
 # BENCH_HISTORY.jsonl tagged with the current git revision so
 # `graf-perf compare <revA> <revB>` can gate perf regressions.
 #

@@ -33,8 +33,19 @@ cargo test -q --features sanitize --test sim_sanitize
 echo "== cargo bench --no-run =="
 cargo bench --no-run
 
-echo "== graf-perf compare (perf gate; lenient when history is missing) =="
-cargo run --release -q -p graf-bench --bin graf-perf -- compare HEAD~1 HEAD
+echo "== graf-perf compare (perf gate; strict coverage when both revs have history) =="
+cargo run --release -q -p graf-bench --bin graf-perf -- compare HEAD~1 HEAD --strict
+
+echo "== graf-sweep smoke (worker-count invariance: 1 worker vs 4 must be byte-identical) =="
+SWEEPDIR="$(mktemp -d)"
+trap 'rm -rf "$SWEEPDIR"' EXIT
+cargo run --release -q -p graf-bench --bin graf-sweep -- \
+  run --grid @smoke --quick --workers 1 --seed 7 --out "$SWEEPDIR/w1.jsonl" >/dev/null
+cargo run --release -q -p graf-bench --bin graf-sweep -- \
+  run --grid @smoke --quick --workers 4 --seed 7 --out "$SWEEPDIR/w4.jsonl" >/dev/null
+cmp "$SWEEPDIR/w1.jsonl" "$SWEEPDIR/w4.jsonl" \
+  || { echo "graf-sweep aggregate differs between 1 and 4 workers" >&2; exit 1; }
+echo "sweep aggregates byte-identical across worker counts"
 
 echo "== bench smoke =="
 scripts/bench.sh --smoke
