@@ -284,7 +284,7 @@ impl SampleCollector {
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let idx = next.fetch_add(1, Ordering::AcqRel);
                     if idx >= n {
                         break;
                     }
@@ -334,7 +334,7 @@ impl SampleCollector {
         std::thread::scope(|scope| {
             for _ in 0..self.cfg.threads.max(1) {
                 scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let idx = next.fetch_add(1, Ordering::AcqRel);
                     if idx >= n {
                         break;
                     }
@@ -354,7 +354,7 @@ impl SampleCollector {
                             false,
                             Some(&local),
                         );
-                        rejected.fetch_add(1, Ordering::Relaxed);
+                        rejected.fetch_add(1, Ordering::AcqRel);
                     }
                     let sample = self.collect_one(bounds, analyzer, idx);
                     results.lock().expect("collector mutex")[idx] = sample;
@@ -442,6 +442,7 @@ fn measure_run(
         // Poisson arrivals over the whole run.
         let mut t = 0.0f64;
         loop {
+            // graf-lint: allow(float-reduction, sequential single-stream accumulation — one worker owns this RNG stream, no cross-thread order)
             t += gen.exp(1e6 / rate);
             if t >= total.as_micros() as f64 {
                 break;

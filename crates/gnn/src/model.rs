@@ -580,6 +580,7 @@ impl LatencyNet for MicroserviceGnn {
         let _reduce_scope = self.prof.enter("train.reduce");
         let mut total = 0.0;
         for pass in &scratch.chunks[..n_chunks] {
+            // graf-lint: allow(float-reduction, this IS the ordered reduction — ascending chunk index, thread-count-invariant by tier-1 test)
             total += pass.loss;
             self.nets.phi1.accumulate_grads(&pass.grads.phi1);
             self.nets.gamma1.accumulate_grads(&pass.grads.gamma1);

@@ -1,8 +1,9 @@
 //! `lint.toml` parsing — a hand-rolled TOML subset (no dependencies).
 //!
 //! Supported grammar: `[table]` headers, `[[array-of-tables]]` headers,
-//! `key = "string"` and `key = ["a", "b"]` entries, `#` comments. That is all
-//! the configuration needs; anything else is a hard error so typos fail CI
+//! `key = "string"` and `key = ["a", "b"]` entries (arrays may span several
+//! lines and carry a trailing comma), `#` comments. That is all the
+//! configuration needs; anything else is a hard error so typos fail CI
 //! instead of silently disabling a lint.
 
 /// A module region declared hot: allocation is banned inside the listed
@@ -13,6 +14,40 @@ pub struct HotRegion {
     pub file: String,
     /// Function names whose bodies are allocation-free hot code.
     pub functions: Vec<String>,
+}
+
+/// Configuration for the workspace-wide `graf-analyze` pass (`--analyze`).
+#[derive(Clone, Debug)]
+pub struct AnalyzeConfig {
+    /// Deterministic entry points, as `<file>.rs::<fn>` (optionally
+    /// `<file>.rs::<Type>::<fn>`). Everything transitively reachable from
+    /// these must stay deterministic.
+    pub entry_points: Vec<String>,
+    /// Files blessed to use `std::thread`: their parallelism is known to be
+    /// deterministic by construction (per-chunk seeds + ordered reduction).
+    pub ordered_reduction_files: Vec<String>,
+    /// Files where the unordered-float-reduction lint applies: modules that
+    /// run under, or adjacent to, thread-parallel execution.
+    pub parallel_adjacent_files: Vec<String>,
+    /// Functions (as `<file>.rs::<fn>`) allowed to allocate even when
+    /// transitively reachable from a `[[hot]]` root — recognized init,
+    /// growth or first-visit paths that are cold by construction.
+    pub alloc_allowed: Vec<String>,
+    /// Crates the reachability checks do not descend into (telemetry and
+    /// tooling whose behaviour is proven benign dynamically).
+    pub exempt_crates: Vec<String>,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        Self {
+            entry_points: Vec::new(),
+            ordered_reduction_files: Vec::new(),
+            parallel_adjacent_files: Vec::new(),
+            alloc_allowed: Vec::new(),
+            exempt_crates: vec!["obs".into(), "prof".into(), "bench".into(), "lint".into()],
+        }
+    }
 }
 
 /// The graf-lint configuration, deserialized from `lint.toml`.
@@ -28,6 +63,8 @@ pub struct Config {
     pub exclude: Vec<String>,
     /// Hot regions for `hot-path-alloc`.
     pub hot: Vec<HotRegion>,
+    /// Workspace-analysis configuration (`--analyze`).
+    pub analyze: AnalyzeConfig,
 }
 
 impl Default for Config {
@@ -38,6 +75,7 @@ impl Default for Config {
             rng_home: vec!["crates/sim/src/rng.rs".into()],
             exclude: vec!["target".into()],
             hot: Vec::new(),
+            analyze: AnalyzeConfig::default(),
         }
     }
 }
@@ -47,12 +85,28 @@ impl Config {
     pub fn parse(text: &str) -> Result<Config, String> {
         let mut cfg = Config { hot: Vec::new(), ..Config::default() };
         let mut section = String::new();
-        for (idx, raw) in text.lines().enumerate() {
+        let mut lines = text.lines().enumerate();
+        while let Some((idx, raw)) = lines.next() {
             let lineno = idx + 1;
-            let line = strip_comment(raw).trim();
+            let mut line = strip_comment(raw).trim().to_string();
             if line.is_empty() {
                 continue;
             }
+            // A `key = [` value may span several lines: keep consuming until
+            // the brackets balance (quote-aware, so `"]"` never closes one).
+            if line.contains('=') {
+                let mut balance = bracket_balance(&line);
+                while balance > 0 {
+                    let Some((_, cont)) = lines.next() else {
+                        return Err(format!("lint.toml:{lineno}: unterminated `[` array"));
+                    };
+                    let cont = strip_comment(cont).trim().to_string();
+                    balance += bracket_balance(&cont);
+                    line.push(' ');
+                    line.push_str(&cont);
+                }
+            }
+            let line = line.as_str();
             if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
                 let name = name.trim();
                 if name != "hot" {
@@ -65,7 +119,7 @@ impl Config {
             if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
                 section = name.trim().to_string();
                 match section.as_str() {
-                    "wallclock" | "unordered-map" | "rng" | "scan" => {}
+                    "wallclock" | "unordered-map" | "rng" | "scan" | "analyze" => {}
                     other => return Err(format!("lint.toml:{lineno}: unknown table [{other}]")),
                 }
                 continue;
@@ -84,6 +138,21 @@ impl Config {
                 }
                 ("rng", "home") => cfg.rng_home = parse_string_array(value, lineno)?,
                 ("scan", "exclude") => cfg.exclude = parse_string_array(value, lineno)?,
+                ("analyze", "entry-points") => {
+                    cfg.analyze.entry_points = parse_string_array(value, lineno)?
+                }
+                ("analyze", "ordered-reduction-files") => {
+                    cfg.analyze.ordered_reduction_files = parse_string_array(value, lineno)?
+                }
+                ("analyze", "parallel-adjacent-files") => {
+                    cfg.analyze.parallel_adjacent_files = parse_string_array(value, lineno)?
+                }
+                ("analyze", "alloc-allowed") => {
+                    cfg.analyze.alloc_allowed = parse_string_array(value, lineno)?
+                }
+                ("analyze", "exempt-crates") => {
+                    cfg.analyze.exempt_crates = parse_string_array(value, lineno)?
+                }
                 ("hot", "file") => {
                     let entry = cfg
                         .hot
@@ -126,6 +195,23 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
+/// Net `[` minus `]` count outside double-quoted strings.
+fn bracket_balance(line: &str) -> i32 {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    let mut balance = 0i32;
+    for c in line.chars() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '[' if !in_str => balance += 1,
+            ']' if !in_str => balance -= 1,
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    balance
+}
+
 fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
     let inner = value
         .strip_prefix('"')
@@ -143,7 +229,12 @@ fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, String>
     if inner.is_empty() {
         return Ok(Vec::new());
     }
-    inner.split(',').map(|item| parse_string(item.trim(), lineno)).collect()
+    inner
+        .split(',')
+        .map(|item| item.trim())
+        .filter(|item| !item.is_empty()) // trailing comma
+        .map(|item| parse_string(item, lineno))
+        .collect()
 }
 
 #[cfg(test)]
@@ -180,6 +271,52 @@ functions = ["forward_into"]
         assert_eq!(cfg.hot.len(), 2);
         assert_eq!(cfg.hot[0].functions, vec!["matmul_into", "dot"]);
         assert_eq!(cfg.hot[1].file, "crates/nn/src/mlp.rs");
+    }
+
+    #[test]
+    fn multi_line_array_with_trailing_comma_parses() {
+        let text = r#"
+[[hot]]
+file = "crates/nn/src/matrix.rs"
+functions = [
+    "matmul_into",  # per-layer kernel
+    "dot",
+    "fill_zero",
+]
+"#;
+        let cfg = Config::parse(text).expect("parses");
+        assert_eq!(cfg.hot[0].functions, vec!["matmul_into", "dot", "fill_zero"]);
+    }
+
+    #[test]
+    fn multi_line_array_respects_brackets_in_strings() {
+        let text = "[scan]\nexclude = [\n    \"a[b\",\n    \"c]d\",\n]\n";
+        let cfg = Config::parse(text).expect("parses");
+        assert_eq!(cfg.exclude, vec!["a[b", "c]d"]);
+    }
+
+    #[test]
+    fn unterminated_array_is_an_error() {
+        assert!(Config::parse("[scan]\nexclude = [\n    \"a\",\n").is_err());
+    }
+
+    #[test]
+    fn parses_analyze_section() {
+        let text = r#"
+[analyze]
+entry-points = [
+    "crates/sim/src/world.rs::run_until",
+]
+ordered-reduction-files = ["crates/gnn/src/model.rs"]
+parallel-adjacent-files = ["crates/gnn/src/model.rs"]
+alloc-allowed = ["crates/prof/src/lib.rs::add_node"]
+exempt-crates = ["obs", "prof"]
+"#;
+        let cfg = Config::parse(text).expect("parses");
+        assert_eq!(cfg.analyze.entry_points, vec!["crates/sim/src/world.rs::run_until"]);
+        assert_eq!(cfg.analyze.ordered_reduction_files, vec!["crates/gnn/src/model.rs"]);
+        assert_eq!(cfg.analyze.alloc_allowed, vec!["crates/prof/src/lib.rs::add_node"]);
+        assert_eq!(cfg.analyze.exempt_crates, vec!["obs", "prof"]);
     }
 
     #[test]

@@ -69,6 +69,11 @@ impl Lexed {
     }
 }
 
+/// Strips the `r#` raw-identifier prefix, if present: `r#type` → `type`.
+pub fn strip_raw_ident(text: &str) -> &str {
+    text.strip_prefix("r#").unwrap_or(text)
+}
+
 /// Lexes `src`, marking test regions.
 pub fn lex(src: &str) -> Lexed {
     let mut out = Lexed::default();
@@ -117,6 +122,19 @@ pub fn lex(src: &str) -> Lexed {
                 out.tokens.push(tok(TokenKind::Str, i, end, line));
                 line += newlines;
                 i = end;
+            }
+            // Raw identifier (`r#type`): one Ident token spanning the prefix,
+            // so `r#` never splits into `r` + `#` and confuses attribute and
+            // item scanning. Consumers normalize with [`strip_raw_ident`].
+            b'r' if bytes.get(i + 1) == Some(&b'#')
+                && bytes.get(i + 2).is_some_and(|c| *c == b'_' || c.is_ascii_alphabetic()) =>
+            {
+                let mut j = i + 3;
+                while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                out.tokens.push(tok(TokenKind::Ident, i, j, line));
+                i = j;
             }
             b'b' if bytes.get(i + 1) == Some(&b'"') => {
                 let (end, newlines) = skip_quoted(bytes, i + 1, b'"');

@@ -1,4 +1,4 @@
-//! # graf-lint
+//! # graf-lint / graf-analyze
 //!
 //! A zero-dependency static-analysis pass enforcing this repository's
 //! determinism and hot-path invariants. It is built on a hand-rolled Rust
@@ -13,20 +13,35 @@
 //!   `format!`, …) inside functions declared hot in `lint.toml`,
 //! * `unwrap-in-lib` — `.unwrap()` in library code,
 //! * `unseeded-rng` — RNG construction outside the seeded `sim::rng` home,
+//! * `relaxed-atomic` — `Ordering::Relaxed` on shared state,
+//! * `unsafe-no-safety` — `unsafe` without a `// graf-lint: safety(<why>)`,
+//! * `unordered-float-reduction` — float `+=` in loops of parallel-adjacent
+//!   modules,
 //! * `bad-annotation` — a malformed or unjustified allow annotation.
+//!
+//! The `--analyze` pass ([`analyze_workspace`]) additionally parses every
+//! file into an item model ([`parse`]), builds a best-effort workspace call
+//! graph ([`callgraph`] over [`symbols`]) and runs reachability checks
+//! ([`taint`]): `determinism-taint` and `transitive-hot-alloc`, plus
+//! `stale-allow` for suppressions that no longer suppress anything.
 //!
 //! Findings are suppressed with `// graf-lint: allow(<lint>, <why>)` on the
 //! same or preceding line; a committed `lint.baseline` makes CI fail only on
-//! *new* violations. See `DESIGN.md` §9 for the full catalog and workflow.
+//! *new* violations. See `DESIGN.md` §9/§13 for the catalog and workflow.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod lints;
+pub mod parse;
+pub mod symbols;
+pub mod taint;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -44,6 +59,44 @@ pub struct ScanResult {
     pub files_scanned: usize,
 }
 
+/// One suppression annotation, as inventoried by `--analyze --json`.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line of the annotation.
+    pub line: u32,
+    /// Canonical lint name it suppresses.
+    pub lint: &'static str,
+    /// The justification text.
+    pub reason: String,
+    /// `true` for the `safety(<why>)` form.
+    pub safety: bool,
+    /// `true` when the annotation suppressed at least one finding this run.
+    pub live: bool,
+}
+
+/// Output of the full `--analyze` pass: token lints, graph lints, the call
+/// graph itself and the suppression inventory.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// All findings (token + reachability + stale-allow), sorted by
+    /// (path, line, lint).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files lexed.
+    pub files_scanned: usize,
+    /// Every suppression annotation, sorted by (path, line).
+    pub suppressions: Vec<Suppression>,
+    /// The workspace call graph.
+    pub graph: callgraph::CallGraph,
+    /// Functions reachable from the deterministic entry points.
+    pub reachable_from_entries: usize,
+    /// Functions reachable from the `[[hot]]` roots.
+    pub reachable_from_hot: usize,
+    /// Pre-suppression sink descriptions (see [`taint::TaintReport`]).
+    pub frontier: Vec<String>,
+}
+
 /// Scans every `.rs` file under `root` (excluding `cfg.exclude` prefixes and
 /// dot-directories) and lints it.
 pub fn scan_workspace(root: &Path, cfg: &Config) -> io::Result<ScanResult> {
@@ -59,6 +112,96 @@ pub fn scan_workspace(root: &Path, cfg: &Config) -> io::Result<ScanResult> {
     }
     result.findings.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
     Ok(result)
+}
+
+/// The full `--analyze` pass: token lints plus call-graph reachability
+/// checks, stale-allow detection and the suppression inventory.
+///
+/// I/O failures and configuration errors (an `entry-points` spec that no
+/// longer resolves) are both reported as `Err(message)` — the caller exits 2.
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> Result<Analysis, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, cfg, &mut files).map_err(|e| format!("scan: {e}"))?;
+    files.sort();
+
+    let mut analysis = Analysis::default();
+    let mut models: Vec<parse::FileModel> = Vec::new();
+    let mut sources: BTreeMap<String, String> = BTreeMap::new();
+    // Per-file annotations, with liveness accumulated across token and graph
+    // passes. Keyed by path for the graph-finding suppression step.
+    let mut allows_by_file: BTreeMap<String, Vec<lints::Allow>> = BTreeMap::new();
+
+    for rel in files {
+        let src =
+            fs::read_to_string(root.join(&rel)).map_err(|e| format!("{}: {e}", rel.display()))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let file_lint = lints::lint_file_full(&rel_str, &src, cfg);
+        analysis.findings.extend(file_lint.findings);
+        if !file_lint.allows.is_empty() {
+            allows_by_file.insert(rel_str.clone(), file_lint.allows);
+        }
+        if let Some(krate) = lints::classify(&rel_str) {
+            models.push(parse::parse_file(&rel_str, krate, &src));
+            sources.insert(rel_str, src);
+        }
+        analysis.files_scanned += 1;
+    }
+
+    analysis.graph = callgraph::CallGraph::build(&models);
+    let report = taint::analyze(&models, &analysis.graph, cfg, &sources)?;
+    analysis.reachable_from_entries = report.reachable_from_entries;
+    analysis.reachable_from_hot = report.reachable_from_hot;
+    analysis.frontier = report.frontier;
+
+    // Graph findings honor the same annotations as token findings, anchored
+    // at the sink line.
+    for f in report.findings {
+        let suppressed =
+            allows_by_file.get_mut(&f.path).is_some_and(|allows| lints::suppress(allows, &f));
+        if !suppressed {
+            analysis.findings.push(f);
+        }
+    }
+
+    // Stale-allow pass: any annotation that suppressed nothing is itself a
+    // finding — suppressions must not outlive the code they excuse.
+    for (path, allows) in &allows_by_file {
+        for a in allows.iter().filter(|a| !a.used) {
+            let snippet = sources
+                .get(path)
+                .and_then(|src| src.lines().nth(a.line.saturating_sub(1) as usize))
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default();
+            let message = if a.safety {
+                "safety() with no `unsafe` on this or the next line; remove it".to_string()
+            } else {
+                format!("allow({}) no longer suppresses anything; remove it", a.lint)
+            };
+            analysis.findings.push(Finding {
+                lint: lints::STALE_ALLOW,
+                path: path.clone(),
+                line: a.line,
+                message,
+                snippet,
+            });
+        }
+    }
+
+    for (path, allows) in allows_by_file {
+        for a in allows {
+            analysis.suppressions.push(Suppression {
+                path: path.clone(),
+                line: a.line,
+                lint: a.lint,
+                reason: a.reason,
+                safety: a.safety,
+                live: a.used,
+            });
+        }
+    }
+    analysis.suppressions.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    analysis.findings.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+    Ok(analysis)
 }
 
 fn collect_rs_files(
@@ -93,6 +236,25 @@ fn collect_rs_files(
 
 /// Renders findings as a JSON report (hand-written; no dependencies).
 pub fn render_json(findings: &[Finding], new: &[&Finding], files_scanned: usize) -> String {
+    render_json_report(findings, new, files_scanned, None)
+}
+
+/// [`render_json`] plus the `--analyze` suppression inventory.
+pub fn render_json_full(
+    findings: &[Finding],
+    new: &[&Finding],
+    files_scanned: usize,
+    suppressions: &[Suppression],
+) -> String {
+    render_json_report(findings, new, files_scanned, Some(suppressions))
+}
+
+fn render_json_report(
+    findings: &[Finding],
+    new: &[&Finding],
+    files_scanned: usize,
+    suppressions: Option<&[Suppression]>,
+) -> String {
     let is_new = |f: &Finding| new.iter().any(|n| std::ptr::eq(*n, f));
     let mut out = String::from("{\n  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
@@ -112,8 +274,30 @@ pub fn render_json(findings: &[Finding], new: &[&Finding], files_scanned: usize)
     if !findings.is_empty() {
         out.push_str("\n  ");
     }
+    out.push_str("],");
+    if let Some(sups) = suppressions {
+        out.push_str("\n  \"suppressions\": [");
+        for (i, s) in sups.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"path\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"kind\": \"{}\", \"reason\": \"{}\", \"live\": {}}}",
+                json_escape(&s.path),
+                s.line,
+                json_escape(s.lint),
+                if s.safety { "safety" } else { "allow" },
+                json_escape(&s.reason),
+                s.live,
+            ));
+        }
+        if !sups.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],");
+    }
     out.push_str(&format!(
-        "],\n  \"total\": {},\n  \"new\": {},\n  \"files_scanned\": {}\n}}\n",
+        "\n  \"total\": {},\n  \"new\": {},\n  \"files_scanned\": {}\n}}\n",
         findings.len(),
         new.len(),
         files_scanned
@@ -121,7 +305,7 @@ pub fn render_json(findings: &[Finding], new: &[&Finding], files_scanned: usize)
     out
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -162,5 +346,23 @@ mod tests {
         assert!(json.contains("\"lint\": \"unwrap-in-lib\""));
         assert!(json.contains("\"new\": true"));
         assert!(json.contains("\"total\": 1"));
+        assert!(!json.contains("\"suppressions\""));
+    }
+
+    #[test]
+    fn json_full_report_lists_suppressions() {
+        let sup = Suppression {
+            path: "crates/a/src/lib.rs".into(),
+            line: 7,
+            lint: lints::HOT_PATH_ALLOC,
+            reason: "slab growth".into(),
+            safety: false,
+            live: true,
+        };
+        let json = render_json_full(&[], &[], 1, &[sup]);
+        assert!(json.contains("\"suppressions\""));
+        assert!(json.contains("\"kind\": \"allow\""));
+        assert!(json.contains("\"live\": true"));
+        assert!(json.contains("slab growth"));
     }
 }

@@ -29,10 +29,36 @@ pub const UNWRAP_IN_LIB: &str = "unwrap-in-lib";
 pub const UNSEEDED_RNG: &str = "unseeded-rng";
 /// Malformed or unjustified `graf-lint: allow(…)` annotation.
 pub const BAD_ANNOTATION: &str = "bad-annotation";
+/// `Ordering::Relaxed` on an atomic that may feed a decision.
+pub const RELAXED_ATOMIC: &str = "relaxed-atomic";
+/// An `unsafe` token without a `// graf-lint: safety(<why>)` justification.
+pub const UNSAFE_NO_SAFETY: &str = "unsafe-no-safety";
+/// Unordered `+=` float accumulation in a loop of a parallel-adjacent module.
+pub const FLOAT_REDUCTION: &str = "unordered-float-reduction";
+/// A suppression annotation whose lint no longer fires on that snippet.
+pub const STALE_ALLOW: &str = "stale-allow";
+/// Non-deterministic call reachable from a deterministic entry point
+/// (reported by the `--analyze` pass; see [`crate::taint`]).
+pub const DETERMINISM_TAINT: &str = "determinism-taint";
+/// Allocation transitively reachable from a `[[hot]]` root
+/// (reported by the `--analyze` pass; see [`crate::taint`]).
+pub const TRANSITIVE_HOT_ALLOC: &str = "transitive-hot-alloc";
 
 /// All lint names, for `--help` and validation.
-pub const ALL_LINTS: [&str; 6] =
-    [WALLCLOCK, UNORDERED_MAP, HOT_PATH_ALLOC, UNWRAP_IN_LIB, UNSEEDED_RNG, BAD_ANNOTATION];
+pub const ALL_LINTS: [&str; 12] = [
+    WALLCLOCK,
+    UNORDERED_MAP,
+    HOT_PATH_ALLOC,
+    UNWRAP_IN_LIB,
+    UNSEEDED_RNG,
+    BAD_ANNOTATION,
+    RELAXED_ATOMIC,
+    UNSAFE_NO_SAFETY,
+    FLOAT_REDUCTION,
+    STALE_ALLOW,
+    DETERMINISM_TAINT,
+    TRANSITIVE_HOT_ALLOC,
+];
 
 /// One reported violation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,12 +84,43 @@ fn canonical_lint(name: &str) -> Option<&'static str> {
         "hot-alloc" | HOT_PATH_ALLOC => Some(HOT_PATH_ALLOC),
         "unwrap" | UNWRAP_IN_LIB => Some(UNWRAP_IN_LIB),
         "rng" | UNSEEDED_RNG => Some(UNSEEDED_RNG),
+        "relaxed" | RELAXED_ATOMIC => Some(RELAXED_ATOMIC),
+        "unsafe" | UNSAFE_NO_SAFETY => Some(UNSAFE_NO_SAFETY),
+        "float-reduction" | FLOAT_REDUCTION => Some(FLOAT_REDUCTION),
+        "taint" | DETERMINISM_TAINT => Some(DETERMINISM_TAINT),
+        "transitive-alloc" | TRANSITIVE_HOT_ALLOC => Some(TRANSITIVE_HOT_ALLOC),
         _ => None,
     }
 }
 
-/// How a file participates in linting.
-fn classify(rel: &str) -> Option<&str> {
+/// One parsed suppression annotation (`allow(…)` or `safety(…)`), with a
+/// liveness flag: an annotation that never suppresses a finding is stale.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// 1-based line the annotation sits on (covers this line and the next).
+    pub line: u32,
+    /// Canonical lint name it suppresses.
+    pub lint: &'static str,
+    /// The justification text.
+    pub reason: String,
+    /// `true` for the `safety(<why>)` form (unsafe-block justifications).
+    pub safety: bool,
+    /// Set when the annotation suppressed at least one raw finding.
+    pub used: bool,
+}
+
+/// Per-file lint output: allow-filtered findings plus the annotations
+/// themselves (for the suppression inventory and stale-allow detection).
+#[derive(Debug, Default)]
+pub struct FileLint {
+    /// Findings that survived suppression, sorted by (line, lint).
+    pub findings: Vec<Finding>,
+    /// Every suppression annotation in the file, with liveness.
+    pub allows: Vec<Allow>,
+}
+
+/// How a file participates in linting: `Some(crate-key)` for library code.
+pub(crate) fn classify(rel: &str) -> Option<&str> {
     let test_like = rel.starts_with("tests/")
         || rel.starts_with("benches/")
         || rel.starts_with("examples/")
@@ -147,17 +204,23 @@ impl<'s> Lines<'s> {
 
 /// Lints one file. `rel` is the repo-relative path with forward slashes.
 pub fn lint_file(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    lint_file_full(rel, src, cfg).findings
+}
+
+/// [`lint_file`] plus the annotation inventory (for `--json` suppressions and
+/// stale-allow detection, which needs the `--analyze` pass to complete first).
+pub fn lint_file_full(rel: &str, src: &str, cfg: &Config) -> FileLint {
     let Some(krate) = classify(rel) else {
-        return Vec::new();
+        return FileLint::default();
     };
     let lexed = lex(src);
     if lexed.file_is_test {
-        return Vec::new();
+        return FileLint::default();
     }
     let lines = Lines::new(src);
     let toks = Toks { src, t: &lexed.tokens };
 
-    let (allows, mut findings) = parse_annotations(rel, src, &lexed, &lines);
+    let (mut allows, mut findings) = parse_annotations(rel, src, &lexed, &lines);
 
     let mut raw = Vec::new();
     if !cfg.wallclock_exempt_crates.iter().any(|c| c == krate) && krate != "lint" {
@@ -173,14 +236,28 @@ pub fn lint_file(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     for region in cfg.hot.iter().filter(|h| h.file == rel) {
         hot_path_alloc(rel, &toks, &lines, &region.functions, &mut raw);
     }
+    relaxed_atomic(rel, &toks, &lines, &mut raw);
+    unsafe_no_safety(rel, &toks, &lines, &mut raw);
+    if cfg.analyze.parallel_adjacent_files.iter().any(|f| f == rel) {
+        float_reduction(rel, &toks, &lines, &mut raw);
+    }
 
-    findings.extend(raw.into_iter().filter(|f| {
-        !allows
-            .iter()
-            .any(|(line, lint)| *lint == f.lint && (*line == f.line || line + 1 == f.line))
-    }));
+    findings.extend(raw.into_iter().filter(|f| !suppress(&mut allows, f)));
     findings.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
-    findings
+    FileLint { findings, allows }
+}
+
+/// Applies the first matching annotation to `f`, marking it live. An
+/// annotation covers its own line and the next one.
+pub fn suppress(allows: &mut [Allow], f: &Finding) -> bool {
+    let mut hit = false;
+    for a in allows.iter_mut() {
+        if a.lint == f.lint && (a.line == f.line || a.line + 1 == f.line) {
+            a.used = true;
+            hit = true;
+        }
+    }
+    hit
 }
 
 fn finding(
@@ -193,14 +270,15 @@ fn finding(
     Finding { lint, path: rel.to_string(), line, message, snippet: lines.snippet(line).to_string() }
 }
 
-/// Parses `graf-lint: allow(lint, reason)` annotations from line comments.
-/// Returns (allowed (line, lint) pairs, bad-annotation findings).
+/// Parses `graf-lint: allow(lint, reason)` and `graf-lint: safety(reason)`
+/// annotations from line comments. Returns (annotations, bad-annotation
+/// findings).
 fn parse_annotations(
     rel: &str,
     src: &str,
     lexed: &Lexed,
     lines: &Lines<'_>,
-) -> (Vec<(u32, &'static str)>, Vec<Finding>) {
+) -> (Vec<Allow>, Vec<Finding>) {
     let mut allows = Vec::new();
     let mut bad = Vec::new();
     for c in &lexed.comments {
@@ -215,6 +293,30 @@ fn parse_annotations(
             continue;
         };
         let rest = text[pos + "graf-lint:".len()..].trim();
+        // `safety(<why>)` — the unsafe-block justification form.
+        if let Some(inner) =
+            rest.strip_prefix("safety(").and_then(|r| r.rfind(')').map(|close| &r[..close]))
+        {
+            let reason = inner.trim();
+            if reason.is_empty() {
+                bad.push(finding(
+                    BAD_ANNOTATION,
+                    rel,
+                    c.line,
+                    lines,
+                    "safety() needs a justification: safety(<why this unsafe is sound>)".into(),
+                ));
+            } else {
+                allows.push(Allow {
+                    line: c.line,
+                    lint: UNSAFE_NO_SAFETY,
+                    reason: reason.to_string(),
+                    safety: true,
+                    used: false,
+                });
+            }
+            continue;
+        }
         let parsed = rest
             .strip_prefix("allow(")
             .and_then(|r| r.find(')').map(|close| &r[..close]))
@@ -245,7 +347,13 @@ fn parse_annotations(
                     lines,
                     format!("allow({name}) needs a justification: allow({name}, <why>)"),
                 )),
-                Some(lint) => allows.push((c.line, lint)),
+                Some(lint) => allows.push(Allow {
+                    line: c.line,
+                    lint,
+                    reason: reason.to_string(),
+                    safety: false,
+                    used: false,
+                }),
             },
         }
     }
@@ -518,6 +626,139 @@ fn hot_path_alloc(
             }
         }
         i = end + 1;
+    }
+}
+
+/// `relaxed-atomic`: `Ordering::Relaxed` in linted code. Relaxed loads and
+/// stores are invisible to the determinism contract until they feed a
+/// decision; every use must either be strengthened or carry an allow with the
+/// argument for why the value never influences an output.
+fn relaxed_atomic(rel: &str, toks: &Toks<'_>, lines: &Lines<'_>, out: &mut Vec<Finding>) {
+    for i in 0..toks.t.len() {
+        if toks.in_test(i) {
+            continue;
+        }
+        if toks.is_ident(i, "Relaxed") {
+            out.push(finding(
+                RELAXED_ATOMIC,
+                rel,
+                toks.line(i),
+                lines,
+                "`Ordering::Relaxed` on shared state; strengthen the ordering or justify why \
+                 the value never flows into a decision"
+                    .into(),
+            ));
+        }
+    }
+}
+
+/// `unsafe-no-safety`: every `unsafe` token needs a
+/// `// graf-lint: safety(<why>)` justification on the same or preceding line.
+/// The annotations double as the workspace's unsafe inventory (`--json`).
+fn unsafe_no_safety(rel: &str, toks: &Toks<'_>, lines: &Lines<'_>, out: &mut Vec<Finding>) {
+    for i in 0..toks.t.len() {
+        if toks.in_test(i) {
+            continue;
+        }
+        if toks.is_ident(i, "unsafe") {
+            out.push(finding(
+                UNSAFE_NO_SAFETY,
+                rel,
+                toks.line(i),
+                lines,
+                "`unsafe` without a safety justification; add `// graf-lint: safety(<why>)`".into(),
+            ));
+        }
+    }
+}
+
+/// `unordered-float-reduction`: `+=` accumulation into a float inside a loop
+/// of a parallel-adjacent module. Float addition is not associative, so any
+/// accumulation order that could vary with thread count must be routed
+/// through the ordered-reduction helpers (or justified as chunk-local).
+fn float_reduction(rel: &str, toks: &Toks<'_>, lines: &Lines<'_>, out: &mut Vec<Finding>) {
+    // Pass A: names with float-typed declarations (`x: f64`) or float-literal
+    // initializers (`x = 0.0`). Fields and locals both land here; the check
+    // is name-based, like the unordered-map tracker.
+    let mut float_names: Vec<&str> = Vec::new();
+    for i in 0..toks.t.len() {
+        let Some(name) = toks.ident(i) else {
+            continue;
+        };
+        if toks.is_punct(i + 1, ':')
+            && !toks.is_punct(i + 2, ':')
+            && matches!(toks.ident(i + 2), Some("f32" | "f64"))
+        {
+            float_names.push(name);
+        }
+        if toks.is_punct(i + 1, '=') && !toks.is_punct(i + 2, '=') {
+            if let Some(t) = toks.t.get(i + 2) {
+                if t.kind == TokenKind::Number {
+                    let txt = &toks.src[t.start..t.end];
+                    if txt.contains('.') || txt.ends_with("f32") || txt.ends_with("f64") {
+                        float_names.push(name);
+                    }
+                }
+            }
+        }
+    }
+    if float_names.is_empty() {
+        return;
+    }
+
+    // Pass B: `+=` under loop braces. Brace/loop tracking runs over every
+    // token (test regions keep braces balanced); only non-test sites report.
+    let mut stack: Vec<bool> = Vec::new();
+    let mut loop_depth = 0usize;
+    let mut pending_loop = false;
+    let mut pending_impl = false;
+    for i in 0..toks.t.len() {
+        match toks.ident(i) {
+            Some("impl") => pending_impl = true,
+            // `impl Trait for Type` and HRTB `for<'a>` are not loops.
+            Some("for") if !pending_impl && !toks.is_punct(i + 1, '<') => pending_loop = true,
+            Some("while" | "loop") => pending_loop = true,
+            _ => {}
+        }
+        if toks.is_punct(i, '{') {
+            stack.push(pending_loop);
+            if pending_loop {
+                loop_depth += 1;
+            }
+            pending_loop = false;
+            pending_impl = false;
+        } else if toks.is_punct(i, '}') {
+            if stack.pop() == Some(true) {
+                loop_depth = loop_depth.saturating_sub(1);
+            }
+        } else if toks.is_punct(i, ';') {
+            pending_loop = false;
+            pending_impl = false;
+        }
+        if loop_depth == 0 || toks.in_test(i) {
+            continue;
+        }
+        // `name += …` with adjacent `+` `=`.
+        if toks.is_punct(i, '+')
+            && toks.is_punct(i + 1, '=')
+            && toks.t[i + 1].start == toks.t[i].end
+            && i >= 1
+        {
+            if let Some(name) = toks.ident(i - 1) {
+                if float_names.contains(&name) {
+                    out.push(finding(
+                        FLOAT_REDUCTION,
+                        rel,
+                        toks.line(i),
+                        lines,
+                        format!(
+                            "float accumulation `{name} += …` in a loop of a parallel-adjacent \
+                             module; route through the ordered reduction or justify the order"
+                        ),
+                    ));
+                }
+            }
+        }
     }
 }
 

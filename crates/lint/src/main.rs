@@ -1,8 +1,20 @@
 //! The `graf-lint` CLI.
 //!
 //! ```text
-//! graf-lint [--root DIR] [--config FILE] [--baseline FILE] [--json] [--write-baseline]
+//! graf-lint [--root DIR] [--config FILE] [--baseline FILE] [--json]
+//!           [--write-baseline] [--analyze] [--callgraph] [--summary]
 //! ```
+//!
+//! Modes:
+//!
+//! * default — token-level lints only (fast per-file scan),
+//! * `--analyze` — adds the workspace call-graph pass: `determinism-taint`,
+//!   `transitive-hot-alloc` and `stale-allow`; `--json` then also carries the
+//!   suppression inventory,
+//! * `--callgraph` — prints the call graph as JSONL (byte-identical across
+//!   runs) and exits 0; no findings are gated,
+//! * `--summary` — prints reachability stats, the largest call cycles and the
+//!   pre-suppression taint frontier, then gates findings like `--analyze`.
 //!
 //! Exit codes: `0` — no findings beyond the baseline; `1` — new findings;
 //! `2` — usage, configuration or I/O error.
@@ -11,7 +23,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use graf_lint::{scan_workspace, Baseline, Config, Finding};
+use graf_lint::{analyze_workspace, scan_workspace, Analysis, Baseline, Config, Finding};
 
 struct Args {
     root: Option<PathBuf>,
@@ -19,19 +31,33 @@ struct Args {
     baseline: Option<PathBuf>,
     json: bool,
     write_baseline: bool,
+    analyze: bool,
+    callgraph: bool,
+    summary: bool,
 }
 
-const USAGE: &str =
-    "usage: graf-lint [--root DIR] [--config FILE] [--baseline FILE] [--json] [--write-baseline]";
+const USAGE: &str = "usage: graf-lint [--root DIR] [--config FILE] [--baseline FILE] [--json] \
+                     [--write-baseline] [--analyze] [--callgraph] [--summary]";
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { root: None, config: None, baseline: None, json: false, write_baseline: false };
+    let mut args = Args {
+        root: None,
+        config: None,
+        baseline: None,
+        json: false,
+        write_baseline: false,
+        analyze: false,
+        callgraph: false,
+        summary: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => args.json = true,
             "--write-baseline" => args.write_baseline = true,
+            "--analyze" => args.analyze = true,
+            "--callgraph" => args.callgraph = true,
+            "--summary" => args.summary = true,
             "--root" => args.root = Some(next_path(&mut it, "--root")?),
             "--config" => args.config = Some(next_path(&mut it, "--config")?),
             "--baseline" => args.baseline = Some(next_path(&mut it, "--baseline")?),
@@ -63,6 +89,28 @@ fn find_root() -> Result<PathBuf, String> {
     }
 }
 
+fn print_summary(a: &Analysis) {
+    let nodes = a.graph.nodes.len();
+    let edges: usize = a.graph.edges.iter().map(Vec::len).sum();
+    println!("graf-analyze: {} files, {} functions, {} call edges", a.files_scanned, nodes, edges);
+    println!(
+        "graf-analyze: {} reachable from entry points, {} from hot roots",
+        a.reachable_from_entries, a.reachable_from_hot
+    );
+    let sccs = a.graph.sccs();
+    println!("graf-analyze: {} call cycles (SCCs with >1 member)", sccs.len());
+    for (i, comp) in sccs.iter().take(10).enumerate() {
+        let members: Vec<&str> =
+            comp.iter().take(4).map(|&id| a.graph.nodes[id].qualified.as_str()).collect();
+        let more = if comp.len() > 4 { ", …" } else { "" };
+        println!("  scc#{}: {} fns [{}{}]", i + 1, comp.len(), members.join(", "), more);
+    }
+    println!("graf-analyze: taint frontier ({} sinks before suppression)", a.frontier.len());
+    for line in &a.frontier {
+        println!("  {line}");
+    }
+}
+
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
     let root = match args.root {
@@ -74,18 +122,27 @@ fn run() -> Result<bool, String> {
         fs::read_to_string(&config_path).map_err(|e| format!("{}: {e}", config_path.display()))?;
     let cfg = Config::parse(&cfg_text)?;
 
-    let result = scan_workspace(&root, &cfg).map_err(|e| format!("scan: {e}"))?;
+    if args.callgraph {
+        let analysis = analyze_workspace(&root, &cfg)?;
+        print!("{}", analysis.graph.render_jsonl());
+        return Ok(true);
+    }
+
+    let graph_mode = args.analyze || args.summary;
+    let (findings, files_scanned, analysis) = if graph_mode {
+        let analysis = analyze_workspace(&root, &cfg)?;
+        (analysis.findings.clone(), analysis.files_scanned, Some(analysis))
+    } else {
+        let result = scan_workspace(&root, &cfg).map_err(|e| format!("scan: {e}"))?;
+        (result.findings, result.files_scanned, None)
+    };
 
     let baseline_path = args.baseline.unwrap_or_else(|| root.join("lint.baseline"));
     if args.write_baseline {
-        let text = Baseline::render(&result.findings);
+        let text = Baseline::render(&findings);
         fs::write(&baseline_path, &text)
             .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
-        eprintln!(
-            "graf-lint: wrote {} entries to {}",
-            result.findings.len(),
-            baseline_path.display()
-        );
+        eprintln!("graf-lint: wrote {} entries to {}", findings.len(), baseline_path.display());
         return Ok(true);
     }
     let baseline = match fs::read_to_string(&baseline_path) {
@@ -93,10 +150,19 @@ fn run() -> Result<bool, String> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
         Err(e) => return Err(format!("{}: {e}", baseline_path.display())),
     };
-    let (baselined, new) = baseline.partition(&result.findings);
+    let (baselined, new) = baseline.partition(&findings);
 
+    if args.summary {
+        print_summary(analysis.as_ref().expect("summary implies analyze"));
+    }
     if args.json {
-        print!("{}", graf_lint::render_json(&result.findings, &new, result.files_scanned));
+        match &analysis {
+            Some(a) => print!(
+                "{}",
+                graf_lint::render_json_full(&findings, &new, files_scanned, &a.suppressions)
+            ),
+            None => print!("{}", graf_lint::render_json(&findings, &new, files_scanned)),
+        }
     } else {
         for f in &new {
             print_finding(f, true);
@@ -106,8 +172,8 @@ fn run() -> Result<bool, String> {
         }
         println!(
             "graf-lint: {} files, {} findings ({} new, {} baselined)",
-            result.files_scanned,
-            result.findings.len(),
+            files_scanned,
+            findings.len(),
             new.len(),
             baselined.len()
         );

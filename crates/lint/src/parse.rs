@@ -1,0 +1,703 @@
+//! Token-stream → item model: the parsing layer of graf-analyze.
+//!
+//! This is *not* a Rust grammar. It recognizes exactly the structure the
+//! call-graph and taint passes need: `mod` nesting, `impl` blocks (with the
+//! self type), `use` declarations, function definitions with their body
+//! extents, the call sites inside each body, and the per-function
+//! non-determinism traits (wall-clock, unseeded RNG, thread spawn/scope,
+//! unordered-map iteration, allocation). Everything else — expressions,
+//! types, generics — is skipped over by brace/bracket matching.
+//!
+//! Known conservatisms (documented in DESIGN.md §13): nested functions and
+//! closures attribute their calls and traits to the enclosing top-level
+//! function (an over-approximation that keeps reachability sound); macro
+//! bodies are scanned as plain tokens; dynamic dispatch resolves by method
+//! name (see [`crate::callgraph`]).
+
+use crate::lexer::{lex, strip_raw_ident, Token, TokenKind};
+
+/// How a call site names its target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(…)` — a free-function call.
+    Bare,
+    /// `self.name(…)` — a method on the surrounding impl type.
+    SelfMethod,
+    /// `expr.name(…)` — a method on an unknown receiver.
+    Method,
+    /// `a::b::name(…)` — a qualified path call.
+    Path,
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// Resolution class.
+    pub kind: CallKind,
+    /// Path segments; a single element for `Bare`/`SelfMethod`/`Method`.
+    pub segments: Vec<String>,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A non-determinism or allocation evidence site inside a function body.
+#[derive(Clone, Debug)]
+pub struct Site {
+    /// 1-based source line.
+    pub line: u32,
+    /// What was seen (`Instant::now`, `thread::scope`, `Vec::new`, …).
+    pub what: String,
+}
+
+/// Per-function evidence the taint pass consumes.
+#[derive(Clone, Debug, Default)]
+pub struct FnTraits {
+    /// Wall-clock reads (`Instant::now`, `SystemTime`), `is_recording`-gated
+    /// lines excluded.
+    pub wallclock: Vec<Site>,
+    /// Unseeded/ambient RNG construction.
+    pub rng: Vec<Site>,
+    /// `std::thread` spawn/scope use.
+    pub thread: Vec<Site>,
+    /// Iteration over a `HashMap`/`HashSet` declared in this file.
+    pub unordered_iter: Vec<Site>,
+    /// Constructor-class allocations (`Vec::new`, `.collect()`, `format!`, …).
+    pub alloc: Vec<Site>,
+}
+
+impl FnTraits {
+    /// `true` when no evidence of any kind was collected.
+    pub fn is_empty(&self) -> bool {
+        self.wallclock.is_empty()
+            && self.rng.is_empty()
+            && self.thread.is_empty()
+            && self.unordered_iter.is_empty()
+            && self.alloc.is_empty()
+    }
+}
+
+/// One function definition.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Function name (raw-ident prefix stripped).
+    pub name: String,
+    /// Surrounding `impl` self type, when inside an impl block.
+    pub self_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// `true` for `#[cfg(test)]`/`#[test]` functions (excluded from graphs).
+    pub in_test: bool,
+    /// Call sites inside the body.
+    pub calls: Vec<Call>,
+    /// Evidence sites inside the body.
+    pub traits_: FnTraits,
+}
+
+impl FnDef {
+    /// `file.rs::Type::name` or `file.rs::name` — the stable node id prefix
+    /// is added by the call-graph layer.
+    pub fn qualified(&self) -> String {
+        match &self.self_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One `use` declaration, flattened: local alias → full path segments.
+#[derive(Clone, Debug)]
+pub struct UseDecl {
+    /// The name the path is visible as in this file.
+    pub alias: String,
+    /// Full path segments, e.g. `["graf_sim", "world", "World"]`.
+    pub segments: Vec<String>,
+}
+
+/// The per-file model.
+#[derive(Clone, Debug, Default)]
+pub struct FileModel {
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// Owning crate (per [`crate::lints`] path classification).
+    pub krate: String,
+    /// Flattened `use` declarations.
+    pub uses: Vec<UseDecl>,
+    /// Function definitions in source order.
+    pub fns: Vec<FnDef>,
+}
+
+/// Keywords that look like calls when followed by `(`.
+const NON_CALL_KEYWORDS: [&str; 16] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "move", "in", "as", "let", "else",
+    "unsafe", "ref", "mut", "box",
+];
+
+/// RNG constructors banned outside the seeded home (kept in sync with the
+/// token-level `unseeded-rng` lint).
+const RNG_BANNED: [&str; 10] = [
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "seed_from_u64",
+    "from_seed",
+    "from_rng",
+    "SmallRng",
+    "StdRng",
+];
+
+const ALLOC_METHODS: [&str; 5] = ["clone", "to_vec", "to_owned", "to_string", "collect"];
+const ITER_METHODS: [&str; 7] =
+    ["iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "drain"];
+
+struct Parser<'s> {
+    src: &'s str,
+    t: Vec<Token>,
+}
+
+impl<'s> Parser<'s> {
+    fn text(&self, i: usize) -> &'s str {
+        let t = &self.t[i];
+        &self.src[t.start..t.end]
+    }
+
+    fn ident(&self, i: usize) -> Option<&'s str> {
+        let t = self.t.get(i)?;
+        (t.kind == TokenKind::Ident).then(|| strip_raw_ident(&self.src[t.start..t.end]))
+    }
+
+    fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.ident(i) == Some(s)
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        self.t.get(i).is_some_and(|t| t.kind == TokenKind::Punct) && self.text(i).starts_with(c)
+    }
+
+    fn is_path_sep(&self, i: usize) -> bool {
+        // `::` — two adjacent `:` puncts.
+        self.is_punct(i, ':') && self.is_punct(i + 1, ':') && self.t[i + 1].start == self.t[i].end
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.t[i].line
+    }
+
+    /// Index of the matching `}` for the `{` at `open`.
+    fn close_brace(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < self.t.len() {
+            if self.is_punct(i, '{') {
+                depth += 1;
+            } else if self.is_punct(i, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            i += 1;
+        }
+        self.t.len().saturating_sub(1)
+    }
+}
+
+/// Parses one file into its model. `rel` must already be classified as a
+/// lintable library path (the caller checks).
+pub fn parse_file(rel: &str, krate: &str, src: &str) -> FileModel {
+    let lexed = lex(src);
+    let p = Parser { src, t: lexed.tokens };
+    let mut model =
+        FileModel { path: rel.to_string(), krate: krate.to_string(), ..FileModel::default() };
+
+    // Lines where wall-clock reads are telemetry-gated, mirroring the
+    // token-level lint's `is_recording` rule.
+    let mut gated_lines: Vec<u32> = Vec::new();
+    for i in 0..p.t.len() {
+        if p.is_ident(i, "is_recording") {
+            gated_lines.push(p.line(i));
+        }
+    }
+
+    // File-level pass: names declared as HashMap/HashSet (for the
+    // unordered-iteration trait), mirroring the token-level lint.
+    let tracked = tracked_unordered_names(&p);
+
+    // Structural walk: impl blocks, use declarations, fn definitions.
+    let mut impl_stack: Vec<(usize, String)> = Vec::new(); // (close index, type)
+    let mut i = 0usize;
+    while i < p.t.len() {
+        while let Some(&(close, _)) = impl_stack.last() {
+            if i > close {
+                impl_stack.pop();
+            } else {
+                break;
+            }
+        }
+        if p.is_ident(i, "use") && !p.t[i].in_test {
+            let (decls, next) = parse_use(&p, i + 1);
+            model.uses.extend(decls);
+            i = next;
+            continue;
+        }
+        if p.is_ident(i, "impl") {
+            // Self type: the first path ident after generics, or the one
+            // after `for` in `impl Trait for Type`.
+            let mut j = i + 1;
+            // Skip `<…>` generic params (angle depth over puncts).
+            if p.is_punct(j, '<') {
+                let mut depth = 0i32;
+                while j < p.t.len() {
+                    if p.is_punct(j, '<') {
+                        depth += 1;
+                    } else if p.is_punct(j, '>') {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            let mut ty: Option<String> = None;
+            while j < p.t.len() && !p.is_punct(j, '{') {
+                if p.is_ident(j, "for") {
+                    // `impl Trait for Type`: the self type is after `for`,
+                    // so the trait name collected above is discarded.
+                    ty = None;
+                } else if ty.is_none() {
+                    if let Some(name) = p.ident(j) {
+                        ty = Some(name.to_string());
+                    }
+                }
+                j += 1;
+            }
+            if j < p.t.len() && p.is_punct(j, '{') {
+                let close = p.close_brace(j);
+                if let Some(ty) = ty {
+                    impl_stack.push((close, ty));
+                }
+                i = j + 1;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        if p.is_ident(i, "fn") {
+            let Some(name) = p.ident(i + 1) else {
+                i += 1;
+                continue;
+            };
+            let line = p.line(i);
+            let in_test = p.t[i].in_test;
+            // Body: first `{` before a top-level `;` (trait decls have none).
+            let mut j = i + 2;
+            let mut body: Option<(usize, usize)> = None;
+            let mut paren = 0i32;
+            while j < p.t.len() {
+                if p.is_punct(j, '(') || p.is_punct(j, '[') {
+                    paren += 1;
+                } else if p.is_punct(j, ')') || p.is_punct(j, ']') {
+                    paren -= 1;
+                } else if paren == 0 && p.is_punct(j, '{') {
+                    body = Some((j, p.close_brace(j)));
+                    break;
+                } else if paren == 0 && p.is_punct(j, ';') {
+                    break;
+                }
+                j += 1;
+            }
+            let self_type = impl_stack.last().map(|(_, t)| t.clone());
+            let mut def = FnDef {
+                name: name.to_string(),
+                self_type,
+                line,
+                in_test,
+                calls: Vec::new(),
+                traits_: FnTraits::default(),
+            };
+            if let Some((open, close)) = body {
+                collect_body(&p, open, close, &gated_lines, &tracked, &mut def);
+                model.fns.push(def);
+                // Continue walking *inside* the body so nested fns are also
+                // recorded (their calls are attributed to both, which is the
+                // conservative direction for reachability).
+                i = open + 1;
+                continue;
+            }
+            model.fns.push(def);
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    model
+}
+
+/// Names declared with a `HashMap`/`HashSet` type or initializer, mirroring
+/// the token-level unordered-map tracker.
+fn tracked_unordered_names<'s>(p: &Parser<'s>) -> Vec<&'s str> {
+    let mut tracked = Vec::new();
+    for i in 0..p.t.len() {
+        if !(p.is_ident(i, "HashMap") || p.is_ident(i, "HashSet")) {
+            continue;
+        }
+        let mut j = i;
+        while j >= 3 && p.is_path_sep(j - 2) && p.ident(j - 3).is_some() {
+            j -= 3;
+        }
+        if j >= 2 && p.is_punct(j - 1, ':') && !p.is_punct(j - 2, ':') {
+            if let Some(name) = p.ident(j - 2) {
+                tracked.push(name);
+                continue;
+            }
+        }
+        if j >= 2 && p.is_punct(j - 1, '=') {
+            if let Some(name) = p.ident(j - 2) {
+                tracked.push(name);
+            }
+        }
+    }
+    tracked
+}
+
+/// Parses a `use` declaration starting after the `use` keyword. Handles
+/// `use a::b::C;`, `use a::b::{C, D};`, `use a::B as E;`. Glob imports and
+/// nested groups deeper than one level are skipped (conservative: the
+/// name-based method fallback still finds their targets).
+fn parse_use(p: &Parser<'_>, start: usize) -> (Vec<UseDecl>, usize) {
+    let mut segs: Vec<String> = Vec::new();
+    let mut decls = Vec::new();
+    let mut i = start;
+    while i < p.t.len() && !p.is_punct(i, ';') {
+        if let Some(name) = p.ident(i) {
+            if name == "as" {
+                // `use path as alias;` — next ident renames the last path.
+                if let Some(alias) = p.ident(i + 1) {
+                    if !segs.is_empty() {
+                        decls.push(UseDecl { alias: alias.to_string(), segments: segs.clone() });
+                        segs.clear();
+                    }
+                    i += 2;
+                    continue;
+                }
+            }
+            segs.push(name.to_string());
+            i += 1;
+            continue;
+        }
+        if p.is_path_sep(i) {
+            i += 2;
+            continue;
+        }
+        if p.is_punct(i, '{') {
+            // One group level: `use a::{B, C as D, e};`
+            let close = find_group_close(p, i);
+            let prefix = segs.clone();
+            let mut inner: Vec<String> = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if let Some(name) = p.ident(j) {
+                    if name == "as" {
+                        if let Some(alias) = p.ident(j + 1) {
+                            let mut full = prefix.clone();
+                            full.append(&mut inner);
+                            decls.push(UseDecl { alias: alias.to_string(), segments: full });
+                            j += 2;
+                            continue;
+                        }
+                    }
+                    inner.push(name.to_string());
+                    j += 1;
+                    continue;
+                }
+                if p.is_punct(j, ',') {
+                    if let Some(last) = inner.last().cloned() {
+                        let mut full = prefix.clone();
+                        full.append(&mut inner);
+                        decls.push(UseDecl { alias: last, segments: full });
+                    }
+                    j += 1;
+                    continue;
+                }
+                j += 1;
+            }
+            if let Some(last) = inner.last().cloned() {
+                let mut full = prefix;
+                full.extend(inner);
+                decls.push(UseDecl { alias: last, segments: full });
+            }
+            i = close + 1;
+            segs.clear();
+            continue;
+        }
+        if p.is_punct(i, '*') {
+            segs.clear();
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+    if let Some(last) = segs.last().cloned() {
+        decls.push(UseDecl { alias: last, segments: segs });
+    }
+    (decls, i + 1)
+}
+
+fn find_group_close(p: &Parser<'_>, open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < p.t.len() {
+        if p.is_punct(i, '{') {
+            depth += 1;
+        } else if p.is_punct(i, '}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    p.t.len().saturating_sub(1)
+}
+
+/// Collects call sites and trait evidence from the body token range.
+///
+/// Two passes: the evidence pass visits every token (the call pass below
+/// fast-forwards over path segments, which would skip `Instant` inside
+/// `std::time::Instant::now`).
+fn collect_body(
+    p: &Parser<'_>,
+    open: usize,
+    close: usize,
+    gated_lines: &[u32],
+    tracked: &[&str],
+    def: &mut FnDef,
+) {
+    for k in open + 1..close {
+        let Some(word) = p.ident(k) else {
+            continue;
+        };
+        let line = p.line(k);
+        if word == "Instant" && p.is_path_sep(k + 1) && p.is_ident(k + 3, "now") {
+            if !gated_lines.contains(&line) {
+                def.traits_.wallclock.push(Site { line, what: "Instant::now".into() });
+            }
+        } else if word == "SystemTime" {
+            if !gated_lines.contains(&line) {
+                def.traits_.wallclock.push(Site { line, what: "SystemTime".into() });
+            }
+        } else if RNG_BANNED.contains(&word) {
+            def.traits_.rng.push(Site { line, what: word.to_string() });
+        } else if word == "thread" && p.is_path_sep(k + 1) {
+            if let Some(m @ ("spawn" | "scope")) = p.ident(k + 3) {
+                def.traits_.thread.push(Site { line, what: format!("thread::{m}") });
+            }
+        } else if (word == "Vec" || word == "Box" || word == "String")
+            && p.is_path_sep(k + 1)
+            && matches!(p.ident(k + 3), Some("new" | "with_capacity" | "from"))
+        {
+            let m = p.ident(k + 3).expect("matched above");
+            def.traits_.alloc.push(Site { line, what: format!("{word}::{m}") });
+        } else if (word == "format" || word == "vec") && p.is_punct(k + 1, '!') {
+            def.traits_.alloc.push(Site { line, what: format!("{word}!") });
+        } else if ALLOC_METHODS.contains(&word)
+            && k >= 1
+            && p.is_punct(k - 1, '.')
+            && (p.is_punct(k + 1, '(') || p.is_path_sep(k + 1))
+        {
+            def.traits_.alloc.push(Site { line, what: format!(".{word}()") });
+        } else if ITER_METHODS.contains(&word)
+            && k >= 2
+            && p.is_punct(k - 1, '.')
+            && p.is_punct(k + 1, '(')
+        {
+            if let Some(name) = p.ident(k - 2) {
+                if tracked.contains(&name) {
+                    def.traits_
+                        .unordered_iter
+                        .push(Site { line, what: format!("{name}.{word}()") });
+                }
+            }
+        } else if word == "for" {
+            // `for pat in <expr with tracked name> {` — unordered iteration.
+            let mut j = k + 1;
+            while j < close && !p.is_ident(j, "in") && !p.is_punct(j, '{') {
+                j += 1;
+            }
+            if p.is_ident(j, "in") {
+                let mut m = j + 1;
+                while m < close && !p.is_punct(m, '{') {
+                    if let Some(name) = p.ident(m) {
+                        if tracked.contains(&name) {
+                            def.traits_
+                                .unordered_iter
+                                .push(Site { line, what: format!("for … in {name}") });
+                            break;
+                        }
+                    }
+                    m += 1;
+                }
+            }
+        }
+    }
+
+    // ---- call sites --------------------------------------------------------
+    let mut k = open + 1;
+    while k < close {
+        let Some(word) = p.ident(k) else {
+            k += 1;
+            continue;
+        };
+        let line = p.line(k);
+        if NON_CALL_KEYWORDS.contains(&word) {
+            k += 1;
+            continue;
+        }
+        let prev_dot = k >= 1 && p.is_punct(k - 1, '.');
+        let prev_sep = k >= 2 && p.is_path_sep(k - 2);
+        if prev_dot && p.is_punct(k + 1, '(') {
+            let kind = if k >= 2 && p.is_ident(k - 2, "self") {
+                CallKind::SelfMethod
+            } else {
+                CallKind::Method
+            };
+            def.calls.push(Call { kind, segments: vec![word.to_string()], line });
+            k += 1;
+            continue;
+        }
+        if !prev_sep && !prev_dot && p.is_path_sep(k + 1) {
+            // Path start: walk `a::b::c`, stop at turbofish or non-ident.
+            let mut segs = vec![word.to_string()];
+            let mut j = k + 1;
+            while p.is_path_sep(j) {
+                if p.is_punct(j + 2, '<') {
+                    // turbofish `::<…>` — std generic call, skip the path.
+                    segs.clear();
+                    break;
+                }
+                let Some(next) = p.ident(j + 2) else {
+                    segs.clear();
+                    break;
+                };
+                segs.push(next.to_string());
+                j += 3;
+            }
+            if segs.len() >= 2 && p.is_punct(j, '(') {
+                def.calls.push(Call { kind: CallKind::Path, segments: segs, line });
+                k = j;
+                continue;
+            }
+            k += 1;
+            continue;
+        }
+        if !prev_sep && !prev_dot && p.is_punct(k + 1, '(') {
+            def.calls.push(Call { kind: CallKind::Bare, segments: vec![word.to_string()], line });
+        }
+        k += 1;
+    }
+    // Deterministic order and no duplicate edges from repeated sites.
+    def.calls.sort_by(|a, b| {
+        (&a.segments, a.kind as u8, a.line).cmp(&(&b.segments, b.kind as u8, b.line))
+    });
+    def.calls.dedup_by(|a, b| a.segments == b.segments && a.kind == b.kind);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        parse_file("crates/sim/src/world.rs", "sim", src)
+    }
+
+    #[test]
+    fn finds_fns_and_impl_types() {
+        let m = model(
+            "pub struct W;\n\
+             impl W {\n    pub fn run(&mut self) { self.step(); }\n    fn step(&mut self) {}\n}\n\
+             fn free() { helper(); }\nfn helper() {}\n",
+        );
+        let names: Vec<String> = m.fns.iter().map(|f| f.qualified()).collect();
+        assert_eq!(names, vec!["W::run", "W::step", "free", "helper"]);
+        assert_eq!(m.fns[0].calls.len(), 1);
+        assert_eq!(m.fns[0].calls[0].kind, CallKind::SelfMethod);
+        assert_eq!(m.fns[2].calls[0].kind, CallKind::Bare);
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type() {
+        let m = model("trait T { fn go(&self); }\nimpl T for Wide {\n    fn go(&self) {}\n}\n");
+        assert_eq!(m.fns.last().expect("fn").qualified(), "Wide::go");
+    }
+
+    #[test]
+    fn use_declarations_flatten() {
+        let m = model(
+            "use std::collections::BTreeMap;\n\
+             use graf_trace::{TraceStore, span::Span as S};\n\
+             fn f() {}\n",
+        );
+        let find = |a: &str| m.uses.iter().find(|u| u.alias == a).map(|u| u.segments.clone());
+        assert_eq!(
+            find("BTreeMap"),
+            Some(vec!["std".into(), "collections".into(), "BTreeMap".into()])
+        );
+        assert_eq!(find("TraceStore"), Some(vec!["graf_trace".into(), "TraceStore".into()]));
+        assert_eq!(find("S"), Some(vec!["graf_trace".into(), "span".into(), "Span".into()]));
+    }
+
+    #[test]
+    fn traits_collected_per_function() {
+        let m = model(
+            "fn dirty() {\n\
+                 let t = std::time::Instant::now();\n\
+                 let r = SmallRng::seed_from_u64(7);\n\
+                 std::thread::spawn(|| {});\n\
+                 let v = Vec::new();\n\
+             }\n\
+             fn clean() { let x = 1; }\n",
+        );
+        let dirty = &m.fns[0].traits_;
+        assert_eq!(dirty.wallclock.len(), 1);
+        assert!(!dirty.rng.is_empty());
+        assert_eq!(dirty.thread.len(), 1);
+        assert_eq!(dirty.alloc.len(), 1);
+        assert!(m.fns[1].traits_.is_empty());
+    }
+
+    #[test]
+    fn path_calls_resolve_segments() {
+        let m = model("fn f() { graf_sim::rng::derive(3); W::go(); }\n");
+        let path_calls: Vec<&Call> =
+            m.fns[0].calls.iter().filter(|c| c.kind == CallKind::Path).collect();
+        assert_eq!(path_calls.len(), 2);
+        assert!(path_calls.iter().any(|c| c.segments == ["graf_sim", "rng", "derive"]));
+        assert!(path_calls.iter().any(|c| c.segments == ["W", "go"]));
+    }
+
+    #[test]
+    fn unordered_iteration_site_attributed() {
+        let m = model(
+            "use std::collections::HashMap;\n\
+             struct S { m: HashMap<u32, u32> }\n\
+             fn f(s: &S) { for (k, v) in &s.m {} }\n",
+        );
+        assert_eq!(m.fns[0].traits_.unordered_iter.len(), 1);
+    }
+
+    #[test]
+    fn raw_idents_normalize() {
+        let m = model("fn r#type() {}\nfn f() { r#type(); }\n");
+        assert_eq!(m.fns[0].name, "type");
+        assert_eq!(m.fns[1].calls[0].segments, vec!["type"]);
+    }
+
+    #[test]
+    fn gated_wallclock_is_not_evidence() {
+        let m = model("fn f(s: &Span) { let t = s.is_recording().then(std::time::Instant::now); }");
+        assert!(m.fns[0].traits_.wallclock.is_empty());
+    }
+}

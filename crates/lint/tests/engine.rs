@@ -13,8 +13,8 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
 use graf_lint::lints::{
-    lint_file, BAD_ANNOTATION, HOT_PATH_ALLOC, UNORDERED_MAP, UNSEEDED_RNG, UNWRAP_IN_LIB,
-    WALLCLOCK,
+    lint_file, BAD_ANNOTATION, FLOAT_REDUCTION, HOT_PATH_ALLOC, RELAXED_ATOMIC, UNORDERED_MAP,
+    UNSAFE_NO_SAFETY, UNSEEDED_RNG, UNWRAP_IN_LIB, WALLCLOCK,
 };
 use graf_lint::{scan_workspace, Baseline, Config};
 
@@ -66,6 +66,34 @@ fn fixture_findings_outside_declared_crates_are_scoped() {
     assert!(findings.iter().any(|f| f.lint == UNWRAP_IN_LIB));
     // And under a test path the file is not a lint target at all.
     assert!(lint_file("crates/sim/tests/dirty.rs", &fixture("dirty.rs"), &fixture_cfg()).is_empty());
+}
+
+#[test]
+fn concurrency_fixture_fires_each_new_lint_once() {
+    let cfg = Config::parse(
+        "[analyze]\n\
+         parallel-adjacent-files = [\"crates/sim/src/concurrency.rs\"]\n",
+    )
+    .expect("fixture config parses");
+    let findings = lint_file("crates/sim/src/concurrency.rs", &fixture("concurrency.rs"), &cfg);
+    let mut lints: Vec<&str> = findings.iter().map(|f| f.lint).collect();
+    lints.sort_unstable();
+    assert_eq!(
+        lints,
+        vec![RELAXED_ATOMIC, FLOAT_REDUCTION, UNSAFE_NO_SAFETY],
+        "expected one finding per concurrency lint, got: {findings:#?}"
+    );
+}
+
+#[test]
+fn float_reduction_is_scoped_to_parallel_adjacent_files() {
+    // The same fixture linted without the parallel-adjacent marking: the
+    // float accumulation is fine, the other two lints are unconditional.
+    let findings =
+        lint_file("crates/sim/src/concurrency.rs", &fixture("concurrency.rs"), &fixture_cfg());
+    assert!(findings.iter().all(|f| f.lint != FLOAT_REDUCTION), "{findings:#?}");
+    assert!(findings.iter().any(|f| f.lint == RELAXED_ATOMIC), "{findings:#?}");
+    assert!(findings.iter().any(|f| f.lint == UNSAFE_NO_SAFETY), "{findings:#?}");
 }
 
 // ---------------------------------------------------------------------------
@@ -129,6 +157,125 @@ fn binary_goes_red_on_new_violations_only() {
     let json = String::from_utf8_lossy(&out.stdout);
     assert!(json.contains("\"new\": true"), "json: {json}");
     assert!(json.contains("\"new\": false"), "json: {json}");
+}
+
+#[test]
+fn analyze_flags_taint_and_transitive_alloc_end_to_end() {
+    let ws = MiniWs::create("lint-ws-analyze");
+    fs::write(
+        ws.root.join("lint.toml"),
+        "[analyze]\n\
+         entry-points = [\"crates/foo/src/lib.rs::drive\"]\n\n\
+         [[hot]]\n\
+         file = \"crates/foo/src/lib.rs\"\n\
+         functions = [\"hot_loop\"]\n",
+    )
+    .expect("write lint.toml");
+    // The wall-clock read lives in a *different crate*, reached through a
+    // `graf_bar::`-qualified call: the taint must cross the crate boundary.
+    ws.write_lib(
+        "pub fn drive() -> u64 {\n\
+         \x20   graf_bar::helper()\n\
+         }\n\n\
+         pub fn hot_loop(acc: &mut u64) {\n\
+         \x20   *acc += cold_grow().len() as u64;\n\
+         }\n\n\
+         fn cold_grow() -> Vec<u64> {\n\
+         \x20   Vec::with_capacity(4)\n\
+         }\n",
+    );
+    fs::create_dir_all(ws.root.join("crates/bar/src")).expect("bar crate dir");
+    fs::write(
+        ws.root.join("crates/bar/src/lib.rs"),
+        "pub fn helper() -> u64 {\n\
+         \x20   std::time::Instant::now().elapsed().as_micros() as u64\n\
+         }\n",
+    )
+    .expect("write bar lib.rs");
+
+    // Token-only mode sees neither graph lint.
+    let out = ws.run(&[]);
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(!text.contains("determinism-taint"), "token mode ran the graph pass: {text}");
+    assert!(!text.contains("transitive-hot-alloc"), "token mode ran the graph pass: {text}");
+
+    // `--analyze` walks the call graph: the wall-clock read two hops from the
+    // entry point and the allocation one hop from the hot root both fire,
+    // each with its call chain in the message.
+    let out = ws.run(&["--analyze"]);
+    assert_eq!(code(&out), 1, "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("determinism-taint"), "{text}");
+    assert!(text.contains("drive → helper"), "taint message must carry the chain: {text}");
+    assert!(text.contains("transitive-hot-alloc"), "{text}");
+    assert!(text.contains("hot_loop → cold_grow"), "alloc message must carry the chain: {text}");
+}
+
+#[test]
+fn analyze_rejects_stale_entry_point_specs() {
+    let ws = MiniWs::create("lint-ws-stale-entry");
+    fs::write(
+        ws.root.join("lint.toml"),
+        "[analyze]\nentry-points = [\"crates/foo/src/lib.rs::gone\"]\n",
+    )
+    .expect("write lint.toml");
+    let out = ws.run(&["--analyze"]);
+    assert_eq!(code(&out), 2, "a dangling entry point must be a hard error, not a shrink");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("resolves to no function"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn stale_allows_are_flagged_and_inventoried() {
+    let ws = MiniWs::create("lint-ws-stale-allow");
+    ws.write_lib(
+        "pub fn one(v: Option<u32>) -> u32 {\n\
+         \x20   // graf-lint: allow(unwrap, caller guarantees Some)\n\
+         \x20   v.unwrap()\n\
+         }\n\n\
+         pub fn two() -> u32 {\n\
+         \x20   // graf-lint: allow(wallclock, nothing here reads a clock)\n\
+         \x20   42\n\
+         }\n",
+    );
+    let out = ws.run(&["--analyze", "--json"]);
+    assert_eq!(code(&out), 1, "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let json = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(json.contains("stale-allow"), "{json}");
+    assert!(json.contains("no longer suppresses anything"), "{json}");
+    // The inventory lists both annotations, split by liveness.
+    assert!(json.contains("\"live\": true"), "{json}");
+    assert!(json.contains("\"live\": false"), "{json}");
+    // The live allow still suppresses: the stale-allow is the only finding
+    // (unwrap-in-lib appears in the inventory, not under findings).
+    assert!(json.contains("\"total\": 1"), "{json}");
+    assert!(!json.contains("\"lint\": \"unwrap-in-lib\", \"path\""), "{json}");
+}
+
+#[test]
+fn callgraph_jsonl_is_byte_identical_across_runs() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let run = || {
+        let out = Command::new(env!("CARGO_BIN_EXE_graf-lint"))
+            .arg("--root")
+            .arg(&root)
+            .arg("--callgraph")
+            .output()
+            .expect("run graf-lint");
+        assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    let first = run();
+    let second = run();
+    assert!(!first.is_empty(), "the repo call graph is not empty");
+    assert_eq!(first, second, "--callgraph output must be byte-identical across runs");
+    let text = String::from_utf8(first).expect("JSONL is UTF-8");
+    for line in text.lines() {
+        assert!(line.starts_with("{\"id\":"), "not a callgraph record: {line}");
+    }
 }
 
 #[test]

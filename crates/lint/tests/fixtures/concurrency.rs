@@ -1,0 +1,37 @@
+//! Seeded fixture for the concurrency-safety token lints. Linted under
+//! `crates/sim/src/concurrency.rs` with the file marked parallel-adjacent,
+//! it must fire exactly one `relaxed-atomic`, one `unsafe-no-safety` and one
+//! `unordered-float-reduction` finding; the justified twins below must stay
+//! silent.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn claim(next: &AtomicUsize) -> usize {
+    next.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn read_raw(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+pub fn sum(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for x in xs {
+        total += x;
+    }
+    total
+}
+
+pub fn justified(next: &AtomicUsize, p: *const u64, xs: &[f64]) -> f64 {
+    // graf-lint: allow(relaxed, telemetry counter; the value never feeds a decision)
+    let _ = next.fetch_add(1, Ordering::Relaxed);
+    // graf-lint: safety(caller contract guarantees p is valid for reads)
+    let v = unsafe { *p };
+    let mut t = 0.0;
+    t += v as f64;
+    for x in xs {
+        // graf-lint: allow(float-reduction, chunk-index-ordered accumulation)
+        t += x;
+    }
+    t
+}

@@ -1,0 +1,113 @@
+//! Lexer edge cases the lint rules depend on: a banned name inside a raw
+//! string or nested block comment must never become an `Ident` token, raw
+//! identifiers must stay one token, and lifetimes must not be confused with
+//! char literals (or vice versa).
+
+use graf_lint::lexer::{lex, strip_raw_ident, TokenKind};
+
+/// All `Ident` token texts, in source order.
+fn idents(src: &str) -> Vec<&str> {
+    let lexed = lex(src);
+    lexed.tokens.iter().filter(|t| t.kind == TokenKind::Ident).map(|t| lexed.text(src, t)).collect()
+}
+
+fn kinds(src: &str) -> Vec<TokenKind> {
+    lex(src).tokens.iter().map(|t| t.kind).collect()
+}
+
+#[test]
+fn raw_strings_swallow_banned_names_and_quotes() {
+    let src = r###"let s = r#"Instant::now() has a "quoted" part"#; let t = after;"###;
+    let ids = idents(src);
+    assert!(!ids.contains(&"Instant"), "raw string leaked an ident: {ids:?}");
+    assert!(!ids.contains(&"quoted"), "inner quotes ended the raw string early: {ids:?}");
+    assert!(ids.contains(&"after"), "lexing must resume after the raw string: {ids:?}");
+    let strs = kinds(src).iter().filter(|k| **k == TokenKind::Str).count();
+    assert_eq!(strs, 1, "the raw string is one Str token");
+}
+
+#[test]
+fn raw_strings_with_more_hashes_do_not_end_at_fewer() {
+    let src = r####"let s = r##"ends with "# not here"##; let after = 1;"####;
+    let ids = idents(src);
+    assert!(!ids.contains(&"not"), "r##\"…\"## must not end at \"#: {ids:?}");
+    assert!(ids.contains(&"after"), "{ids:?}");
+}
+
+#[test]
+fn nested_block_comments_track_depth() {
+    let src = "/* outer /* inner */ still_comment */ fn visible() {}";
+    let ids = idents(src);
+    assert!(!ids.contains(&"inner"), "{ids:?}");
+    assert!(!ids.contains(&"still_comment"), "inner `*/` must not close the outer: {ids:?}");
+    assert_eq!(ids, vec!["fn", "visible"], "{ids:?}");
+}
+
+#[test]
+fn block_comments_count_their_newlines() {
+    let src = "/* one\n two\n three */\nfn f() {}";
+    let lexed = lex(src);
+    let f = lexed.tokens.iter().find(|t| lexed.text(src, t) == "fn").expect("fn token");
+    assert_eq!(f.line, 4, "line counting must include comment newlines");
+}
+
+#[test]
+fn raw_identifiers_are_single_tokens() {
+    let src = "fn r#type(r#match: u32) -> u32 { r#match }";
+    let ids = idents(src);
+    assert!(ids.contains(&"r#type"), "raw ident must be one token: {ids:?}");
+    // `r` alone must not appear — that would mean `r#type` split apart.
+    assert!(!ids.contains(&"r"), "{ids:?}");
+    assert_eq!(strip_raw_ident("r#type"), "type");
+    assert_eq!(strip_raw_ident("plain"), "plain");
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a u32, s: &'static str) -> char { 'b' }";
+    let lexed = lex(src);
+    let lifetimes: Vec<&str> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| lexed.text(src, t))
+        .collect();
+    let chars: Vec<&str> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Char)
+        .map(|t| lexed.text(src, t))
+        .collect();
+    assert_eq!(chars, vec!["'b'"], "exactly the char literal: {chars:?}");
+    assert_eq!(lifetimes.len(), 3, "'a, 'a and 'static: {lifetimes:?}");
+}
+
+#[test]
+fn char_literals_with_escapes_and_delimiters_do_not_derail() {
+    // A quote char, an escaped quote, and a slash char followed by more code:
+    // none of these may open a string/comment or swallow the tail.
+    let src = r#"let a = '"'; let b = '\''; let c = '/'; let tail = 1;"#;
+    let ids = idents(src);
+    assert!(ids.contains(&"tail"), "lexer lost sync after char literals: {ids:?}");
+    let chars = kinds(src).iter().filter(|k| **k == TokenKind::Char).count();
+    assert_eq!(chars, 3, "{src}");
+}
+
+#[test]
+fn byte_strings_and_byte_chars_are_literals() {
+    let src = r#"let a = b"Instant"; let b = b'\n'; let tail = 1;"#;
+    let ids = idents(src);
+    assert!(!ids.contains(&"Instant"), "{ids:?}");
+    assert!(ids.contains(&"tail"), "{ids:?}");
+}
+
+#[test]
+fn test_regions_are_marked_and_strings_inside_them_still_skip() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn t() { foo(); }\n}\nfn prod() { bar(); }\n";
+    let lexed = lex(src);
+    let tok = |name: &str| {
+        lexed.tokens.iter().find(|t| lexed.text(src, t) == name).expect("token present")
+    };
+    assert!(tok("foo").in_test, "tokens under #[cfg(test)] are test-only");
+    assert!(!tok("prod").in_test, "tokens after the test item are production again");
+}

@@ -30,20 +30,27 @@ pub struct CountingAlloc;
 #[allow(unsafe_code)]
 // SAFETY: every method delegates to `System`, which upholds the GlobalAlloc
 // contract; the counter update has no effect on the returned memory.
+// graf-lint: safety(every method delegates verbatim to the System allocator)
 unsafe impl GlobalAlloc for CountingAlloc {
+    // graf-lint: safety(unsafe is required by the trait; body only counts)
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.with(|c| c.set(c.get() + 1));
+        // graf-lint: safety(layout forwarded unchanged; caller upholds the contract)
         unsafe { System.alloc(layout) }
     }
 
+    // graf-lint: safety(unsafe is required by the trait; body only delegates)
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // graf-lint: safety(ptr and layout forwarded unchanged from our alloc)
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // graf-lint: safety(unsafe is required by the trait; body only counts)
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // A realloc that moves (or grows) is an allocation for our purposes:
         // a steady-state hot path must not grow its buffers.
         ALLOCS.with(|c| c.set(c.get() + 1));
+        // graf-lint: safety(ptr and layout forwarded unchanged from our alloc)
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

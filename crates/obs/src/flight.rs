@@ -64,7 +64,7 @@ impl FlightRecorder {
         let mut buf = self.inner.buf.lock().expect("flight buffer poisoned");
         if buf.len() == self.inner.capacity {
             buf.pop_front();
-            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            self.inner.dropped.fetch_add(1, Ordering::AcqRel);
         }
         buf.push_back(line.to_string());
     }
@@ -81,7 +81,7 @@ impl FlightRecorder {
 
     /// Lines evicted from the ring so far.
     pub fn dropped(&self) -> u64 {
-        self.inner.dropped.load(Ordering::Relaxed)
+        self.inner.dropped.load(Ordering::Acquire)
     }
 
     /// The retained lines, oldest first.

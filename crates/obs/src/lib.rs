@@ -361,7 +361,7 @@ impl Drop for ObsSpan {
             } else {
                 EventKind::Point
             };
-            let seq = s.inner.seq.fetch_add(1, Ordering::Relaxed);
+            let seq = s.inner.seq.fetch_add(1, Ordering::AcqRel);
             let (wall_us, name, sim_s, attrs, inner) = (end_us, s.name, s.sim_s, s.attrs, s.inner);
             inner.record(Event { seq, wall_us, sim_s, name, kind, attrs });
         }

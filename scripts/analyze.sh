@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Workspace call-graph analysis, human view: reachability stats, the ten
+# largest call cycles (SCCs) and the pre-suppression taint frontier, then the
+# gated findings. Extra flags pass through to graf-lint, e.g.:
+#
+#   scripts/analyze.sh            # summary + gate
+#   scripts/analyze.sh --json     # summary + machine-readable findings and
+#                                 # the suppression inventory
+#
+# For the raw graph, use `cargo run -p graf-lint -- --callgraph` (JSONL,
+# byte-identical across runs — diffable between revisions).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p graf-lint -- --summary "$@"

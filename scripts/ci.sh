@@ -24,6 +24,38 @@ cargo test -q --workspace --doc
 echo "== graf-lint (fails on findings beyond lint.baseline) =="
 cargo run --release -p graf-lint -- --json
 
+echo "== graf-lint --analyze (call-graph pass: determinism taint, transitive hot allocs) =="
+ANALYZE_START=$(date +%s%N)
+cargo run --release -q -p graf-lint -- --analyze
+ANALYZE_MS=$(( ($(date +%s%N) - ANALYZE_START) / 1000000 ))
+echo "graf-lint --analyze: clean in ${ANALYZE_MS}ms"
+
+echo "== thread sanitizer (data-parallel train + 4-worker smoke sweep) =="
+if rustup component list --toolchain nightly 2>/dev/null | grep -q '^rust-src.*(installed)'; then
+  TSAN_TARGET="$(rustc -vV | sed -n 's/^host: //p')"
+  RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -Zbuild-std --target "$TSAN_TARGET" \
+    -q --test determinism parallel_training_matches_serial_bit_for_bit
+  TSANDIR="$(mktemp -d)"
+  RUSTFLAGS="-Zsanitizer=thread" cargo +nightly run -Zbuild-std --target "$TSAN_TARGET" \
+    --release -q -p graf-bench --bin graf-sweep -- \
+    run --grid @smoke --quick --workers 4 --seed 7 --out "$TSANDIR/tsan.jsonl" >/dev/null
+  rm -rf "$TSANDIR"
+  echo "thread sanitizer: clean"
+else
+  echo "SKIPPED: thread sanitizer needs the nightly rust-src component (-Zbuild-std); not installed in this environment"
+fi
+
+echo "== miri smoke (event-queue + matrix kernel invariants) =="
+if cargo +nightly miri --version >/dev/null 2>&1; then
+  MIRIFLAGS="-Zmiri-deterministic-concurrency" \
+    cargo +nightly miri test -q -p graf-nn matrix
+  MIRIFLAGS="-Zmiri-deterministic-concurrency" \
+    cargo +nightly miri test -q -p graf-sim events
+  echo "miri: clean"
+else
+  echo "SKIPPED: miri is not installed on the nightly toolchain in this environment"
+fi
+
 echo "== sanitizer: zero-allocation steady state =="
 cargo test -q -p graf-nn --features sanitize
 cargo test -q -p graf-gnn --features sanitize --test sanitize
