@@ -1,0 +1,113 @@
+//! Thread-count identity gate for the sharded simulator.
+//!
+//! Runs a fixed Online Boutique scenario — steady load plus a contention
+//! anomaly and a span-drop fault window, the full set of randomness
+//! consumers — on [`graf_sim::exec::ShardedWorld`] and prints a canonical
+//! dump: per-segment metrics lines, final stats, and order-sensitive
+//! fingerprints of the merged completion and trace streams. `scripts/ci.sh`
+//! runs this binary at `--sim-threads 1` and `--sim-threads 4` and requires
+//! byte-identical output (the same style as the sweep worker-count gate);
+//! any divergence means worker scheduling leaked into simulation results.
+//!
+//! Flags (see `graf_bench::Args`): `--seed` picks the scenario seed,
+//! `--sim-threads` the worker count (default 1), `--quick` shortens the
+//! horizon from 8 s to 2 s.
+
+use graf_bench::Args;
+use graf_sim::exec::{fingerprint_completions, fingerprint_traces, ShardedWorld};
+use graf_sim::rng::DetRng;
+use graf_sim::time::{SimDuration, SimTime};
+use graf_sim::topology::{ApiId, ServiceId};
+use graf_sim::world::SimConfig;
+
+fn main() {
+    let args = Args::parse();
+    let threads = args.sim_threads.unwrap_or(1);
+    let horizon_s = args.scaled(2, 8, 8) as u64;
+
+    let topo = graf_apps::online_boutique();
+    let n_services = topo.num_services() as u16;
+    let cfg = SimConfig { request_timeout_us: None, return_us: 250, ..SimConfig::default() };
+    let mut w = ShardedWorld::new(topo, cfg, args.seed, threads);
+    println!(
+        "# sim-identity seed={} horizon={}s shards={} lookahead_us={}",
+        args.seed,
+        horizon_s,
+        w.partition().num_shards(),
+        w.partition().lookahead_us()
+    );
+
+    for s in 0..n_services {
+        w.add_instances(ServiceId(s), 4, 250.0, SimTime::ZERO);
+    }
+    // Exercise every cross-shard path under stress: a 3× contention window
+    // on the hottest service and a span-drop fault over the middle third.
+    let third = SimTime::from_secs(horizon_s as f64 / 3.0);
+    let two_thirds = SimTime(2 * third.0);
+    w.inject_contention(ServiceId(4), 3.0, third, two_thirds);
+    w.inject_span_drop(third, two_thirds, 0.25);
+
+    let mut rng = DetRng::new(args.seed ^ 0x1de27);
+    for (api, rate) in [(0u16, 180.0f64), (1, 180.0), (2, 240.0)] {
+        let mut t = 0.0;
+        loop {
+            t += rng.exp(1e6 / rate);
+            if t >= horizon_s as f64 * 1e6 {
+                break;
+            }
+            w.inject(ApiId(api), SimTime(t as u64));
+        }
+    }
+
+    let mut all_completions = Vec::new();
+    let mut all_traces = Vec::new();
+    for seg in 1..=horizon_s {
+        w.run_until(SimTime::from_secs(seg as f64));
+        // At `run_until(seg)` the trailing-1 window is the just-started empty
+        // one; trailing-2 covers the segment that just finished.
+        let p99 = w.e2e_percentile(2, 0.99).unwrap_or(SimDuration::from_micros(0));
+        let p50 = w.e2e_percentile(2, 0.50).unwrap_or(SimDuration::from_micros(0));
+        let stats = w.stats();
+        println!(
+            "seg={seg} injected={} completed={} events={} spans={} dropped={} p50_us={} p99_us={}",
+            stats.injected,
+            stats.completed,
+            stats.events,
+            stats.spans,
+            stats.spans_dropped,
+            p50.as_micros(),
+            p99.as_micros()
+        );
+        all_completions.extend(w.drain_completions());
+        all_traces.extend(w.drain_traces());
+    }
+    w.run_to_quiescence(SimTime::from_secs(horizon_s as f64 + 30.0));
+    all_completions.extend(w.drain_completions());
+    all_traces.extend(w.drain_traces());
+
+    for s in 0..n_services {
+        let sid = ServiceId(s);
+        let p99 = w.service_percentile(sid, horizon_s as usize, 0.99).map_or(0, |d| d.as_micros());
+        println!(
+            "service={s} p99_us={p99} rate={:.3} pending={}",
+            w.service_arrival_rate(sid, horizon_s as usize),
+            w.service_pending(sid)
+        );
+    }
+    let stats = w.stats();
+    println!(
+        "final injected={} completed={} timeouts={} events={} spans={} dropped={} in_flight={}",
+        stats.injected,
+        stats.completed,
+        stats.timeouts,
+        stats.events,
+        stats.spans,
+        stats.spans_dropped,
+        w.in_flight()
+    );
+    println!(
+        "fingerprint completions={:016x} traces={:016x}",
+        fingerprint_completions(&all_completions),
+        fingerprint_traces(&all_traces)
+    );
+}

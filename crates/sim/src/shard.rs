@@ -1,0 +1,387 @@
+//! Topology partitioning and shard-seed derivation for the deterministic
+//! parallel executor ([`crate::exec::ShardedWorld`]).
+//!
+//! A [`Partition`] splits the services of an [`AppTopology`] into shards.
+//! Each shard simulates its services on a private [`crate::world::World`]
+//! with its own calendar queue and its own RNG streams, seeded by
+//! [`shard_seed`] from `(sim_seed, shard key)` — the same derivation
+//! discipline graf-sweep uses for cell seeds, so a shard's randomness is a
+//! pure function of *what it simulates*, never of how many workers run the
+//! fleet or which worker it lands on.
+//!
+//! Cross-shard interactions are plain messages (`ShardMsg`) exchanged at
+//! conservative-synchronization barriers: a call into a service owned by
+//! another shard travels as a `RemoteStartMsg` with delivery time
+//! `issue + base_us(callee)`, and the subtree's completion travels back as a
+//! `Done` message with delivery time `completion + return_us`. The
+//! partition's **lookahead** is the minimum of those delivery delays over
+//! all cross-shard edges; as long as every shard only executes events within
+//! one lookahead window before exchanging messages, no shard can ever
+//! receive a message "from the past" (see DESIGN.md §14 for the full
+//! invariance argument).
+
+use crate::frame::FrameId;
+use crate::time::SimTime;
+use crate::topology::{ApiId, AppTopology, ServiceId};
+
+/// 64-bit FNV-1a of `bytes` (the sweep crate's cell-key hash, duplicated
+/// here so `graf-sim` stays dependency-free).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// splitmix64's output finalizer: a strong 64-bit mixer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the deterministic RNG seed of the shard with canonical key
+/// `shard_key` under simulation seed `sim_seed`.
+///
+/// The derivation is FNV-1a over the key bytes mixed with the simulation
+/// seed through splitmix64 — exactly the `(grid_seed, cell_key)` scheme of
+/// `graf_sweep::derive_seed`. A shard's key is the sorted `+`-joined list of
+/// its service names, so a shard's seed depends only on *which services it
+/// owns*: repartitioning other shards, changing the worker count, or adding
+/// services elsewhere never perturbs an existing shard's random streams.
+///
+/// ```
+/// use graf_sim::shard::shard_seed;
+///
+/// let a = shard_seed(7, "cart");
+/// assert_eq!(a, shard_seed(7, "cart"), "pure function of (seed, key)");
+/// assert_ne!(a, shard_seed(8, "cart"), "simulation seed matters");
+/// assert_ne!(a, shard_seed(7, "currency"), "shard key matters");
+/// ```
+pub fn shard_seed(sim_seed: u64, shard_key: &str) -> u64 {
+    mix(fnv1a(shard_key.as_bytes()) ^ mix(sim_seed))
+}
+
+/// Lookahead value meaning "no cross-shard edges": shards are fully
+/// independent and a window can span the whole `run_until` horizon.
+pub const NO_CROSS_EDGES: u64 = u64::MAX;
+
+/// A deterministic assignment of services to shards, plus the derived
+/// conservative-synchronization lookahead.
+///
+/// The partition is a pure function of the topology (and the grouping
+/// parameters) — never of thread count — so the shard layout, every shard's
+/// key and seed, and therefore every simulated outcome are identical no
+/// matter how many workers execute the shards.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Shard index owning each service (indexed by `ServiceId`).
+    owner: Vec<u32>,
+    /// Services of each shard, ascending.
+    shards: Vec<Vec<ServiceId>>,
+    /// Canonical shard keys: the shard's service names, sorted, `+`-joined.
+    keys: Vec<String>,
+    /// Minimum cross-shard message delay in µs ([`NO_CROSS_EDGES`] when the
+    /// shards never exchange messages).
+    lookahead_us: u64,
+}
+
+impl Partition {
+    /// The finest safe partition: one shard per service.
+    ///
+    /// Instances of one service share mutable state (the min-load index, the
+    /// pending queue, the CPU account), so a service is the smallest unit
+    /// that can move between shards. `return_us` is the configured
+    /// child-completion return delay ([`crate::world::SimConfig::return_us`]);
+    /// it participates in the lookahead because subtree completions travel
+    /// back across the same shard boundary.
+    pub fn per_service(topo: &AppTopology, return_us: u64) -> Self {
+        let owner: Vec<u32> = (0..topo.num_services() as u32).collect();
+        Self::from_owner(topo, owner, return_us)
+    }
+
+    /// Groups services into at most `max_shards` shards, balancing by
+    /// `work_ms` (heaviest services spread first). Deterministic: services
+    /// are ordered by `(work_ms descending, id ascending)` and each is
+    /// assigned to the currently lightest shard (ties to the lowest index).
+    pub fn grouped(topo: &AppTopology, max_shards: usize, return_us: u64) -> Self {
+        let n_shards = max_shards.max(1).min(topo.num_services().max(1));
+        let mut by_weight: Vec<usize> = (0..topo.num_services()).collect();
+        by_weight.sort_by(|&a, &b| {
+            let (wa, wb) = (topo.services[a].work_ms, topo.services[b].work_ms);
+            wb.partial_cmp(&wa).expect("finite service work").then(a.cmp(&b))
+        });
+        let mut load = vec![0.0f64; n_shards];
+        let mut owner = vec![0u32; topo.num_services()];
+        for svc in by_weight {
+            let lightest = load
+                .iter()
+                .enumerate()
+                .min_by(|(ia, a), (ib, b)| {
+                    a.partial_cmp(b).expect("finite shard load").then(ia.cmp(ib))
+                })
+                .map(|(i, _)| i)
+                .expect("at least one shard");
+            owner[svc] = lightest as u32;
+            load[lightest] += topo.services[svc].work_ms;
+        }
+        Self::from_owner(topo, owner, return_us)
+    }
+
+    /// Builds the partition metadata (shard lists, keys, lookahead) from a
+    /// service→shard assignment. Empty shards are compacted away so shard
+    /// indices are dense.
+    fn from_owner(topo: &AppTopology, raw_owner: Vec<u32>, return_us: u64) -> Self {
+        let n_raw = raw_owner.iter().map(|&s| s as usize + 1).max().unwrap_or(1);
+        // Compact to dense shard indices in first-appearance-by-service order
+        // (deterministic: services scan in id order).
+        let mut remap = vec![u32::MAX; n_raw];
+        let mut next = 0u32;
+        let mut owner = vec![0u32; raw_owner.len()];
+        for (svc, &raw) in raw_owner.iter().enumerate() {
+            if remap[raw as usize] == u32::MAX {
+                remap[raw as usize] = next;
+                next += 1;
+            }
+            owner[svc] = remap[raw as usize];
+        }
+        let mut shards: Vec<Vec<ServiceId>> = vec![Vec::new(); next as usize];
+        for (svc, &sh) in owner.iter().enumerate() {
+            shards[sh as usize].push(ServiceId(svc as u16));
+        }
+        let keys: Vec<String> = shards
+            .iter()
+            .map(|svcs| {
+                let mut names: Vec<&str> =
+                    svcs.iter().map(|s| topo.services[s.0 as usize].name.as_str()).collect();
+                names.sort_unstable();
+                names.join("+")
+            })
+            .collect();
+        // Lookahead: the minimum delay of any message that can cross a shard
+        // boundary. Calls into a foreign service arrive after the callee's
+        // base (network) latency; subtree completions return after
+        // `return_us`. No cross edges → shards never talk → no bound.
+        let mut lookahead_us = NO_CROSS_EDGES;
+        for (parent, child) in topo.edges() {
+            if owner[parent.0 as usize] != owner[child.0 as usize] {
+                let base = topo.services[child.0 as usize].base_us;
+                lookahead_us = lookahead_us.min(base).min(return_us);
+            }
+        }
+        Self { owner, shards, keys, lookahead_us }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index owning `service`.
+    pub fn owner(&self, service: ServiceId) -> usize {
+        self.owner[service.0 as usize] as usize
+    }
+
+    /// The service→shard assignment, indexed by service id.
+    pub fn owners(&self) -> &[u32] {
+        &self.owner
+    }
+
+    /// Services of shard `shard`, ascending by id.
+    pub fn services(&self, shard: usize) -> &[ServiceId] {
+        &self.shards[shard]
+    }
+
+    /// Canonical key of shard `shard` (sorted service names, `+`-joined) —
+    /// the input to [`shard_seed`].
+    pub fn key(&self, shard: usize) -> &str {
+        &self.keys[shard]
+    }
+
+    /// Minimum cross-shard message delay in µs, or [`NO_CROSS_EDGES`] when
+    /// the shards are fully independent.
+    pub fn lookahead_us(&self) -> u64 {
+        self.lookahead_us
+    }
+}
+
+/// Sentinel `api` value marking a finished trace as a *remote subtree
+/// fragment* rather than a request root. The executor's trace merge emits a
+/// trace only once its root fragment (a non-sentinel `api`) has arrived,
+/// which — by the conservative-window argument — guarantees every fragment
+/// of that trace is already present.
+pub(crate) const REMOTE_FRAGMENT_API: u16 = u16::MAX;
+
+/// Where a remote subtree came from: the calling shard and the parent frame
+/// awaiting the subtree's completion.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RemoteOrigin {
+    /// Shard that issued the cross-shard call.
+    pub shard: u32,
+    /// Parent frame (in the origin shard) with the outstanding child slot.
+    pub frame: FrameId,
+    /// Parent frame's generation at issue time (staleness guard).
+    pub generation: u32,
+}
+
+/// A cross-shard call: "start plan node `plan_node` of `api` on your side".
+///
+/// Carries everything the receiving shard needs to build a proxy request
+/// slot whose spans join the root's trace: the structural span ids, the
+/// trace id and sampling decision, and the origin coordinates for the
+/// eventual `Done` reply.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RemoteStartMsg {
+    /// When the caller issued the call (the child span's start time).
+    pub issue: SimTime,
+    /// Delivery time: `issue + base_us(callee service)`.
+    pub start_at: SimTime,
+    /// API of the owning request.
+    pub api: ApiId,
+    /// Flattened plan node to execute.
+    pub plan_node: u16,
+    /// Structural span id of the subtree root.
+    pub span_id: u32,
+    /// Span id of the calling frame.
+    pub parent_span: u32,
+    /// Trace id of the owning request (the root's request id).
+    pub trace_id: u64,
+    /// Whether the owning request is trace-sampled.
+    pub sampled: bool,
+    /// Origin coordinates for the `Done` reply.
+    pub origin: RemoteOrigin,
+}
+
+/// A message crossing a shard boundary. Exchanged between worlds at the
+/// executor's window barriers; every delivery time is at least one lookahead
+/// past the sending window's start, so messages always land in a *future*
+/// window of the receiving shard.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ShardMsg {
+    /// Start a remote subtree.
+    Start(RemoteStartMsg),
+    /// A remote subtree finished: count down the origin frame's outstanding
+    /// children at `time` (= completion + `return_us`).
+    Done {
+        /// Delivery time in the origin shard.
+        time: SimTime,
+        /// The origin frame whose child completed.
+        frame: FrameId,
+        /// Origin frame's generation at issue time.
+        generation: u32,
+    },
+}
+
+/// Per-world sharding context, attached by the executor. `None` on a world
+/// means serial mode: every service is local and the cross-shard branches in
+/// the event handlers are never taken.
+#[derive(Debug)]
+pub(crate) struct ShardCtx {
+    /// This world's shard index.
+    pub index: u32,
+    /// Shard owning each service (indexed by service id).
+    pub owner: Vec<u32>,
+    /// Outgoing messages per destination shard, drained at the window
+    /// barrier in destination order.
+    pub outbox: Vec<Vec<ShardMsg>>,
+    /// Incoming messages (already ordered by source shard), scheduled into
+    /// the event queue at the start of the next window.
+    pub inbox: Vec<ShardMsg>,
+    /// Payload slab for in-flight `RemoteStartMsg`s: the event queue
+    /// stores only a slot index, keeping the event enum small for the
+    /// serial hot path. Slots recycle through `pool_free`.
+    pub pool: Vec<RemoteStartMsg>,
+    /// Free slots of `pool`.
+    pub pool_free: Vec<u32>,
+}
+
+impl ShardCtx {
+    /// Creates the context for shard `index` of a `num_shards`-way partition
+    /// with the given service→shard map.
+    pub fn new(index: u32, owner: Vec<u32>, num_shards: usize) -> Self {
+        Self {
+            index,
+            owner,
+            outbox: vec![Vec::new(); num_shards],
+            inbox: Vec::new(),
+            pool: Vec::new(),
+            pool_free: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{ApiSpec, CallNode, ServiceSpec};
+
+    fn chain3() -> AppTopology {
+        AppTopology::new(
+            "chain3",
+            vec![
+                ServiceSpec::new("a", 1.0, 700),
+                ServiceSpec::new("b", 2.0, 250),
+                ServiceSpec::new("c", 3.0, 400),
+            ],
+            vec![ApiSpec::new(
+                "get",
+                CallNode::new(0).call(CallNode::new(1).call(CallNode::new(2))),
+            )],
+        )
+    }
+
+    #[test]
+    fn per_service_partition_is_one_shard_per_service() {
+        let p = Partition::per_service(&chain3(), 250);
+        assert_eq!(p.num_shards(), 3);
+        assert_eq!(p.owner(ServiceId(1)), 1);
+        assert_eq!(p.key(2), "c");
+        // Lookahead: min over cross edges of callee base, and return_us.
+        // Edges a→b (base 250) and b→c (base 400), return 250 → 250.
+        assert_eq!(p.lookahead_us(), 250);
+    }
+
+    #[test]
+    fn lookahead_is_bounded_by_return_delay() {
+        let p = Partition::per_service(&chain3(), 100);
+        assert_eq!(p.lookahead_us(), 100, "returns cross shards too");
+    }
+
+    #[test]
+    fn single_service_partition_has_no_cross_edges() {
+        let topo = AppTopology::new(
+            "solo",
+            vec![ServiceSpec::new("s", 1.0, 100)],
+            vec![ApiSpec::new("get", CallNode::new(0))],
+        );
+        let p = Partition::per_service(&topo, 250);
+        assert_eq!(p.num_shards(), 1);
+        assert_eq!(p.lookahead_us(), NO_CROSS_EDGES);
+    }
+
+    #[test]
+    fn grouped_partition_balances_by_work_and_stays_deterministic() {
+        let p = Partition::grouped(&chain3(), 2, 250);
+        assert_eq!(p.num_shards(), 2);
+        // Balance: c (3.0) seeds one group, b (2.0) the other, a (1.0)
+        // joins b's lighter group; dense indices then follow first
+        // appearance in service-id order, so {a, b} is shard 0.
+        assert_eq!(p.owner(ServiceId(0)), 0);
+        assert_eq!(p.owner(ServiceId(1)), 0);
+        assert_eq!(p.owner(ServiceId(2)), 1);
+        assert_eq!(p.key(0), "a+b", "keys are sorted service names");
+        let q = Partition::grouped(&chain3(), 2, 250);
+        assert_eq!(p.owners(), q.owners(), "pure function of the topology");
+    }
+
+    #[test]
+    fn shard_seed_matches_the_sweep_derivation_shape() {
+        // Pin reference values: changing the hash silently would re-seed
+        // every shard of every committed experiment.
+        assert_eq!(shard_seed(0, "a"), { super::mix(super::fnv1a(b"a") ^ super::mix(0)) });
+        assert_ne!(shard_seed(7, "cart"), shard_seed(7, "cart+currency"));
+    }
+}

@@ -79,6 +79,14 @@ cmp "$SWEEPDIR/w1.jsonl" "$SWEEPDIR/w4.jsonl" \
   || { echo "graf-sweep aggregate differs between 1 and 4 workers" >&2; exit 1; }
 echo "sweep aggregates byte-identical across worker counts"
 
+echo "== sim-identity (sharded sim: --sim-threads 1 vs 4 must be byte-identical) =="
+cargo build --release -q -p graf-bench --bin sim_identity
+target/release/sim_identity --quick --seed 7 --sim-threads 1 > "$SWEEPDIR/sim_t1.txt"
+target/release/sim_identity --quick --seed 7 --sim-threads 4 > "$SWEEPDIR/sim_t4.txt"
+cmp "$SWEEPDIR/sim_t1.txt" "$SWEEPDIR/sim_t4.txt" \
+  || { echo "sharded sim output differs between 1 and 4 workers" >&2; exit 1; }
+echo "sim output byte-identical across worker counts"
+
 echo "== bench smoke =="
 scripts/bench.sh --smoke
 

@@ -139,6 +139,62 @@ fn parallel_training_matches_serial_bit_for_bit() {
     assert_eq!(serial.2, parallel.2, "quota gradients bit-identical");
 }
 
+/// Sharded-simulation worker matrix: for every seed × queue kind, running
+/// the boutique on the sharded executor with 1, 2, and 8 workers produces
+/// bit-identical merged completion streams, trace fingerprints, and stats.
+/// Worker assignment is wall-clock-only by construction (DESIGN.md §14):
+/// shard layout, shard seeds, message order and merge order are all pure
+/// functions of `(topology, config, seed)`.
+#[test]
+fn sharded_sim_is_thread_count_invariant() {
+    use graf::sim::exec::{fingerprint_completions, fingerprint_traces, ShardedWorld};
+    use graf::sim::rng::DetRng;
+
+    fn run_once(seed: u64, kind: QueueKind, threads: usize) -> (Vec<(u64, u64)>, u64, u64, u64) {
+        let cfg = SimConfig {
+            event_queue: kind,
+            request_timeout_us: None,
+            return_us: 250,
+            ..SimConfig::default()
+        };
+        let mut w = ShardedWorld::new(online_boutique(), cfg, seed, threads);
+        for s in 0..6u16 {
+            w.add_instances(ServiceId(s), 3, 300.0, SimTime::ZERO);
+        }
+        let mut rng = DetRng::new(seed ^ 0x9e37);
+        for (api, rate) in [(0u16, 120.0f64), (1, 120.0), (2, 160.0)] {
+            let mut t = 0.0;
+            loop {
+                t += rng.exp(1e6 / rate);
+                if t >= 2e6 {
+                    break;
+                }
+                w.inject(ApiId(api), SimTime(t as u64));
+            }
+        }
+        w.run_until(SimTime::from_secs(2.0));
+        w.run_to_quiescence(SimTime::from_secs(10.0));
+        let comps = w.drain_completions();
+        let lats: Vec<(u64, u64)> = comps.iter().map(|c| (c.start.0, c.latency_us())).collect();
+        let traces = w.drain_traces();
+        assert!(comps.len() > 500, "the run actually did work ({} completions)", comps.len());
+        (lats, fingerprint_completions(&comps), fingerprint_traces(&traces), w.stats().events)
+    }
+
+    for seed in [7, 77, 402] {
+        for kind in [QueueKind::Calendar, QueueKind::Heap] {
+            let one = run_once(seed, kind, 1);
+            for threads in [2, 8] {
+                let many = run_once(seed, kind, threads);
+                assert_eq!(
+                    one, many,
+                    "1 vs {threads} workers diverged (seed {seed}, {kind:?} queue)"
+                );
+            }
+        }
+    }
+}
+
 /// End-to-end GRAF pipeline (build → controller-driven experiment) with
 /// telemetry enabled vs disabled: decisions and measurements must be
 /// bit-identical — the obs layer observes, it never perturbs.
